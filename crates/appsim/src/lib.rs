@@ -1,0 +1,33 @@
+//! # appsim — simulated MPI applications for the STAT reproduction
+//!
+//! STAT never looks inside an application's data; all it observes are call stacks.
+//! That makes the application easy to substitute: anything that produces the right
+//! *distribution of call paths over ranks and over time* exercises exactly the same
+//! tool code paths as a real MPI job.  This crate provides those synthetic
+//! applications:
+//!
+//! * [`ring`] — the paper's target application: an MPI ring test (Irecv from the
+//!   previous rank, Isend to the next, Waitall, Barrier) with an injected bug that
+//!   makes rank 1 hang before its send.  Its merged prefix tree is Figure 1.
+//! * [`workloads`] — additional applications used by the wider test suite and the
+//!   ablation benches: all-equivalent, multi-class compute, a deadlocked pair, and a
+//!   multithreaded variant for the Section VII threading projection.
+//! * [`app`] — the [`app::Application`] trait they all implement, plus helpers to
+//!   gather [`stackwalk::TaskSamples`] from any application via the real walker.
+//! * [`vocab`] — the frame vocabularies (Linux/Atlas vs. BG/L) so that traces look
+//!   like the platform they were "collected" on, exactly as in Figure 1.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod app;
+pub mod progress;
+pub mod ring;
+pub mod vocab;
+pub mod workloads;
+
+pub use app::{gather_samples, gather_samples_for_ranks, Application};
+pub use progress::{CheckpointStormApp, IterativeSolverApp, StragglerApp};
+pub use ring::RingHangApp;
+pub use vocab::FrameVocabulary;
+pub use workloads::{AllEquivalentApp, ComputeSpreadApp, DeadlockPairApp, ThreadedApp};

@@ -1,0 +1,263 @@
+//! Additional synthetic workloads.
+//!
+//! The ring hang is the paper's evaluation workload, but a debugging tool's test
+//! suite needs more shapes than one: jobs where *everything* is equivalent (the best
+//! case for prefix-tree compression), jobs whose ranks spread over many compute
+//! kernels (the worst case), a classic message deadlock between two ranks, and a
+//! multithreaded job for the Section VII threading projection.
+
+use crate::app::Application;
+use crate::vocab::FrameVocabulary;
+
+/// Every rank is in the same place: the ideal case for STAT, whose merged tree is a
+/// single path no matter how many tasks participate.
+#[derive(Clone, Debug)]
+pub struct AllEquivalentApp {
+    tasks: u64,
+    vocab: FrameVocabulary,
+}
+
+impl AllEquivalentApp {
+    /// All ranks waiting in the barrier.
+    pub fn new(tasks: u64, vocab: FrameVocabulary) -> Self {
+        AllEquivalentApp {
+            tasks: tasks.max(1),
+            vocab,
+        }
+    }
+}
+
+impl Application for AllEquivalentApp {
+    fn name(&self) -> &str {
+        "all_equivalent"
+    }
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+    fn call_path(&self, _rank: u64, _thread: u32, _sample: u32) -> Vec<&'static str> {
+        let v = self.vocab;
+        let mut path = vec![v.start(), v.main(), v.barrier()];
+        path.extend_from_slice(v.barrier_impl());
+        path.extend_from_slice(v.progress_impl());
+        path
+    }
+}
+
+/// Ranks spread across `classes` distinct compute kernels — the adversarial case
+/// where the merged tree is wide and every edge label matters.
+#[derive(Clone, Debug)]
+pub struct ComputeSpreadApp {
+    tasks: u64,
+    classes: u32,
+    vocab: FrameVocabulary,
+}
+
+impl ComputeSpreadApp {
+    /// Spread `tasks` ranks over `classes` behaviour classes.
+    pub fn new(tasks: u64, classes: u32, vocab: FrameVocabulary) -> Self {
+        ComputeSpreadApp {
+            tasks: tasks.max(1),
+            classes: classes.max(1),
+            vocab,
+        }
+    }
+
+    /// Number of distinct behaviour classes.
+    pub fn classes(&self) -> u32 {
+        self.classes
+    }
+}
+
+impl Application for ComputeSpreadApp {
+    fn name(&self) -> &str {
+        "compute_spread"
+    }
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+    fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
+        let v = self.vocab;
+        let kernels = v.compute_kernels();
+        let class = (rank % self.classes as u64) as usize;
+        let kernel = kernels[class % kernels.len()];
+        let mut path = vec![v.start(), v.main(), "timestep_loop", kernel];
+        // Alternate between the kernel body and a nested helper over time so the 3D
+        // tree has temporal structure too.
+        if sample % 2 == 1 {
+            path.push("stencil_inner");
+        }
+        // Distinct classes beyond the kernel name count get a synthetic depth marker.
+        if class >= kernels.len() {
+            path.push("phase_extra");
+        }
+        path
+    }
+}
+
+/// Two ranks deadlocked against each other in blocking receives; everyone else is in
+/// the barrier.  A classic "needs a debugger" situation distinct from the ring hang.
+#[derive(Clone, Debug)]
+pub struct DeadlockPairApp {
+    tasks: u64,
+    vocab: FrameVocabulary,
+    pair: (u64, u64),
+}
+
+impl DeadlockPairApp {
+    /// Deadlock ranks 0 and 1 of a `tasks`-rank job.
+    pub fn new(tasks: u64, vocab: FrameVocabulary) -> Self {
+        DeadlockPairApp {
+            tasks: tasks.max(2),
+            vocab,
+            pair: (0, 1),
+        }
+    }
+
+    /// The two deadlocked ranks.
+    pub fn deadlocked_ranks(&self) -> (u64, u64) {
+        self.pair
+    }
+}
+
+impl Application for DeadlockPairApp {
+    fn name(&self) -> &str {
+        "deadlock_pair"
+    }
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+    fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
+        let v = self.vocab;
+        let mut path = vec![v.start(), v.main()];
+        if rank == self.pair.0 || rank == self.pair.1 {
+            path.push("exchange_halo");
+            path.push("PMPI_Recv");
+            path.extend_from_slice(v.progress_impl());
+        } else {
+            path.push(v.barrier());
+            path.extend_from_slice(v.barrier_impl());
+            if sample % 2 == 0 {
+                path.extend_from_slice(v.progress_impl());
+            }
+        }
+        path
+    }
+}
+
+/// A multithreaded application: each rank runs one MPI thread plus `worker_threads`
+/// OpenMP-style workers.  Used for the Section VII projection, where threads act as a
+/// multiplier on the data volume the tool must collect and merge.
+#[derive(Clone, Debug)]
+pub struct ThreadedApp {
+    tasks: u64,
+    worker_threads: u32,
+    vocab: FrameVocabulary,
+}
+
+impl ThreadedApp {
+    /// `tasks` ranks with `worker_threads` extra threads each.
+    pub fn new(tasks: u64, worker_threads: u32, vocab: FrameVocabulary) -> Self {
+        ThreadedApp {
+            tasks: tasks.max(1),
+            worker_threads,
+            vocab,
+        }
+    }
+}
+
+impl Application for ThreadedApp {
+    fn name(&self) -> &str {
+        "threaded_hybrid"
+    }
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+    fn threads_per_task(&self) -> u32 {
+        1 + self.worker_threads
+    }
+    fn call_path(&self, rank: u64, thread: u32, sample: u32) -> Vec<&'static str> {
+        let v = self.vocab;
+        if thread == 0 {
+            // The MPI thread behaves like the all-equivalent app.
+            let mut path = vec![v.start(), v.main(), v.barrier()];
+            path.extend_from_slice(v.barrier_impl());
+            path
+        } else {
+            // Worker threads split between two OpenMP-style regions; which region a
+            // worker is in depends on rank, thread and time, so threads genuinely
+            // multiply the distinct traces the tool must manage.
+            let mut path = vec![v.start()];
+            path.extend_from_slice(v.thread_entry());
+            let region = (rank as u32 + thread + sample) % 2;
+            if region == 0 {
+                path.push("omp_region_a");
+                path.push("dgemm_kernel");
+            } else {
+                path.push("omp_region_b");
+                path.push("halo_pack");
+            }
+            path
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::gather_samples;
+    use stackwalk::FrameTable;
+
+    #[test]
+    fn all_equivalent_has_one_class() {
+        let app = AllEquivalentApp::new(500, FrameVocabulary::Linux);
+        let p0 = app.main_thread_path(0, 0);
+        let p499 = app.main_thread_path(499, 0);
+        assert_eq!(p0, p499);
+    }
+
+    #[test]
+    fn compute_spread_produces_the_requested_classes() {
+        let app = ComputeSpreadApp::new(1_000, 5, FrameVocabulary::Linux);
+        let mut leaves = std::collections::HashSet::new();
+        for rank in 0..1_000 {
+            leaves.insert(app.main_thread_path(rank, 0));
+        }
+        assert_eq!(leaves.len(), 5);
+        let wide = ComputeSpreadApp::new(100, 8, FrameVocabulary::Linux);
+        let mut wide_leaves = std::collections::HashSet::new();
+        for rank in 0..100 {
+            wide_leaves.insert(wide.main_thread_path(rank, 0));
+        }
+        assert_eq!(wide_leaves.len(), 8, "classes beyond the kernel list still distinct");
+    }
+
+    #[test]
+    fn deadlock_pair_isolates_two_ranks() {
+        let app = DeadlockPairApp::new(64, FrameVocabulary::Linux);
+        let in_recv: Vec<u64> = (0..64)
+            .filter(|&r| app.main_thread_path(r, 0).contains(&"PMPI_Recv"))
+            .collect();
+        assert_eq!(in_recv, vec![0, 1]);
+    }
+
+    #[test]
+    fn threaded_app_multiplies_gathered_traces() {
+        let app = ThreadedApp::new(8, 3, FrameVocabulary::Linux);
+        assert_eq!(app.threads_per_task(), 4);
+        let mut table = FrameTable::new();
+        let samples = gather_samples(&app, 2, &mut table);
+        assert_eq!(samples.len(), 8);
+        // 2 samples × 4 threads = 8 traces per task.
+        assert!(samples.iter().all(|s| s.sample_count() == 8));
+    }
+
+    #[test]
+    fn worker_threads_have_distinct_stacks_from_the_mpi_thread() {
+        let app = ThreadedApp::new(4, 2, FrameVocabulary::BlueGeneL);
+        let mpi = app.call_path(0, 0, 0);
+        let worker = app.call_path(0, 1, 0);
+        assert!(mpi.contains(&"PMPI_Barrier"));
+        assert!(!worker.contains(&"PMPI_Barrier"));
+        assert!(worker.contains(&"worker_main"));
+    }
+}

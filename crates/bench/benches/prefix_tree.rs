@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the prefix-tree operations every experiment rests
+//! on: building daemon-local trees, merging them, and serialising them for the TBON.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use appsim::{Application, FrameVocabulary, RingHangApp};
+use stackwalk::{FrameTable, Walker};
+use stat_core::prelude::*;
+
+fn build_tree(tasks: u64, table: &mut FrameTable) -> GlobalPrefixTree {
+    let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+    let mut walker = Walker::new();
+    let mut tree = GlobalPrefixTree::new_global(tasks);
+    for rank in 0..tasks {
+        let path = app.main_thread_path(rank, 0);
+        let trace = walker.walk(table, &path);
+        tree.add_trace(&trace, rank);
+    }
+    tree
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_tree_build");
+    for tasks in [128u64, 1_024, 8_192] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let mut table = FrameTable::new();
+                build_tree(tasks, &mut table)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefix_tree_merge");
+    for tasks in [1_024u64, 8_192] {
+        let mut table = FrameTable::new();
+        let left = build_tree(tasks, &mut table);
+        let right = build_tree(tasks, &mut table);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter(|| {
+                let mut acc = left.clone();
+                acc.merge(&right);
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_decode(c: &mut Criterion) {
+    let mut table = FrameTable::new();
+    let tree = build_tree(4_096, &mut table);
+    c.bench_function("prefix_tree_encode_4096", |b| {
+        b.iter(|| encode_tree(&tree, &table))
+    });
+    let bytes = encode_tree(&tree, &table);
+    c.bench_function("prefix_tree_decode_4096", |b| {
+        b.iter(|| {
+            let mut t = FrameTable::new();
+            decode_tree::<DenseBitVector>(&bytes, &mut t).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build, bench_merge, bench_encode_decode);
+criterion_main!(benches);

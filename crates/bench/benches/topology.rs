@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks of topology construction and the in-process TBON.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tbon::filter::SumFilter;
+use tbon::network::InProcessTbon;
+use tbon::packet::{Packet, PacketTag};
+use tbon::topology::{Topology, TopologySpec};
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_build");
+    for daemons in [128u32, 1_664, 16_384] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(daemons),
+            &daemons,
+            |b, &daemons| {
+                b.iter(|| {
+                    let t = Topology::build(TopologySpec::balanced(daemons, 3));
+                    assert!(t.validate().is_ok());
+                    t
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tbon_sum_reduction");
+    for daemons in [64u32, 1_664] {
+        let topo = Topology::build(TopologySpec::two_deep(daemons, 28));
+        let net = InProcessTbon::new(topo);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(daemons),
+            &daemons,
+            |b, _| {
+                b.iter(|| {
+                    let leaves: Vec<Packet> = net
+                        .topology()
+                        .backends()
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &ep)| {
+                            Packet::new(PacketTag::Custom(0), ep, SumFilter::encode(i as u64))
+                        })
+                        .collect();
+                    net.reduce(leaves, &SumFilter)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_build, bench_reduction);
+criterion_main!(benches);

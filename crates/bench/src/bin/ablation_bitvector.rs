@@ -1,0 +1,4 @@
+//! Ablation: task-set representation sweep (modelled and real packet sizes).
+fn main() {
+    println!("{}", stat_bench::ablation_bitvector());
+}

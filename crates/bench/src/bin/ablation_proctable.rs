@@ -1,0 +1,4 @@
+//! Ablation: the strcat process-table packing pathology, measured on real data.
+fn main() {
+    println!("{}", stat_bench::ablation_proctable());
+}

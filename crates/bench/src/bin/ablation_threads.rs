@@ -1,0 +1,4 @@
+//! Ablation: the Section VII threading projection.
+fn main() {
+    println!("{}", stat_bench::ablation_threads());
+}

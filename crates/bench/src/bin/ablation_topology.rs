@@ -1,0 +1,8 @@
+//! Ablation: how tree depth / fan-out changes merge time at a fixed job size.
+fn main() {
+    let tasks = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(65_536);
+    println!("{}", stat_bench::ablation_topology(tasks));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 1: the 3D trace/space/time prefix tree of the 1,024-task ring hang.
+fn main() {
+    let tasks = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_024);
+    let (dot, summary) = stat_bench::fig01_prefix_tree(tasks);
+    println!("{summary}");
+    println!("{dot}");
+}

@@ -1,0 +1,4 @@
+//! Regenerates one figure of the paper; see the library docs for details.
+fn main() {
+    println!("{}", stat_bench::fig05_merge_bgl());
+}

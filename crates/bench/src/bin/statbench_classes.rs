@@ -1,0 +1,16 @@
+//! STATBench class-count stress sweep at a fixed job size (companion to
+//! `statbench_sweep`, which sweeps the job size instead).
+use machine::Cluster;
+use statbench::{sweep_equivalence_classes, SweepConfig};
+
+fn main() {
+    let tasks = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(4_096);
+    let config = SweepConfig::new(Cluster::test_cluster(1_024, 8));
+    println!(
+        "{}",
+        sweep_equivalence_classes(&config, tasks, &[1, 4, 16, 64, 256, 1_024])
+    );
+}

@@ -1,0 +1,25 @@
+//! # stat-bench — figure regenerators and benchmark harnesses
+//!
+//! One function per figure of the paper's evaluation, each returning a
+//! [`simkit::stats::SeriesTable`] whose rows are the same series the paper plots.
+//! The binaries in `src/bin/` print these tables (and `make_all` writes them under
+//! `results/`), and the Criterion benches in `benches/` measure the real data
+//! structures and filters that the small-scale points of the figures execute.
+//!
+//! Absolute numbers are not expected to match the 2008 hardware; what the harness
+//! checks — and what EXPERIMENTS.md records — is the *shape*: which configuration
+//! wins, by roughly what factor, and where failures and crossovers occur.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ablations;
+pub mod figures;
+
+pub use figures::{
+    fig01_prefix_tree, fig02_startup_atlas, fig03_startup_bgl, fig04_merge_atlas,
+    fig05_merge_bgl, fig06_bitvector_demo, fig07_merge_optimized, fig08_sampling_atlas,
+    fig09_sampling_bgl, fig10_sampling_sbrs,
+};
+
+pub use ablations::{ablation_bitvector, ablation_proctable, ablation_threads, ablation_topology};

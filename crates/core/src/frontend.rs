@@ -1,0 +1,285 @@
+//! The STAT front end.
+//!
+//! The front end drives the session: it owns the overlay network, broadcasts control
+//! requests downward, and receives exactly one merged tree back regardless of how
+//! many daemons exist.  For the hierarchical representation it performs one extra
+//! step the paper calls out explicitly (and prices at 0.66 s for 208K tasks): the
+//! *remap*, which converts the merged tree's daemon-order positions back into MPI
+//! rank order using the concatenated rank map collected at setup time.
+
+use std::time::{Duration, Instant};
+
+use stackwalk::FrameTable;
+use tbon::filter::Filter;
+use tbon::network::{InProcessTbon, ReductionOutcome};
+use tbon::packet::Packet;
+use tbon::topology::Topology;
+
+use crate::daemon::DaemonContribution;
+use crate::dot::{to_dot, DotOptions};
+use crate::equivalence::{equivalence_classes, EquivalenceClass};
+use crate::filter::{RankMapFilter, StatMergeFilter};
+use crate::graph::{GlobalPrefixTree, SubtreePrefixTree};
+use crate::serialize::{decode_rank_map, decode_tree};
+use crate::taskset::{DenseBitVector, SubtreeTaskList};
+
+/// Which task-set representation a session uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// The original job-wide bit vectors.
+    GlobalBitVector,
+    /// The optimised hierarchical (subtree) task lists with a front-end remap.
+    HierarchicalTaskList,
+}
+
+impl Representation {
+    /// Series label used in Figure 7.
+    pub fn label(self) -> &'static str {
+        match self {
+            Representation::GlobalBitVector => "original bit vector",
+            Representation::HierarchicalTaskList => "optimized bit vector",
+        }
+    }
+}
+
+/// Byte-flow and timing metrics of one merge, combining the 2D and 3D reductions.
+#[derive(Clone, Debug, Default)]
+pub struct MergeMetrics {
+    /// Wall-clock time spent executing the reductions in this process.
+    pub merge_wall: Duration,
+    /// Wall-clock time of the front-end remap step (zero for the global
+    /// representation, which needs none).
+    pub remap_wall: Duration,
+    /// Bytes received by the front end across both reductions.
+    pub frontend_bytes_in: u64,
+    /// Largest number of bytes any single tree node received.
+    pub max_node_bytes_in: u64,
+    /// Total bytes that crossed overlay links.
+    pub total_link_bytes: u64,
+    /// Filter invocations executed.
+    pub filter_invocations: usize,
+}
+
+impl MergeMetrics {
+    fn absorb(&mut self, outcome: &ReductionOutcome) {
+        self.merge_wall += outcome.wall_time;
+        self.frontend_bytes_in += outcome.frontend_bytes_in;
+        self.max_node_bytes_in = self.max_node_bytes_in.max(outcome.max_node_bytes_in);
+        self.total_link_bytes += outcome.total_link_bytes;
+        self.filter_invocations += outcome.filter_invocations;
+    }
+}
+
+/// The merged result as the user sees it.
+#[derive(Clone, Debug)]
+pub struct GatherResult {
+    /// The job-wide 2D (trace/space) tree, in MPI rank order.
+    pub tree_2d: GlobalPrefixTree,
+    /// The job-wide 3D (trace/space/time) tree, in MPI rank order.
+    pub tree_3d: GlobalPrefixTree,
+    /// Frame names referenced by the trees.
+    pub frames: FrameTable,
+    /// Behaviour classes extracted from the 3D tree.
+    pub classes: Vec<EquivalenceClass>,
+    /// Byte-flow and timing metrics.
+    pub metrics: MergeMetrics,
+}
+
+impl GatherResult {
+    /// Render the 3D tree as DOT (the Figure 1 reproduction).
+    pub fn to_dot(&self) -> String {
+        to_dot(&self.tree_3d, &self.frames, &DotOptions::default())
+    }
+
+    /// The ranks a heavyweight debugger should attach to (one per class).
+    pub fn attach_set(&self) -> Vec<u64> {
+        self.classes
+            .iter()
+            .filter_map(EquivalenceClass::representative)
+            .collect()
+    }
+}
+
+/// The STAT front end, bound to a topology and a representation choice.
+#[derive(Clone, Debug)]
+pub struct StatFrontEnd {
+    topology: Topology,
+    representation: Representation,
+}
+
+impl StatFrontEnd {
+    /// A front end over a concrete overlay topology.
+    pub fn new(topology: Topology, representation: Representation) -> Self {
+        StatFrontEnd {
+            topology,
+            representation,
+        }
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The representation in use.
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    fn reduce_with(
+        &self,
+        leaves: Vec<Packet>,
+        filter: &dyn Filter,
+    ) -> ReductionOutcome {
+        let net = InProcessTbon::new(self.topology.clone());
+        net.reduce(leaves, filter)
+    }
+
+    /// Merge the daemons' contributions into the final result.
+    ///
+    /// `contributions` must be in backend (leaf) order — the same order
+    /// [`crate::daemon::StatDaemon::partition`] produces — and there must be exactly
+    /// one per topology leaf.
+    pub fn gather(&self, contributions: &[DaemonContribution], total_tasks: u64) -> GatherResult {
+        let packets_2d: Vec<Packet> = contributions.iter().map(|c| c.tree_2d.clone()).collect();
+        let packets_3d: Vec<Packet> = contributions.iter().map(|c| c.tree_3d.clone()).collect();
+        let rank_maps: Vec<Packet> = contributions.iter().map(|c| c.rank_map.clone()).collect();
+
+        let mut metrics = MergeMetrics::default();
+        let mut frames = FrameTable::new();
+
+        let (tree_2d, tree_3d, remap_wall) = match self.representation {
+            Representation::GlobalBitVector => {
+                let filter = StatMergeFilter::<DenseBitVector>::new();
+                let out_2d = self.reduce_with(packets_2d, &filter);
+                let out_3d = self.reduce_with(packets_3d, &filter);
+                metrics.absorb(&out_2d);
+                metrics.absorb(&out_3d);
+                let tree_2d: GlobalPrefixTree =
+                    decode_tree(&out_2d.result.payload, &mut frames)
+                        .expect("front end received a well-formed 2D tree");
+                let tree_3d: GlobalPrefixTree =
+                    decode_tree(&out_3d.result.payload, &mut frames)
+                        .expect("front end received a well-formed 3D tree");
+                (tree_2d, tree_3d, Duration::ZERO)
+            }
+            Representation::HierarchicalTaskList => {
+                let filter = StatMergeFilter::<SubtreeTaskList>::new();
+                let out_2d = self.reduce_with(packets_2d, &filter);
+                let out_3d = self.reduce_with(packets_3d, &filter);
+                let map_out = self.reduce_with(rank_maps, &RankMapFilter);
+                metrics.absorb(&out_2d);
+                metrics.absorb(&out_3d);
+                metrics.absorb(&map_out);
+                let sub_2d: SubtreePrefixTree =
+                    decode_tree(&out_2d.result.payload, &mut frames)
+                        .expect("front end received a well-formed 2D tree");
+                let sub_3d: SubtreePrefixTree =
+                    decode_tree(&out_3d.result.payload, &mut frames)
+                        .expect("front end received a well-formed 3D tree");
+                let position_to_rank = decode_rank_map(&map_out.result.payload)
+                    .expect("front end received a well-formed rank map");
+                // The remap step the paper prices at 0.66 s for 208K tasks.
+                let start = Instant::now();
+                let tree_2d = sub_2d.remap(&position_to_rank, total_tasks);
+                let tree_3d = sub_3d.remap(&position_to_rank, total_tasks);
+                (tree_2d, tree_3d, start.elapsed())
+            }
+        };
+        metrics.remap_wall = remap_wall;
+
+        let classes = equivalence_classes(&tree_3d);
+        GatherResult {
+            tree_2d,
+            tree_3d,
+            frames,
+            classes,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::daemon::StatDaemon;
+    use crate::taskset::TaskSetOps;
+    use appsim::{Application, FrameVocabulary, RingHangApp};
+    use tbon::topology::{Topology, TopologySpec};
+
+    fn contributions<SER: crate::serialize::WireTaskSet>(
+        app: &RingHangApp,
+        daemons: &[StatDaemon],
+        topology: &Topology,
+    ) -> Vec<DaemonContribution> {
+        daemons
+            .iter()
+            .zip(topology.backends())
+            .map(|(d, &ep)| d.contribute::<SER>(app, 3, ep))
+            .collect()
+    }
+
+    fn run(representation: Representation, tasks: u64, daemons: u32) -> GatherResult {
+        let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+        let daemons = StatDaemon::partition(app.num_tasks(), daemons);
+        let topology = Topology::build(TopologySpec::two_deep(daemons.len() as u32, 4));
+        let frontend = StatFrontEnd::new(topology.clone(), representation);
+        let contribs = match representation {
+            Representation::GlobalBitVector => {
+                contributions::<DenseBitVector>(&app, &daemons, &topology)
+            }
+            Representation::HierarchicalTaskList => {
+                contributions::<SubtreeTaskList>(&app, &daemons, &topology)
+            }
+        };
+        frontend.gather(&contribs, app.num_tasks())
+    }
+
+    #[test]
+    fn global_representation_recovers_the_three_classes() {
+        let result = run(Representation::GlobalBitVector, 256, 16);
+        assert_eq!(result.classes.len(), 3);
+        assert_eq!(result.tree_2d.tasks(result.tree_2d.root()).count(), 256);
+        let mut attach = result.attach_set();
+        attach.sort_unstable();
+        assert_eq!(attach, vec![0, 1, 2]);
+        assert_eq!(result.metrics.remap_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn hierarchical_representation_gives_identical_answers() {
+        // 2,048 tasks over 16 daemons: wide enough for the job-wide bit vectors to
+        // visibly dominate the hierarchical lists.
+        let global = run(Representation::GlobalBitVector, 2_048, 16);
+        let hier = run(Representation::HierarchicalTaskList, 2_048, 16);
+        assert_eq!(global.classes.len(), hier.classes.len());
+        for (g, h) in global.classes.iter().zip(hier.classes.iter()) {
+            assert_eq!(g.tasks, h.tasks, "class membership must not depend on representation");
+        }
+        // ...but moves far fewer bytes through the overlay.
+        assert!(
+            global.metrics.total_link_bytes > 2 * hier.metrics.total_link_bytes,
+            "global {} vs hierarchical {}",
+            global.metrics.total_link_bytes,
+            hier.metrics.total_link_bytes
+        );
+    }
+
+    #[test]
+    fn dot_output_of_the_final_result_names_the_culprit() {
+        let result = run(Representation::HierarchicalTaskList, 128, 8);
+        let dot = result.to_dot();
+        assert!(dot.contains("do_SendOrStall"));
+        assert!(dot.contains("1:[1]"));
+    }
+
+    #[test]
+    fn metrics_account_for_every_reduction() {
+        let result = run(Representation::HierarchicalTaskList, 64, 8);
+        // 2 tree reductions + 1 rank-map reduction over a 2-deep tree with 4 comm
+        // processes: (4 + 1) filter invocations each.
+        assert_eq!(result.metrics.filter_invocations, 3 * 5);
+        assert!(result.metrics.frontend_bytes_in > 0);
+        assert!(result.metrics.total_link_bytes >= result.metrics.frontend_bytes_in);
+    }
+}

@@ -1,0 +1,542 @@
+//! The call-graph prefix tree — STAT's central data structure.
+//!
+//! Every stack trace is a path from the process entry point down to a leaf frame.
+//! Merging the traces of many tasks (and, for the 3D analysis, many samples per task)
+//! into a single *prefix tree* groups tasks that behave alike: each tree node is a
+//! frame reached by some set of tasks, and the edge into it is labelled with exactly
+//! that task set.  Figure 1 of the paper is one of these trees for the 1,024-task
+//! ring hang.
+//!
+//! The tree is generic over the task-set representation ([`TaskSetOps`]), because the
+//! whole point of Section V is that the *same* merge algorithm behaves completely
+//! differently at scale depending on whether edge labels are job-wide bit vectors or
+//! subtree-local task lists.  The [`PrefixTree::merge`] operation does whichever the
+//! representation requires: a plain union for the global representation, or the
+//! offset-and-concatenate ("hierarchical") merge for subtree task lists.
+
+use stackwalk::{FrameId, StackTrace, TaskSamples};
+
+use crate::taskset::{DenseBitVector, SubtreeTaskList, TaskSetOps};
+
+/// Index of a node within one tree.
+pub type NodeIdx = usize;
+
+#[derive(Clone, Debug)]
+struct TreeEntry<S> {
+    frame: Option<FrameId>,
+    parent: Option<NodeIdx>,
+    children: Vec<NodeIdx>,
+    tasks: S,
+}
+
+/// A call-graph prefix tree with task-set edge labels.
+#[derive(Clone, Debug)]
+pub struct PrefixTree<S: TaskSetOps> {
+    width: u64,
+    concatenating: bool,
+    nodes: Vec<TreeEntry<S>>,
+}
+
+impl<S: TaskSetOps> PrefixTree<S> {
+    /// An empty tree over a domain of `width` task positions.
+    ///
+    /// `concatenating` selects the merge semantics: `false` for the global (dense)
+    /// representation where every tree shares the job-wide domain, `true` for the
+    /// hierarchical representation where merging concatenates the children's domains.
+    /// Use [`PrefixTree::new_global`] / [`PrefixTree::new_subtree`] from the type
+    /// aliases below rather than guessing.
+    pub fn new(width: u64, concatenating: bool) -> Self {
+        PrefixTree {
+            width,
+            concatenating,
+            nodes: vec![TreeEntry {
+                frame: None,
+                parent: None,
+                children: Vec::new(),
+                tasks: S::empty(width),
+            }],
+        }
+    }
+
+    /// The domain width (total tasks for global trees, subtree tasks for subtree
+    /// trees).
+    pub fn width(&self) -> u64 {
+        self.width
+    }
+
+    /// Whether this tree merges by concatenation (hierarchical representation).
+    pub fn is_concatenating(&self) -> bool {
+        self.concatenating
+    }
+
+    /// Number of nodes, including the synthetic root.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of labelled edges (every node except the root has one incoming edge).
+    pub fn edge_count(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The root node index.
+    pub fn root(&self) -> NodeIdx {
+        0
+    }
+
+    /// The frame of a node (`None` for the root).
+    pub fn frame(&self, node: NodeIdx) -> Option<FrameId> {
+        self.nodes[node].frame
+    }
+
+    /// The parent of a node (`None` for the root).
+    pub fn parent(&self, node: NodeIdx) -> Option<NodeIdx> {
+        self.nodes[node].parent
+    }
+
+    /// The children of a node.
+    pub fn children(&self, node: NodeIdx) -> &[NodeIdx] {
+        &self.nodes[node].children
+    }
+
+    /// The task set labelling the edge into a node (for the root: every task seen).
+    pub fn tasks(&self, node: NodeIdx) -> &S {
+        &self.nodes[node].tasks
+    }
+
+    /// Maximum depth (frames) of any path in the tree.
+    pub fn depth(&self) -> usize {
+        fn walk<S: TaskSetOps>(tree: &PrefixTree<S>, node: NodeIdx, depth: usize) -> usize {
+            tree.children(node)
+                .iter()
+                .map(|&c| walk(tree, c, depth + 1))
+                .max()
+                .unwrap_or(depth)
+        }
+        walk(self, self.root(), 0)
+    }
+
+    /// Leaf node indices, in a stable order.
+    pub fn leaves(&self) -> Vec<NodeIdx> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].children.is_empty() && i != 0)
+            .collect()
+    }
+
+    /// The path of frames from the root to a node (outermost first).
+    pub fn path_to(&self, node: NodeIdx) -> Vec<FrameId> {
+        let mut path = Vec::new();
+        let mut cur = Some(node);
+        while let Some(idx) = cur {
+            if let Some(frame) = self.nodes[idx].frame {
+                path.push(frame);
+            }
+            cur = self.nodes[idx].parent;
+        }
+        path.reverse();
+        path
+    }
+
+    fn child_with_frame(&self, node: NodeIdx, frame: FrameId) -> Option<NodeIdx> {
+        self.nodes[node]
+            .children
+            .iter()
+            .copied()
+            .find(|&c| self.nodes[c].frame == Some(frame))
+    }
+
+    fn add_child(&mut self, parent: NodeIdx, frame: FrameId) -> NodeIdx {
+        let idx = self.nodes.len();
+        self.nodes.push(TreeEntry {
+            frame: Some(frame),
+            parent: Some(parent),
+            children: Vec::new(),
+            tasks: S::empty(self.width),
+        });
+        self.nodes[parent].children.push(idx);
+        idx
+    }
+
+    /// Add one stack trace observed from task position `index` (a global rank for
+    /// global trees, a subtree-local position for subtree trees).
+    pub fn add_trace(&mut self, trace: &StackTrace, index: u64) {
+        self.nodes[0].tasks.insert(index);
+        let mut cur = self.root();
+        for &frame in trace.frames() {
+            let next = match self.child_with_frame(cur, frame) {
+                Some(c) => c,
+                None => self.add_child(cur, frame),
+            };
+            self.nodes[next].tasks.insert(index);
+            cur = next;
+        }
+    }
+
+    /// Add every trace of a task's sample series (the 3D trace/space/time analysis).
+    pub fn add_samples(&mut self, samples: &TaskSamples, index: u64) {
+        for trace in &samples.traces {
+            self.add_trace(trace, index);
+        }
+    }
+
+    /// Add only the first trace of a task's series (the 2D trace/space analysis).
+    pub fn add_first_sample(&mut self, samples: &TaskSamples, index: u64) {
+        if let Some(trace) = samples.traces.first() {
+            self.add_trace(trace, index);
+        }
+    }
+
+    fn rebase_all(&mut self, offset: u64, new_width: u64) {
+        for node in &mut self.nodes {
+            node.tasks.rebase(offset, new_width);
+        }
+        self.width = new_width;
+    }
+
+    fn merge_structure(&mut self, self_node: NodeIdx, other: &PrefixTree<S>, other_node: NodeIdx) {
+        let other_tasks = other.tasks(other_node).clone();
+        self.nodes[self_node].tasks.union_in_place(&other_tasks);
+        // Collect child frame ids first to keep the borrow checker happy.
+        let other_children: Vec<NodeIdx> = other.children(other_node).to_vec();
+        for oc in other_children {
+            let frame = other
+                .frame(oc)
+                .expect("non-root nodes always carry a frame");
+            let sc = match self.child_with_frame(self_node, frame) {
+                Some(existing) => existing,
+                None => self.add_child(self_node, frame),
+            };
+            self.merge_structure(sc, other, oc);
+        }
+    }
+
+    /// Merge another tree into this one.
+    ///
+    /// * Global (dense) representation: both trees already describe the job-wide
+    ///   domain, so edge labels are unioned in place.
+    /// * Hierarchical representation: the domains are concatenated — this tree keeps
+    ///   positions `0..w₁`, the other tree's positions become `w₁..w₁+w₂` — exactly
+    ///   the "combine the task lists of all children by simple concatenation" step of
+    ///   Section V-B.
+    pub fn merge(&mut self, other: &PrefixTree<S>) {
+        assert_eq!(
+            self.concatenating, other.concatenating,
+            "cannot merge trees with different representations"
+        );
+        if self.concatenating {
+            let w1 = self.width;
+            let w2 = other.width;
+            let new_width = w1 + w2;
+            self.rebase_all(0, new_width);
+            let mut other = other.clone();
+            other.rebase_all(w1, new_width);
+            self.merge_structure(self.root(), &other, other.root());
+        } else {
+            assert_eq!(
+                self.width, other.width,
+                "global trees must share the job-wide domain"
+            );
+            self.merge_structure(self.root(), other, other.root());
+        }
+    }
+
+    /// Total bytes of task-set labels a serialised copy of this tree carries — the
+    /// quantity that differs so dramatically between the two representations.
+    pub fn label_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.tasks.serialized_bytes()).sum()
+    }
+
+    /// Replace the task set of a node wholesale (used by packet deserialisation).
+    pub(crate) fn replace_tasks(&mut self, node: NodeIdx, tasks: S) {
+        self.nodes[node].tasks = tasks;
+    }
+
+    /// Append a node under `parent` with an empty task set (used by packet
+    /// deserialisation, which sees parents before children).
+    pub(crate) fn append_node(&mut self, parent: NodeIdx, frame: FrameId) -> NodeIdx {
+        self.add_child(parent, frame)
+    }
+
+    /// Iterate `(node, frame, parent)` over non-root nodes in index order.
+    pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeIdx, FrameId, NodeIdx)> + '_ {
+        (1..self.nodes.len()).map(move |i| {
+            (
+                i,
+                self.nodes[i].frame.expect("non-root node has a frame"),
+                self.nodes[i].parent.expect("non-root node has a parent"),
+            )
+        })
+    }
+}
+
+/// A tree using the original, job-wide dense bit vectors.
+pub type GlobalPrefixTree = PrefixTree<DenseBitVector>;
+
+/// A tree using the optimised, subtree-local task lists.
+pub type SubtreePrefixTree = PrefixTree<SubtreeTaskList>;
+
+impl GlobalPrefixTree {
+    /// An empty global tree for a job of `total_tasks` tasks.
+    pub fn new_global(total_tasks: u64) -> Self {
+        PrefixTree::new(total_tasks, false)
+    }
+}
+
+impl SubtreePrefixTree {
+    /// An empty subtree tree covering `local_tasks` task positions.
+    pub fn new_subtree(local_tasks: u64) -> Self {
+        PrefixTree::new(local_tasks, true)
+    }
+
+    /// The front end's remap step: convert a fully merged subtree tree (whose
+    /// positions are in daemon/TBON order) into a job-wide tree in MPI rank order,
+    /// using the position→rank map gathered during setup.
+    pub fn remap(&self, position_to_rank: &[u64], total_tasks: u64) -> GlobalPrefixTree {
+        assert!(
+            position_to_rank.len() as u64 >= self.width,
+            "rank map must cover every position in the merged tree"
+        );
+        let mut out = GlobalPrefixTree::new_global(total_tasks);
+        // Rebuild the structure node by node, remapping each label.
+        fn copy<S: TaskSetOps>(
+            src: &PrefixTree<SubtreeTaskList>,
+            src_node: NodeIdx,
+            dst: &mut PrefixTree<S>,
+            dst_node: NodeIdx,
+            map: &[u64],
+        ) {
+            for &child in src.children(src_node) {
+                let frame = src.frame(child).expect("non-root has frame");
+                let new_child = dst.add_child(dst_node, frame);
+                for pos in src.tasks(child).members() {
+                    dst.nodes[new_child].tasks.insert(map[pos as usize]);
+                }
+                copy(src, child, dst, new_child, map);
+            }
+        }
+        for pos in self.tasks(self.root()).members() {
+            let rank = position_to_rank[pos as usize];
+            let singleton = DenseBitVector::singleton(total_tasks, rank);
+            out.nodes[0].tasks.union_in_place(&singleton);
+        }
+        copy(self, self.root(), &mut out, 0, position_to_rank);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stackwalk::FrameTable;
+
+    fn trace(table: &mut FrameTable, path: &[&str]) -> StackTrace {
+        StackTrace::new(table.intern_path(path))
+    }
+
+    fn ring_like_global(table: &mut FrameTable, tasks: u64) -> GlobalPrefixTree {
+        let barrier = trace(table, &["_start", "main", "MPI_Barrier", "progress"]);
+        let waitall = trace(table, &["_start", "main", "MPI_Waitall", "progress"]);
+        let stall = trace(table, &["_start", "main", "do_SendOrStall"]);
+        let mut tree = GlobalPrefixTree::new_global(tasks);
+        for rank in 0..tasks {
+            let t = if rank == 1 {
+                &stall
+            } else if rank == 2 {
+                &waitall
+            } else {
+                &barrier
+            };
+            tree.add_trace(t, rank);
+        }
+        tree
+    }
+
+    #[test]
+    fn single_trace_builds_a_chain() {
+        let mut table = FrameTable::new();
+        let t = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let mut tree = GlobalPrefixTree::new_global(8);
+        tree.add_trace(&t, 3);
+        assert_eq!(tree.node_count(), 4); // root + 3 frames
+        assert_eq!(tree.depth(), 3);
+        assert_eq!(tree.leaves().len(), 1);
+        let leaf = tree.leaves()[0];
+        assert_eq!(tree.tasks(leaf).members(), vec![3]);
+        assert_eq!(tree.path_to(leaf).len(), 3);
+    }
+
+    #[test]
+    fn shared_prefixes_are_not_duplicated() {
+        let mut table = FrameTable::new();
+        let tree = ring_like_global(&mut table, 64);
+        // _start and main are shared; three branches below main; progress appears
+        // twice (under Barrier and under Waitall).
+        assert_eq!(tree.depth(), 4);
+        assert_eq!(tree.leaves().len(), 3);
+        // root + _start + main + (Barrier + progress) + (Waitall + progress) + stall
+        assert_eq!(tree.node_count(), 8);
+        // Every task passes through main.
+        let main_node = tree.children(tree.children(tree.root())[0])[0];
+        assert_eq!(tree.tasks(main_node).count(), 64);
+    }
+
+    #[test]
+    fn global_merge_unions_task_sets() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let stall = trace(&mut table, &["_start", "main", "do_SendOrStall"]);
+
+        let mut left = GlobalPrefixTree::new_global(16);
+        for rank in 0..8 {
+            left.add_trace(if rank == 1 { &stall } else { &barrier }, rank);
+        }
+        let mut right = GlobalPrefixTree::new_global(16);
+        for rank in 8..16 {
+            right.add_trace(&barrier, rank);
+        }
+        left.merge(&right);
+        assert_eq!(left.tasks(left.root()).count(), 16);
+        let leaves = left.leaves();
+        assert_eq!(leaves.len(), 2);
+        let barrier_leaf = leaves
+            .iter()
+            .copied()
+            .find(|&l| left.tasks(l).count() == 15)
+            .expect("barrier leaf holds 15 tasks");
+        assert!(left.tasks(barrier_leaf).contains(0));
+        assert!(left.tasks(barrier_leaf).contains(15));
+        assert!(!left.tasks(barrier_leaf).contains(1));
+    }
+
+    #[test]
+    fn global_merge_is_commutative_in_content() {
+        let mut table = FrameTable::new();
+        let a = ring_like_global(&mut table, 32);
+        let mut b = GlobalPrefixTree::new_global(32);
+        let compute = trace(&mut table, &["_start", "main", "compute_interior"]);
+        for rank in 0..32 {
+            b.add_trace(&compute, rank);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab.node_count(), ba.node_count());
+        assert_eq!(ab.edge_count(), ba.edge_count());
+        assert_eq!(ab.tasks(ab.root()).members(), ba.tasks(ba.root()).members());
+        // Leaf task populations agree regardless of merge order.
+        let mut ab_counts: Vec<u64> = ab.leaves().iter().map(|&l| ab.tasks(l).count()).collect();
+        let mut ba_counts: Vec<u64> = ba.leaves().iter().map(|&l| ba.tasks(l).count()).collect();
+        ab_counts.sort_unstable();
+        ba_counts.sort_unstable();
+        assert_eq!(ab_counts, ba_counts);
+    }
+
+    #[test]
+    fn subtree_merge_concatenates_domains() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let stall = trace(&mut table, &["_start", "main", "do_SendOrStall"]);
+
+        // Daemon 0 has 2 local tasks (positions 0, 1); daemon 1 likewise.
+        let mut d0 = SubtreePrefixTree::new_subtree(2);
+        d0.add_trace(&barrier, 0);
+        d0.add_trace(&stall, 1);
+        let mut d1 = SubtreePrefixTree::new_subtree(2);
+        d1.add_trace(&barrier, 0);
+        d1.add_trace(&barrier, 1);
+
+        let mut merged = d0.clone();
+        merged.merge(&d1);
+        assert_eq!(merged.width(), 4);
+        assert_eq!(merged.tasks(merged.root()).count(), 4);
+        let leaves = merged.leaves();
+        assert_eq!(leaves.len(), 2);
+        let barrier_leaf = leaves
+            .iter()
+            .copied()
+            .find(|&l| merged.tasks(l).count() == 3)
+            .unwrap();
+        // positions: d0 task0 = 0, d1 tasks = 2, 3
+        assert_eq!(merged.tasks(barrier_leaf).members(), vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn label_bytes_show_the_representation_gap() {
+        let mut table = FrameTable::new();
+        let total_tasks = 8_192u64;
+        let local_tasks = 8u64;
+
+        // One daemon's local tree under each representation.
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier", "progress"]);
+        let mut global = GlobalPrefixTree::new_global(total_tasks);
+        let mut subtree = SubtreePrefixTree::new_subtree(local_tasks);
+        for local in 0..local_tasks {
+            global.add_trace(&barrier, local); // ranks 0..8 of the full job
+            subtree.add_trace(&barrier, local);
+        }
+        assert_eq!(global.node_count(), subtree.node_count());
+        // The dense labels are sized for all 8,192 tasks on every edge; the subtree
+        // labels only cover 8 tasks.
+        assert!(global.label_bytes() > 100 * subtree.label_bytes());
+    }
+
+    #[test]
+    fn remap_restores_rank_order_at_the_front_end() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let stall = trace(&mut table, &["_start", "main", "do_SendOrStall"]);
+
+        // Figure 6: daemon 0 debugs ranks {0, 2}; daemon 1 debugs ranks {1, 3}.
+        let mut d0 = SubtreePrefixTree::new_subtree(2);
+        d0.add_trace(&barrier, 0); // rank 0
+        d0.add_trace(&stall, 1); // rank 2
+        let mut d1 = SubtreePrefixTree::new_subtree(2);
+        d1.add_trace(&barrier, 0); // rank 1
+        d1.add_trace(&barrier, 1); // rank 3
+
+        let mut merged = d0.clone();
+        merged.merge(&d1);
+        let position_to_rank = vec![0u64, 2, 1, 3];
+        let global = merged.remap(&position_to_rank, 4);
+
+        let leaves = global.leaves();
+        let stall_leaf = leaves
+            .iter()
+            .copied()
+            .find(|&l| global.tasks(l).count() == 1)
+            .unwrap();
+        assert_eq!(global.tasks(stall_leaf).members(), vec![2]);
+        let barrier_leaf = leaves
+            .iter()
+            .copied()
+            .find(|&l| global.tasks(l).count() == 3)
+            .unwrap();
+        assert_eq!(global.tasks(barrier_leaf).members(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn three_d_analysis_accumulates_all_samples() {
+        let mut table = FrameTable::new();
+        let shallow = trace(&mut table, &["_start", "main", "MPI_Barrier", "poll"]);
+        let deep = trace(&mut table, &["_start", "main", "MPI_Barrier", "poll", "poll_inner"]);
+        let samples = TaskSamples::new(5, vec![shallow.clone(), deep.clone(), shallow.clone()]);
+
+        let mut tree_3d = GlobalPrefixTree::new_global(16);
+        tree_3d.add_samples(&samples, 5);
+        // Both the shallow and deep variants appear.
+        assert_eq!(tree_3d.depth(), 5);
+
+        let mut tree_2d = GlobalPrefixTree::new_global(16);
+        tree_2d.add_first_sample(&samples, 5);
+        assert_eq!(tree_2d.depth(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different representations")]
+    fn mixing_representations_is_rejected() {
+        let a = PrefixTree::<DenseBitVector>::new(8, false);
+        let mut b = PrefixTree::<DenseBitVector>::new(8, true);
+        b.merge(&a);
+    }
+}

@@ -1,0 +1,75 @@
+//! # stat-core — the Stack Trace Analysis Tool, reproduced in Rust
+//!
+//! This crate is the paper's primary contribution: STAT itself.  It gathers stack
+//! traces from every task of a parallel job, merges them — inside a tree-based
+//! overlay network — into 2D (trace/space) and 3D (trace/space/time) call-graph
+//! prefix trees, and reports the job's *process equivalence classes* so a heavyweight
+//! debugger can be pointed at one representative of each behaviour instead of at
+//! hundreds of thousands of processes.
+//!
+//! The crate also contains the three scalability lessons the paper teaches:
+//!
+//! 1. **Scalable startup** is delegated to the `launch` crate (LaunchMON vs. rsh vs.
+//!    the BG/L system software); [`session::PhaseEstimator`] exposes it as a phase.
+//! 2. **Hierarchical data structures**: [`taskset`] implements both the original
+//!    job-wide bit vectors and the optimised subtree task lists, [`graph`] implements
+//!    the prefix tree generically over them, and [`frontend`] performs the remap that
+//!    the optimised representation requires.
+//! 3. **Scalable access to static data** is delegated to the `sbrs` crate; the
+//!    sampling phase of [`session::PhaseEstimator`] prices its effect.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use appsim::{FrameVocabulary, RingHangApp};
+//! use machine::Cluster;
+//! use stat_core::prelude::*;
+//!
+//! // A 256-task MPI ring test in which rank 1 hangs before its send.
+//! let app = RingHangApp::new(256, FrameVocabulary::Linux);
+//! let config = SessionConfig::new(Cluster::test_cluster(32, 8));
+//! let result = run_session(&config, &app);
+//!
+//! // The 256 tasks collapse into three behaviour classes...
+//! assert_eq!(result.gather.classes.len(), 3);
+//! // ...so a heavyweight debugger only needs to attach to three ranks.
+//! assert_eq!(result.gather.attach_set().len(), 3);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod daemon;
+pub mod dot;
+pub mod equivalence;
+pub mod filter;
+pub mod frontend;
+pub mod graph;
+pub mod report;
+pub mod serialize;
+pub mod session;
+pub mod taskset;
+pub mod threads;
+
+/// The most commonly used types, re-exported.
+pub mod prelude {
+    pub use crate::daemon::{DaemonContribution, StatDaemon};
+    pub use crate::dot::{to_dot, DotOptions};
+    pub use crate::equivalence::{
+        debugger_attach_set, equivalence_classes, ClassSummary, EquivalenceClass,
+    };
+    pub use crate::filter::{RankMapFilter, StatMergeFilter};
+    pub use crate::frontend::{GatherResult, MergeMetrics, Representation, StatFrontEnd};
+    pub use crate::graph::{GlobalPrefixTree, PrefixTree, SubtreePrefixTree};
+    pub use crate::report::{
+        classes_above, focus_on_path, prune_by_population, render_text_tree, session_summary,
+    };
+    pub use crate::serialize::{decode_tree, encode_tree};
+    pub use crate::session::{run_session, MergeEstimate, PhaseEstimator, SessionConfig, SessionResult};
+    pub use crate::taskset::{
+        format_rank_ranges, DenseBitVector, SubtreeTaskList, TaskSetOps,
+    };
+    pub use crate::threads::{measure_thread_scaling, project_thread_counts};
+}
+
+pub use prelude::*;

@@ -1,0 +1,358 @@
+//! Wire format for prefix trees.
+//!
+//! STAT's merge filter runs inside MRNet communication processes, which only see
+//! packed byte buffers; the filter deserialises its children's trees, merges them and
+//! re-serialises the result for its parent.  The reproduction does the same, so the
+//! packet sizes flowing through the in-process TBON are the *real* serialised sizes —
+//! including, for the dense representation, all the zero bits Section V complains
+//! about.
+//!
+//! The format is deliberately simple and explicit (little-endian, no compression):
+//!
+//! ```text
+//! magic   u32   0x53544154 ("STAT")
+//! repr    u8    0 = dense/job-wide, 1 = subtree/hierarchical
+//! width   u64   domain width of every task set in the tree
+//! nframes u32   frame-name table length
+//!   per frame:  u16 length + UTF-8 bytes
+//! nnodes  u32   node count (including the synthetic root at index 0)
+//!   per node:   parent u32 (MAX for root), frame u32 (MAX for root, else an index
+//!               into the frame-name table), then ceil(width/64) u64 words of the
+//!               task-set bitmap
+//! ```
+//!
+//! Frame ids are *local to the packet*: the deserialiser re-interns every name into
+//! the receiving process's frame table, so daemons do not need to agree on interning
+//! order — just as MRNet processes do not share address spaces.
+
+use stackwalk::{FrameId, FrameTable};
+
+use crate::graph::PrefixTree;
+use crate::taskset::{DenseBitVector, SubtreeTaskList, TaskSetOps};
+
+/// Magic number identifying a serialised STAT prefix tree.
+pub const MAGIC: u32 = 0x5354_4154;
+
+/// Extension trait for task sets that can cross the wire.
+pub trait WireTaskSet: TaskSetOps {
+    /// Representation tag stored in the header.
+    const TAG: u8;
+    /// The packed bitmap words.
+    fn wire_words(&self) -> &[u64];
+    /// Rebuild from packed words.
+    fn from_wire_words(width: u64, words: Vec<u64>) -> Self;
+}
+
+impl WireTaskSet for DenseBitVector {
+    const TAG: u8 = 0;
+    fn wire_words(&self) -> &[u64] {
+        self.words()
+    }
+    fn from_wire_words(width: u64, words: Vec<u64>) -> Self {
+        DenseBitVector::from_words(width, words)
+    }
+}
+
+impl WireTaskSet for SubtreeTaskList {
+    const TAG: u8 = 1;
+    fn wire_words(&self) -> &[u64] {
+        self.words()
+    }
+    fn from_wire_words(width: u64, words: Vec<u64>) -> Self {
+        SubtreeTaskList::from_words(width, words)
+    }
+}
+
+/// Errors that can occur while decoding a packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer is shorter than the structure it claims to contain.
+    Truncated,
+    /// The magic number did not match.
+    BadMagic,
+    /// The representation tag did not match the expected task-set type.
+    WrongRepresentation {
+        /// Tag found in the buffer.
+        found: u8,
+        /// Tag the caller expected.
+        expected: u8,
+    },
+    /// A frame name was not valid UTF-8.
+    BadFrameName,
+    /// A node referenced a parent or frame index outside the packet.
+    BadIndex,
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+/// Serialise a tree (and the names of the frames it references) into a packet body.
+pub fn encode_tree<S: WireTaskSet>(tree: &PrefixTree<S>, table: &FrameTable) -> Vec<u8> {
+    // Collect the frames the tree actually references, assigning packet-local ids.
+    let mut local_names: Vec<&str> = Vec::new();
+    let mut local_of: std::collections::HashMap<FrameId, u32> = std::collections::HashMap::new();
+    for (_, frame, _) in tree.iter_nodes() {
+        local_of.entry(frame).or_insert_with(|| {
+            local_names.push(table.name(frame));
+            (local_names.len() - 1) as u32
+        });
+    }
+
+    let mut out = Vec::with_capacity(64 + tree.node_count() * (16 + tree.width() as usize / 8));
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.push(S::TAG);
+    out.extend_from_slice(&tree.width().to_le_bytes());
+    out.extend_from_slice(&(local_names.len() as u32).to_le_bytes());
+    for name in &local_names {
+        let bytes = name.as_bytes();
+        out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out.extend_from_slice(&(tree.node_count() as u32).to_le_bytes());
+    // Root node first.
+    let encode_set = |out: &mut Vec<u8>, set: &S| {
+        for word in set.wire_words() {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+    };
+    out.extend_from_slice(&u32::MAX.to_le_bytes()); // root parent
+    out.extend_from_slice(&u32::MAX.to_le_bytes()); // root frame
+    encode_set(&mut out, tree.tasks(tree.root()));
+    for (idx, frame, parent) in tree.iter_nodes() {
+        out.extend_from_slice(&(parent as u32).to_le_bytes());
+        out.extend_from_slice(&local_of[&frame].to_le_bytes());
+        encode_set(&mut out, tree.tasks(idx));
+    }
+    out
+}
+
+/// Deserialise a packet body into a tree, re-interning frame names into `table`.
+pub fn decode_tree<S: WireTaskSet>(
+    buf: &[u8],
+    table: &mut FrameTable,
+) -> Result<PrefixTree<S>, DecodeError> {
+    let mut r = Reader::new(buf);
+    if r.u32()? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let tag = r.u8()?;
+    if tag != S::TAG {
+        return Err(DecodeError::WrongRepresentation {
+            found: tag,
+            expected: S::TAG,
+        });
+    }
+    let width = r.u64()?;
+    let nframes = r.u32()? as usize;
+    let mut frames: Vec<FrameId> = Vec::with_capacity(nframes);
+    for _ in 0..nframes {
+        let len = r.u16()? as usize;
+        let bytes = r.take(len)?;
+        let name = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadFrameName)?;
+        frames.push(table.intern(name));
+    }
+    let nnodes = r.u32()? as usize;
+    if nnodes == 0 {
+        return Err(DecodeError::BadIndex);
+    }
+    let words_per_set = width.div_ceil(64) as usize;
+    let read_set = |r: &mut Reader<'_>| -> Result<S, DecodeError> {
+        let mut words = Vec::with_capacity(words_per_set);
+        for _ in 0..words_per_set {
+            words.push(r.u64()?);
+        }
+        Ok(S::from_wire_words(width, words))
+    };
+
+    let mut tree = PrefixTree::<S>::new(width, S::TAG == 1);
+    // Root.
+    let root_parent = r.u32()?;
+    let root_frame = r.u32()?;
+    if root_parent != u32::MAX || root_frame != u32::MAX {
+        return Err(DecodeError::BadIndex);
+    }
+    let root_set = read_set(&mut r)?;
+    tree.replace_tasks(0, root_set);
+    // Children arrive in index order, so parents always precede their children.
+    for idx in 1..nnodes {
+        let parent = r.u32()? as usize;
+        let frame_local = r.u32()? as usize;
+        if parent >= idx || frame_local >= frames.len() {
+            return Err(DecodeError::BadIndex);
+        }
+        let set = read_set(&mut r)?;
+        let node = tree.append_node(parent, frames[frame_local]);
+        tree.replace_tasks(node, set);
+    }
+    Ok(tree)
+}
+
+/// Encode a daemon-order rank map (the RankMap packets that let the front end remap).
+pub fn encode_rank_map(ranks: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + ranks.len() * 8);
+    out.extend_from_slice(&(ranks.len() as u64).to_le_bytes());
+    for r in ranks {
+        out.extend_from_slice(&r.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a rank map.
+pub fn decode_rank_map(buf: &[u8]) -> Result<Vec<u64>, DecodeError> {
+    let mut r = Reader::new(buf);
+    let n = r.u64()? as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u64()?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{GlobalPrefixTree, SubtreePrefixTree};
+    use stackwalk::StackTrace;
+
+    fn sample_global(table: &mut FrameTable) -> GlobalPrefixTree {
+        let barrier = StackTrace::new(table.intern_path(&["_start", "main", "MPI_Barrier"]));
+        let stall = StackTrace::new(table.intern_path(&["_start", "main", "do_SendOrStall"]));
+        let mut tree = GlobalPrefixTree::new_global(64);
+        for rank in 0..32 {
+            tree.add_trace(if rank == 1 { &stall } else { &barrier }, rank);
+        }
+        tree
+    }
+
+    #[test]
+    fn global_tree_round_trips() {
+        let mut table = FrameTable::new();
+        let tree = sample_global(&mut table);
+        let bytes = encode_tree(&tree, &table);
+
+        let mut other_table = FrameTable::new();
+        let back: GlobalPrefixTree = decode_tree(&bytes, &mut other_table).unwrap();
+        assert_eq!(back.node_count(), tree.node_count());
+        assert_eq!(back.width(), tree.width());
+        assert_eq!(back.tasks(back.root()).members(), tree.tasks(tree.root()).members());
+        // Frame names survive re-interning even into a fresh table.
+        let names: Vec<&str> = back
+            .leaves()
+            .iter()
+            .map(|&l| other_table.name(back.frame(l).unwrap()))
+            .collect();
+        assert!(names.contains(&"MPI_Barrier"));
+        assert!(names.contains(&"do_SendOrStall"));
+    }
+
+    #[test]
+    fn subtree_tree_round_trips() {
+        let mut table = FrameTable::new();
+        let barrier = StackTrace::new(table.intern_path(&["_start", "main", "MPI_Barrier"]));
+        let mut tree = SubtreePrefixTree::new_subtree(8);
+        for pos in 0..8 {
+            tree.add_trace(&barrier, pos);
+        }
+        let bytes = encode_tree(&tree, &table);
+        let mut t2 = FrameTable::new();
+        let back: SubtreePrefixTree = decode_tree(&bytes, &mut t2).unwrap();
+        assert!(back.is_concatenating());
+        assert_eq!(back.width(), 8);
+        assert_eq!(back.tasks(back.root()).count(), 8);
+    }
+
+    #[test]
+    fn representation_mismatch_is_detected() {
+        let mut table = FrameTable::new();
+        let tree = sample_global(&mut table);
+        let bytes = encode_tree(&tree, &table);
+        let mut t2 = FrameTable::new();
+        let err = decode_tree::<SubtreeTaskList>(&bytes, &mut t2).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::WrongRepresentation {
+                found: 0,
+                expected: 1
+            }
+        );
+    }
+
+    #[test]
+    fn corrupt_buffers_are_rejected_not_panicked_on() {
+        let mut table = FrameTable::new();
+        let tree = sample_global(&mut table);
+        let bytes = encode_tree(&tree, &table);
+
+        let mut t2 = FrameTable::new();
+        assert_eq!(
+            decode_tree::<DenseBitVector>(&bytes[..3], &mut t2).unwrap_err(),
+            DecodeError::Truncated
+        );
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(
+            decode_tree::<DenseBitVector>(&bad_magic, &mut t2).unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let truncated = &bytes[..bytes.len() - 5];
+        assert_eq!(
+            decode_tree::<DenseBitVector>(truncated, &mut t2).unwrap_err(),
+            DecodeError::Truncated
+        );
+    }
+
+    #[test]
+    fn encoded_size_reflects_the_representation() {
+        let mut table = FrameTable::new();
+        let barrier = StackTrace::new(table.intern_path(&["_start", "main", "MPI_Barrier"]));
+        // A daemon responsible for 8 of a 8,192-task job.
+        let mut dense = GlobalPrefixTree::new_global(8_192);
+        let mut subtree = SubtreePrefixTree::new_subtree(8);
+        for i in 0..8u64 {
+            dense.add_trace(&barrier, i);
+            subtree.add_trace(&barrier, i);
+        }
+        let dense_bytes = encode_tree(&dense, &table).len();
+        let subtree_bytes = encode_tree(&subtree, &table).len();
+        assert!(
+            dense_bytes > 20 * subtree_bytes,
+            "dense {dense_bytes} vs subtree {subtree_bytes}"
+        );
+    }
+
+    #[test]
+    fn rank_map_round_trips() {
+        let ranks = vec![0u64, 2, 1, 3, 1_000_000];
+        let bytes = encode_rank_map(&ranks);
+        assert_eq!(decode_rank_map(&bytes).unwrap(), ranks);
+        assert_eq!(decode_rank_map(&bytes[..4]).unwrap_err(), DecodeError::Truncated);
+    }
+}

@@ -1,0 +1,321 @@
+//! End-to-end STAT sessions.
+//!
+//! Two ways of "running STAT" coexist in the reproduction, mirroring the split the
+//! rest of the code base makes between real algorithms and modelled environment:
+//!
+//! * [`run_session`] actually runs the tool: it partitions the job over daemons,
+//!   gathers stack traces from the (simulated) application with the real walker,
+//!   builds the real local trees, pushes the real serialised packets through the real
+//!   in-process TBON with the real merge filter, and returns the merged trees,
+//!   behaviour classes and byte-flow metrics.  The examples, integration tests and
+//!   real-execution benchmarks use this path.
+//!
+//! * [`PhaseEstimator`] prices the three phases the paper measures — startup,
+//!   sampling, merge — for configurations as large as the full 212,992-task BG/L,
+//!   using the launcher, sampling and reduction cost models.  The figure generators
+//!   use this path, with the real path cross-checking the small-scale points.
+
+use appsim::Application;
+use machine::cluster::Cluster;
+use machine::placement::PlacementPlan;
+use simkit::time::SimDuration;
+use stackwalk::sampler::{BinaryPlacement, SamplingCostModel, SamplingEstimate};
+use tbon::cost::ReductionCostModel;
+use tbon::topology::{Topology, TopologyKind, TopologySpec};
+
+use crate::daemon::{DaemonContribution, StatDaemon};
+use crate::frontend::{GatherResult, Representation, StatFrontEnd};
+use crate::taskset::{DenseBitVector, SubtreeTaskList};
+
+/// Configuration of a real (in-process) session.
+#[derive(Clone, Debug)]
+pub struct SessionConfig {
+    /// The machine the session is modelled on (controls daemon fan-in and topology
+    /// placement rules).
+    pub cluster: Cluster,
+    /// Which tree family to use.
+    pub topology: TopologyKind,
+    /// Which task-set representation to use.
+    pub representation: Representation,
+    /// Stack-trace samples gathered per task.
+    pub samples_per_task: u32,
+}
+
+impl SessionConfig {
+    /// A sensible default: 2-deep tree, hierarchical representation, 10 samples.
+    pub fn new(cluster: Cluster) -> Self {
+        SessionConfig {
+            cluster,
+            topology: TopologyKind::TwoDeep,
+            representation: Representation::HierarchicalTaskList,
+            samples_per_task: 10,
+        }
+    }
+}
+
+/// The result of a real session.
+#[derive(Clone, Debug)]
+pub struct SessionResult {
+    /// The merged trees, classes and metrics.
+    pub gather: GatherResult,
+    /// Number of daemons that participated.
+    pub daemons: u32,
+    /// The topology that was used.
+    pub topology: TopologySpec,
+    /// Total traces gathered across all daemons.
+    pub traces_gathered: u64,
+}
+
+/// Run a full STAT session against a (simulated) application, for real.
+pub fn run_session(config: &SessionConfig, app: &dyn Application) -> SessionResult {
+    let tasks = app.num_tasks();
+    let plan = PlacementPlan::for_job(&config.cluster, tasks);
+    let spec = TopologySpec::for_placement(config.topology, &plan);
+    let topology = Topology::build(spec.clone());
+
+    let daemons = StatDaemon::partition(tasks, spec.backends());
+    let contributions: Vec<DaemonContribution> = daemons
+        .iter()
+        .zip(topology.backends())
+        .map(|(daemon, &leaf)| match config.representation {
+            Representation::GlobalBitVector => {
+                daemon.contribute::<DenseBitVector>(app, config.samples_per_task, leaf)
+            }
+            Representation::HierarchicalTaskList => {
+                daemon.contribute::<SubtreeTaskList>(app, config.samples_per_task, leaf)
+            }
+        })
+        .collect();
+    let traces_gathered = contributions.iter().map(|c| c.traces_gathered).sum();
+
+    let frontend = StatFrontEnd::new(topology, config.representation);
+    let gather = frontend.gather(&contributions, tasks);
+    SessionResult {
+        gather,
+        daemons: spec.backends(),
+        topology: spec,
+        traces_gathered,
+    }
+}
+
+/// A merge-phase estimate for one configuration.
+#[derive(Clone, Debug)]
+pub struct MergeEstimate {
+    /// Critical-path time of sending and merging both trees up to the front end.
+    pub time: SimDuration,
+    /// `Some(reason)` if the configuration could not complete at all (the 1-deep tree
+    /// on BG/L past 256 daemons, in the paper).
+    pub failed: Option<String>,
+    /// Bytes arriving at the front end.
+    pub frontend_bytes: u64,
+    /// Largest byte volume into any single tree node.
+    pub max_node_bytes: u64,
+    /// Total bytes crossing overlay links.
+    pub total_bytes: u64,
+    /// Number of daemons in the configuration.
+    pub daemons: u32,
+}
+
+/// Prices the paper's three phases at arbitrary scale using the environment models.
+#[derive(Clone, Debug)]
+pub struct PhaseEstimator {
+    /// The machine being modelled.
+    pub cluster: Cluster,
+    /// The task-set representation in use.
+    pub representation: Representation,
+    /// Edges of a locally merged 2D tree (the ring hang produces ~2 dozen).
+    pub tree_edges_2d: u64,
+    /// Edges of a locally merged 3D tree (more, because sampling over time fans the
+    /// polling frames out).
+    pub tree_edges_3d: u64,
+    /// Bytes of frame names carried once per packet.
+    pub frame_names_bytes: u64,
+    /// Seconds per task of the front-end remap step (only paid by the hierarchical
+    /// representation; 0.66 s / 208K tasks in the paper).
+    pub remap_seconds_per_task: f64,
+}
+
+impl PhaseEstimator {
+    /// An estimator with constants calibrated for the ring-hang workload.
+    pub fn new(cluster: Cluster, representation: Representation) -> Self {
+        PhaseEstimator {
+            cluster,
+            representation,
+            tree_edges_2d: 24,
+            tree_edges_3d: 60,
+            frame_names_bytes: 420,
+            remap_seconds_per_task: 3.1e-6,
+        }
+    }
+
+    /// The topology spec the paper would use for this machine, job size and family.
+    pub fn topology_for(&self, tasks: u64, kind: TopologyKind) -> TopologySpec {
+        let plan = PlacementPlan::for_job(&self.cluster, tasks);
+        TopologySpec::for_placement(kind, &plan)
+    }
+
+    /// Estimate the merge phase (Figures 4, 5 and 7).
+    pub fn merge_estimate(&self, tasks: u64, kind: TopologyKind) -> MergeEstimate {
+        let shape = self.cluster.job(tasks);
+        let spec = self.topology_for(tasks, kind);
+        let topology = Topology::build(spec.clone());
+        let model = ReductionCostModel::standard(
+            &topology,
+            &self.cluster.interconnect,
+            self.cluster.login_host_slowdown(),
+            self.cluster.daemon_host_slowdown(),
+        );
+
+        let edges = self.tree_edges_2d + self.tree_edges_3d;
+        let total_tasks = shape.tasks;
+        let tasks_per_daemon = shape.tasks_per_daemon as u64;
+        let representation = self.representation;
+        let frame_bytes = self.frame_names_bytes;
+        let cost = model.reduce(&move |_id, subtree_backends| {
+            let label_bytes = match representation {
+                Representation::GlobalBitVector => total_tasks.div_ceil(8) + 8,
+                Representation::HierarchicalTaskList => {
+                    let subtree_tasks =
+                        (subtree_backends as u64 * tasks_per_daemon).min(total_tasks);
+                    subtree_tasks.div_ceil(8) + 8
+                }
+            };
+            edges * label_bytes + frame_bytes
+        });
+
+        // The paper's 1-deep tree on BG/L failed outright at 256 I/O-node daemons:
+        // the front end cannot sustain that many direct connections each carrying
+        // job-wide bit vectors.
+        let failed = if kind == TopologyKind::Flat
+            && self.cluster.daemons_on_io_nodes()
+            && spec.backends() >= 256
+        {
+            Some(format!(
+                "1-deep topology failed: the front end cannot absorb {} direct daemon \
+                 connections (the paper observed this failure at 256 I/O nodes)",
+                spec.backends()
+            ))
+        } else {
+            None
+        };
+
+        MergeEstimate {
+            time: cost.critical_path,
+            failed,
+            frontend_bytes: cost.frontend_bytes_in,
+            max_node_bytes: cost.max_node_bytes_in,
+            total_bytes: cost.total_link_bytes,
+            daemons: spec.backends(),
+        }
+    }
+
+    /// Estimate the front-end remap cost (the 0.66 s figure in Section V-C).
+    pub fn remap_estimate(&self, tasks: u64) -> SimDuration {
+        match self.representation {
+            Representation::GlobalBitVector => SimDuration::ZERO,
+            Representation::HierarchicalTaskList => {
+                SimDuration::from_secs(tasks as f64 * self.remap_seconds_per_task)
+            }
+        }
+    }
+
+    /// Estimate the sampling phase (Figures 8, 9 and 10) by delegating to the
+    /// stack-walking cost model.
+    pub fn sampling_estimate(
+        &self,
+        tasks: u64,
+        placement: BinaryPlacement,
+        seed: u64,
+    ) -> SamplingEstimate {
+        SamplingCostModel::new(self.cluster.clone()).estimate(tasks, placement, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appsim::{FrameVocabulary, RingHangApp};
+    use machine::cluster::BglMode;
+
+    #[test]
+    fn real_session_end_to_end_on_atlas_shape() {
+        let app = RingHangApp::new(256, FrameVocabulary::Linux);
+        let config = SessionConfig::new(Cluster::test_cluster(64, 8));
+        let result = run_session(&config, &app);
+        assert_eq!(result.daemons, 32); // 256 tasks / 8 per node
+        assert_eq!(result.gather.classes.len(), 3);
+        assert_eq!(result.traces_gathered, 256 * 10);
+        let mut attach = result.gather.attach_set();
+        attach.sort_unstable();
+        assert_eq!(attach, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn both_representations_agree_end_to_end() {
+        let app = RingHangApp::new(128, FrameVocabulary::BlueGeneL);
+        let mut config = SessionConfig::new(Cluster::test_cluster(32, 8));
+        config.samples_per_task = 3;
+        config.representation = Representation::GlobalBitVector;
+        let global = run_session(&config, &app);
+        config.representation = Representation::HierarchicalTaskList;
+        let hier = run_session(&config, &app);
+        assert_eq!(global.gather.classes.len(), hier.gather.classes.len());
+        for (g, h) in global.gather.classes.iter().zip(hier.gather.classes.iter()) {
+            assert_eq!(g.tasks, h.tasks);
+        }
+        assert!(
+            global.gather.metrics.total_link_bytes > hier.gather.metrics.total_link_bytes
+        );
+    }
+
+    #[test]
+    fn merge_estimate_reproduces_the_representation_gap() {
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let global = PhaseEstimator::new(bgl.clone(), Representation::GlobalBitVector);
+        let hier = PhaseEstimator::new(bgl, Representation::HierarchicalTaskList);
+
+        let growth = |est: &PhaseEstimator| {
+            let small = est.merge_estimate(16_384, TopologyKind::TwoDeep).time.as_secs();
+            let large = est.merge_estimate(212_992, TopologyKind::TwoDeep).time.as_secs();
+            large / small
+        };
+        let g_growth = growth(&global);
+        let h_growth = growth(&hier);
+        assert!(g_growth > 6.0, "global bit vectors scale ~linearly: {g_growth}");
+        assert!(
+            h_growth < g_growth / 2.0,
+            "hierarchical lists scale much better: {h_growth} vs {g_growth}"
+        );
+    }
+
+    #[test]
+    fn one_deep_fails_on_bgl_at_256_daemons() {
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let est = PhaseEstimator::new(bgl, Representation::GlobalBitVector);
+        // 16,384 compute nodes in CO mode = 256 I/O-node daemons.
+        let flat = est.merge_estimate(16_384, TopologyKind::Flat);
+        assert!(flat.failed.is_some());
+        let smaller = est.merge_estimate(8_192, TopologyKind::Flat);
+        assert!(smaller.failed.is_none());
+        let two_deep = est.merge_estimate(16_384, TopologyKind::TwoDeep);
+        assert!(two_deep.failed.is_none());
+    }
+
+    #[test]
+    fn remap_estimate_matches_the_paper_calibration() {
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let est = PhaseEstimator::new(bgl.clone(), Representation::HierarchicalTaskList);
+        let remap = est.remap_estimate(208_000).as_secs();
+        assert!((0.5..0.9).contains(&remap), "paper: 0.66 s, got {remap}");
+        let global = PhaseEstimator::new(bgl, Representation::GlobalBitVector);
+        assert_eq!(global.remap_estimate(208_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn estimator_uses_the_paper_topology_rules() {
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let est = PhaseEstimator::new(bgl, Representation::GlobalBitVector);
+        let spec = est.topology_for(212_992, TopologyKind::TwoDeep);
+        assert_eq!(spec.level_widths, vec![1, 28, 1_664]);
+    }
+}

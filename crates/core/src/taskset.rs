@@ -1,0 +1,474 @@
+//! Task-set representations: the heart of the Section V lesson.
+//!
+//! Every edge of STAT's call-graph prefix tree is labelled with the set of MPI tasks
+//! whose stacks contain that edge.  How that set is *represented* decides whether the
+//! tool scales:
+//!
+//! * The original STAT used a **global bit vector** ([`DenseBitVector`]): one bit per
+//!   task of the whole job, on every edge, at every level of the tree.  At a million
+//!   cores that is a megabit per edge, almost all of it zeros for any given daemon —
+//!   "the tool unnecessarily tracks and sends many zero bits".
+//!
+//! * The optimised STAT uses a **hierarchical task list** ([`SubtreeTaskList`]): each
+//!   analysis node only represents the tasks in its own subtree, children are merged
+//!   by simple concatenation, and only the front end — after a final *remap* into MPI
+//!   rank order — ever materialises a job-wide view.
+//!
+//! Both are implemented here for real, behind the [`TaskSetOps`] trait so the prefix
+//! tree, the merge filter and the benchmarks can run the same algorithm over either
+//! representation and measure the difference instead of asserting it.
+
+use std::fmt;
+
+/// Operations a task-set representation must support for prefix-tree merging.
+pub trait TaskSetOps: Clone + fmt::Debug {
+    /// An empty set over a domain of `width` positions.
+    fn empty(width: u64) -> Self;
+
+    /// A singleton set.
+    fn singleton(width: u64, index: u64) -> Self {
+        let mut s = Self::empty(width);
+        s.insert(index);
+        s
+    }
+
+    /// Insert a position (a global MPI rank for the dense representation, a
+    /// subtree-local position for the hierarchical one).
+    fn insert(&mut self, index: u64);
+
+    /// The domain width this set is defined over.
+    fn width(&self) -> u64;
+
+    /// Number of members.
+    fn count(&self) -> u64;
+
+    /// Whether a position is a member.
+    fn contains(&self, index: u64) -> bool;
+
+    /// Members in ascending order.
+    fn members(&self) -> Vec<u64>;
+
+    /// Union with another set over the same domain.
+    fn union_in_place(&mut self, other: &Self);
+
+    /// Re-embed this set into a wider domain, shifting every member by `offset`.
+    /// This is the concatenation step of the hierarchical merge; the dense
+    /// representation never changes domain, so its implementation only checks that
+    /// the call is the identity.
+    fn rebase(&mut self, offset: u64, new_width: u64);
+
+    /// Bytes this set occupies in a serialised prefix tree.
+    fn serialized_bytes(&self) -> u64;
+}
+
+// ---------------------------------------------------------------------------------
+// Dense, job-wide bit vector (the original representation)
+// ---------------------------------------------------------------------------------
+
+/// A fixed-width bit vector sized for the entire job.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DenseBitVector {
+    width: u64,
+    words: Vec<u64>,
+}
+
+impl DenseBitVector {
+    fn word_count(width: u64) -> usize {
+        width.div_ceil(64) as usize
+    }
+
+    /// Direct access to the packed words (used by serialisation).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstruct from packed words (used by deserialisation).
+    pub fn from_words(width: u64, words: Vec<u64>) -> Self {
+        let mut v = DenseBitVector {
+            width,
+            words,
+        };
+        v.words.resize(Self::word_count(width), 0);
+        v
+    }
+}
+
+impl TaskSetOps for DenseBitVector {
+    fn empty(width: u64) -> Self {
+        DenseBitVector {
+            width,
+            words: vec![0; Self::word_count(width)],
+        }
+    }
+
+    fn insert(&mut self, index: u64) {
+        assert!(
+            index < self.width,
+            "rank {index} out of range for a {}-task job",
+            self.width
+        );
+        self.words[(index / 64) as usize] |= 1u64 << (index % 64);
+    }
+
+    fn width(&self) -> u64 {
+        self.width
+    }
+
+    fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn contains(&self, index: u64) -> bool {
+        if index >= self.width {
+            return false;
+        }
+        self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
+    }
+
+    fn members(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.count() as usize);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                out.push(wi as u64 * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    fn union_in_place(&mut self, other: &Self) {
+        assert_eq!(
+            self.width, other.width,
+            "dense bit vectors must share the job-wide domain"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    fn rebase(&mut self, offset: u64, new_width: u64) {
+        // The whole point of the dense representation is that the domain never
+        // changes: every node in the tree uses the job-wide width.
+        assert_eq!(offset, 0, "dense bit vectors are never offset");
+        assert_eq!(
+            new_width, self.width,
+            "dense bit vectors are already job-wide"
+        );
+    }
+
+    fn serialized_bytes(&self) -> u64 {
+        // 8-byte width header plus the full bitmap — including all the zero bits for
+        // tasks this subtree never saw.  That is the Section V problem.
+        8 + self.width.div_ceil(8)
+    }
+}
+
+impl fmt::Debug for DenseBitVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DenseBitVector({}/{})", self.count(), self.width)
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Hierarchical, subtree-local task list (the optimised representation)
+// ---------------------------------------------------------------------------------
+
+/// A task set that only describes positions within its own subtree.
+///
+/// Internally it is a subtree-local bit vector (the paper's optimised representation
+/// keeps bit vectors too, just narrow ones), which makes concatenation an offset plus
+/// a bitmap append and keeps the serialised size proportional to the subtree.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SubtreeTaskList {
+    width: u64,
+    words: Vec<u64>,
+}
+
+impl SubtreeTaskList {
+    fn word_count(width: u64) -> usize {
+        width.div_ceil(64) as usize
+    }
+
+    /// Direct access to the packed words (used by serialisation).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reconstruct from packed words (used by deserialisation).
+    pub fn from_words(width: u64, words: Vec<u64>) -> Self {
+        let mut v = SubtreeTaskList { width, words };
+        v.words.resize(Self::word_count(width), 0);
+        v
+    }
+
+    /// Remap this subtree-local set into a job-wide dense bit vector, given the
+    /// position→rank map collected at setup time.  This is the front end's remap
+    /// step; its cost is reported alongside Figure 7 (0.66 s at 208K in the paper).
+    pub fn remap_to_dense(&self, position_to_rank: &[u64], total_tasks: u64) -> DenseBitVector {
+        let mut dense = DenseBitVector::empty(total_tasks);
+        for pos in self.members() {
+            let rank = position_to_rank
+                .get(pos as usize)
+                .copied()
+                .expect("position→rank map must cover every subtree position");
+            dense.insert(rank);
+        }
+        dense
+    }
+}
+
+impl TaskSetOps for SubtreeTaskList {
+    fn empty(width: u64) -> Self {
+        SubtreeTaskList {
+            width,
+            words: vec![0; Self::word_count(width)],
+        }
+    }
+
+    fn insert(&mut self, index: u64) {
+        assert!(
+            index < self.width,
+            "position {index} out of range for a {}-task subtree",
+            self.width
+        );
+        self.words[(index / 64) as usize] |= 1u64 << (index % 64);
+    }
+
+    fn width(&self) -> u64 {
+        self.width
+    }
+
+    fn count(&self) -> u64 {
+        self.words.iter().map(|w| w.count_ones() as u64).sum()
+    }
+
+    fn contains(&self, index: u64) -> bool {
+        if index >= self.width {
+            return false;
+        }
+        self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
+    }
+
+    fn members(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.count() as usize);
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                out.push(wi as u64 * 64 + bit);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+
+    fn union_in_place(&mut self, other: &Self) {
+        assert_eq!(
+            self.width, other.width,
+            "subtree task lists must be rebased to a common domain before union"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    fn rebase(&mut self, offset: u64, new_width: u64) {
+        assert!(
+            offset + self.width <= new_width,
+            "rebase would push positions past the new domain"
+        );
+        let mut widened = SubtreeTaskList::empty(new_width);
+        for pos in self.members() {
+            widened.insert(pos + offset);
+        }
+        *self = widened;
+    }
+
+    fn serialized_bytes(&self) -> u64 {
+        // 8-byte width header plus a bitmap covering only this subtree's tasks.
+        8 + self.width.div_ceil(8)
+    }
+}
+
+impl fmt::Debug for SubtreeTaskList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SubtreeTaskList({}/{})", self.count(), self.width)
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Rank-range formatting (the "1022:[0,3-1023]" labels of Figure 1)
+// ---------------------------------------------------------------------------------
+
+/// Format a sorted rank list the way STAT's visualisation does: `count:[a,b-c,...]`,
+/// truncated with `...` past `max_ranges` ranges (Figure 1 truncates long lists).
+pub fn format_rank_ranges(ranks: &[u64], max_ranges: usize) -> String {
+    let mut ranges: Vec<(u64, u64)> = Vec::new();
+    for &r in ranks {
+        match ranges.last_mut() {
+            Some((_, end)) if *end + 1 == r => *end = r,
+            _ => ranges.push((r, r)),
+        }
+    }
+    let mut shown: Vec<String> = ranges
+        .iter()
+        .take(max_ranges)
+        .map(|(a, b)| if a == b { a.to_string() } else { format!("{a}-{b}") })
+        .collect();
+    if ranges.len() > max_ranges {
+        shown.push("...".to_string());
+    }
+    format!("{}:[{}]", ranks.len(), shown.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_basic_ops<S: TaskSetOps>(width: u64) {
+        let mut s = S::empty(width);
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.width(), width);
+        s.insert(0);
+        s.insert(width - 1);
+        s.insert(width / 2);
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(0));
+        assert!(s.contains(width - 1));
+        assert!(!s.contains(1));
+        assert_eq!(s.members(), vec![0, width / 2, width - 1]);
+        let single = S::singleton(width, 5);
+        assert_eq!(single.count(), 1);
+        assert!(single.contains(5));
+    }
+
+    #[test]
+    fn dense_and_hierarchical_share_basic_behaviour() {
+        check_basic_ops::<DenseBitVector>(1_000);
+        check_basic_ops::<SubtreeTaskList>(1_000);
+        check_basic_ops::<DenseBitVector>(64);
+        check_basic_ops::<SubtreeTaskList>(65);
+    }
+
+    #[test]
+    fn dense_union_is_bitwise_or() {
+        let mut a = DenseBitVector::empty(256);
+        a.insert(1);
+        a.insert(100);
+        let mut b = DenseBitVector::empty(256);
+        b.insert(100);
+        b.insert(255);
+        a.union_in_place(&b);
+        assert_eq!(a.members(), vec![1, 100, 255]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dense_rejects_out_of_range_ranks() {
+        let mut a = DenseBitVector::empty(10);
+        a.insert(10);
+    }
+
+    #[test]
+    fn dense_serialized_size_is_job_wide_regardless_of_population() {
+        let empty = DenseBitVector::empty(212_992);
+        let mut one = DenseBitVector::empty(212_992);
+        one.insert(7);
+        assert_eq!(empty.serialized_bytes(), one.serialized_bytes());
+        // 212,992 bits = 26,624 bytes (+8 header): the megabit-per-edge problem in
+        // miniature.
+        assert_eq!(empty.serialized_bytes(), 8 + 26_624);
+    }
+
+    #[test]
+    fn subtree_serialized_size_tracks_the_subtree() {
+        let daemon_local = SubtreeTaskList::empty(128);
+        let full_job = DenseBitVector::empty(212_992);
+        assert!(daemon_local.serialized_bytes() * 100 < full_job.serialized_bytes());
+    }
+
+    #[test]
+    fn rebase_concatenates_domains() {
+        // Daemon 0 saw its local tasks {0, 2}; daemon 1 saw {1}.  After the merge the
+        // combined subtree has 4 positions: daemon 0's two, then daemon 1's two.
+        let mut a = SubtreeTaskList::empty(2);
+        a.insert(0);
+        a.insert(1);
+        let mut b = SubtreeTaskList::empty(2);
+        b.insert(1);
+        a.rebase(0, 4);
+        let mut b2 = b.clone();
+        b2.rebase(2, 4);
+        a.union_in_place(&b2);
+        assert_eq!(a.members(), vec![0, 1, 3]);
+        assert_eq!(a.width(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "rebase would push positions past")]
+    fn rebase_rejects_overflowing_offsets() {
+        let mut a = SubtreeTaskList::empty(8);
+        a.insert(0);
+        a.rebase(5, 10);
+    }
+
+    #[test]
+    fn dense_rebase_is_identity_only() {
+        let mut a = DenseBitVector::empty(100);
+        a.insert(3);
+        a.rebase(0, 100); // fine
+        assert!(a.contains(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "never offset")]
+    fn dense_rebase_with_offset_panics() {
+        let mut a = DenseBitVector::empty(100);
+        a.rebase(10, 110);
+    }
+
+    #[test]
+    fn remap_restores_mpi_rank_order() {
+        // Figure 6's example: daemon 0 debugs tasks {0, 2}, daemon 1 debugs {1, 3}.
+        // Positions after concatenation are [d0t0, d0t1, d1t0, d1t1] = ranks [0,2,1,3].
+        let position_to_rank = vec![0u64, 2, 1, 3];
+        let mut set = SubtreeTaskList::empty(4);
+        set.insert(1); // daemon 0's second task  -> rank 2
+        set.insert(2); // daemon 1's first task   -> rank 1
+        let dense = set.remap_to_dense(&position_to_rank, 4);
+        assert_eq!(dense.members(), vec![1, 2]);
+        assert_eq!(dense.width(), 4);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut d = DenseBitVector::empty(130);
+        d.insert(0);
+        d.insert(64);
+        d.insert(129);
+        let back = DenseBitVector::from_words(130, d.words().to_vec());
+        assert_eq!(back.members(), d.members());
+
+        let mut s = SubtreeTaskList::empty(70);
+        s.insert(69);
+        let back = SubtreeTaskList::from_words(70, s.words().to_vec());
+        assert_eq!(back.members(), vec![69]);
+    }
+
+    #[test]
+    fn rank_range_formatting_matches_figure_1_style() {
+        let ranks: Vec<u64> = std::iter::once(0)
+            .chain(3..=1023)
+            .collect();
+        assert_eq!(format_rank_ranges(&ranks, 10), "1022:[0,3-1023]");
+        assert_eq!(format_rank_ranges(&[1], 10), "1:[1]");
+        assert_eq!(format_rank_ranges(&[], 10), "0:[]");
+        // Truncation with an ellipsis, as in the figure's long labels.
+        let scattered: Vec<u64> = (0..20).map(|i| i * 2).collect();
+        let label = format_rank_ranges(&scattered, 4);
+        assert!(label.starts_with("20:["));
+        assert!(label.ends_with(",...]"));
+    }
+}

@@ -1,0 +1,186 @@
+//! The launcher abstraction.
+//!
+//! A launcher is responsible for the whole startup path of the tool: starting the
+//! back-end daemons, starting the MRNet communication processes, connecting everyone
+//! into the overlay network, and — on BG/L, where debugging requires launching the
+//! application under the tool's control — starting the application itself.  Figures 2
+//! and 3 plot exactly this total, so the estimate keeps a per-phase breakdown.
+
+use machine::cluster::Cluster;
+use simkit::time::SimDuration;
+use tbon::topology::TopologySpec;
+
+/// The phases of tool startup, in the order they appear in the breakdown.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StartupPhase {
+    /// Launching the target application (only when the tool must launch it itself,
+    /// as on the BG/L prototype).
+    ApplicationLaunch,
+    /// Resource-manager/system-software work: allocating partitions, generating the
+    /// process table, distributing it.
+    SystemSoftware,
+    /// Starting the back-end tool daemons.
+    DaemonLaunch,
+    /// Starting the MRNet communication processes.
+    CommProcessLaunch,
+    /// Connecting daemons and communication processes into the overlay network.
+    NetworkConnect,
+}
+
+impl StartupPhase {
+    /// All phases in presentation order.
+    pub fn all() -> [StartupPhase; 5] {
+        [
+            StartupPhase::ApplicationLaunch,
+            StartupPhase::SystemSoftware,
+            StartupPhase::DaemonLaunch,
+            StartupPhase::CommProcessLaunch,
+            StartupPhase::NetworkConnect,
+        ]
+    }
+
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StartupPhase::ApplicationLaunch => "application launch",
+            StartupPhase::SystemSoftware => "system software",
+            StartupPhase::DaemonLaunch => "daemon launch",
+            StartupPhase::CommProcessLaunch => "comm process launch",
+            StartupPhase::NetworkConnect => "network connect",
+        }
+    }
+}
+
+/// Why a startup attempt failed outright (as opposed to merely being slow).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StartupFailure {
+    /// The remote-shell spawner exhausted connections/process slots — the rsh failure
+    /// the paper hit at 512 daemons on Atlas.
+    RemoteShellExhausted {
+        /// The daemon count at which the spawner gave up.
+        at_daemons: u32,
+    },
+    /// The resource manager hung generating/distributing the process table — the
+    /// unpatched BG/L behaviour at 208K processes.
+    ResourceManagerHang {
+        /// The task count at which the hang occurred.
+        at_tasks: u64,
+    },
+    /// The requested topology cannot be placed on this machine (for example, more
+    /// communication processes than the login nodes can host).
+    TopologyUnplaceable {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// The result of estimating (or attempting) a startup.
+#[derive(Clone, Debug)]
+pub struct StartupEstimate {
+    /// Phase breakdown in presentation order; missing phases cost zero.
+    pub phases: Vec<(StartupPhase, SimDuration)>,
+    /// Hard failure, if the startup would not have completed at all.
+    pub failure: Option<StartupFailure>,
+    /// Number of daemons launched (or attempted).
+    pub daemons: u32,
+    /// Number of communication processes launched (or attempted).
+    pub comm_processes: u32,
+}
+
+impl StartupEstimate {
+    /// An estimate with no phases yet.
+    pub fn new(daemons: u32, comm_processes: u32) -> Self {
+        StartupEstimate {
+            phases: Vec::new(),
+            failure: None,
+            daemons,
+            comm_processes,
+        }
+    }
+
+    /// Append a phase cost.
+    pub fn push(&mut self, phase: StartupPhase, cost: SimDuration) {
+        self.phases.push((phase, cost));
+    }
+
+    /// Mark the startup as failed.
+    pub fn fail(&mut self, failure: StartupFailure) {
+        self.failure = Some(failure);
+    }
+
+    /// Whether the startup completes at all.
+    pub fn succeeded(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Total startup time across phases.
+    pub fn total(&self) -> SimDuration {
+        self.phases.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// The cost of one phase (zero if absent).
+    pub fn phase(&self, phase: StartupPhase) -> SimDuration {
+        self.phases
+            .iter()
+            .filter(|(p, _)| *p == phase)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// The fraction of total time spent in a phase (0 if the total is zero).
+    pub fn phase_fraction(&self, phase: StartupPhase) -> f64 {
+        let total = self.total().as_secs();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.phase(phase).as_secs() / total
+        }
+    }
+}
+
+/// A strategy for starting the tool on a machine.
+pub trait Launcher {
+    /// The name used in figure series ("MRNet rsh", "LaunchMON", ...).
+    fn name(&self) -> &'static str;
+
+    /// Estimate a startup of STAT over `topology` for a job of `tasks` MPI tasks.
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_accumulates_phases() {
+        let mut e = StartupEstimate::new(512, 23);
+        e.push(StartupPhase::DaemonLaunch, SimDuration::from_secs(4.0));
+        e.push(StartupPhase::NetworkConnect, SimDuration::from_secs(1.0));
+        assert_eq!(e.total(), SimDuration::from_secs(5.0));
+        assert_eq!(e.phase(StartupPhase::DaemonLaunch), SimDuration::from_secs(4.0));
+        assert_eq!(e.phase(StartupPhase::SystemSoftware), SimDuration::ZERO);
+        assert!((e.phase_fraction(StartupPhase::DaemonLaunch) - 0.8).abs() < 1e-9);
+        assert!(e.succeeded());
+    }
+
+    #[test]
+    fn failure_marks_the_estimate() {
+        let mut e = StartupEstimate::new(512, 0);
+        e.fail(StartupFailure::RemoteShellExhausted { at_daemons: 512 });
+        assert!(!e.succeeded());
+    }
+
+    #[test]
+    fn empty_estimate_has_zero_fraction() {
+        let e = StartupEstimate::new(1, 0);
+        assert_eq!(e.phase_fraction(StartupPhase::DaemonLaunch), 0.0);
+        assert_eq!(e.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let labels: std::collections::HashSet<&str> =
+            StartupPhase::all().iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,198 @@
+//! The MPIR debugger interface and attach-versus-launch session setup.
+//!
+//! Parallel debuggers learn about a job's processes through the MPIR interface: the
+//! starter process (srun/mpirun) exposes `MPIR_proctable`, and a debugger either
+//! *launches* the job under its control or *attaches* to an already-running starter.
+//! The BG/L STAT prototype in the paper only supported the launch path — which is why
+//! Figure 3's startup time includes launching the application — while the cluster
+//! version attaches to running jobs.  This module models both paths on top of the
+//! concrete launchers, so sessions can ask "what does it cost to get a tool on this
+//! job?" without caring which machine they are on.
+
+use machine::cluster::Cluster;
+use simkit::time::SimDuration;
+use tbon::topology::TopologySpec;
+
+use crate::launcher::{Launcher, StartupEstimate, StartupPhase};
+use crate::proctable::ProcessTable;
+
+/// How the tool gets hold of the job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttachMode {
+    /// Launch the application under the tool's control (the BG/L prototype's only
+    /// mode); the application's own launch cost is part of tool startup.
+    LaunchUnderTool,
+    /// Attach to an already-running job via its starter process; the application is
+    /// already up, so only the tool pieces need to start.
+    AttachToRunning,
+}
+
+impl AttachMode {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            AttachMode::LaunchUnderTool => "launch under tool",
+            AttachMode::AttachToRunning => "attach to running job",
+        }
+    }
+}
+
+/// The MPIR-style view of a job a debugger obtains from the starter process.
+#[derive(Clone, Debug)]
+pub struct MpirSession {
+    /// How the session was established.
+    pub mode: AttachMode,
+    /// The process table describing every MPI task.
+    pub proctable: ProcessTable,
+    /// Time spent acquiring the table (ptrace attach to the starter, reading the
+    /// table out of its address space, or receiving it from the resource manager).
+    pub acquisition_cost: SimDuration,
+}
+
+impl MpirSession {
+    /// The number of tasks the table describes.
+    pub fn tasks(&self) -> usize {
+        self.proctable.len()
+    }
+
+    /// The distinct hosts the tasks run on — what the tool needs in order to know
+    /// where daemons must go.
+    pub fn hosts(&self) -> Vec<&str> {
+        let mut hosts: Vec<&str> = self
+            .proctable
+            .entries()
+            .iter()
+            .map(|e| e.host.as_str())
+            .collect();
+        hosts.dedup();
+        hosts.sort_unstable();
+        hosts.dedup();
+        hosts
+    }
+}
+
+/// Establish an MPIR session for a job of `tasks` tasks on `cluster`.
+///
+/// The acquisition cost models reading one proctable entry per task out of the
+/// starter process (attach) or receiving the table the resource manager already built
+/// (launch-under-tool, where the cost is accounted in the launcher's system-software
+/// phase instead).
+pub fn establish_session(cluster: &Cluster, tasks: u64, mode: AttachMode) -> MpirSession {
+    let shape = cluster.job(tasks);
+    let proctable = ProcessTable::synthetic(
+        shape.tasks,
+        cluster.tasks_per_compute_node().max(1),
+        "/g/g0/user/target_app",
+    );
+    let acquisition_cost = match mode {
+        // ptrace attach to the starter plus one read per entry.
+        AttachMode::AttachToRunning => {
+            SimDuration::from_millis(35.0) + SimDuration::from_micros(2.0) * shape.tasks
+        }
+        // The launcher already delivers the table; only a local parse remains.
+        AttachMode::LaunchUnderTool => SimDuration::from_micros(0.4) * shape.tasks,
+    };
+    MpirSession {
+        mode,
+        proctable,
+        acquisition_cost,
+    }
+}
+
+/// Full tool-startup estimate for a session: the launcher's own phases plus, for the
+/// attach path, proctable acquisition (the launch path already includes it).
+pub fn session_startup(
+    cluster: &Cluster,
+    tasks: u64,
+    topology: &TopologySpec,
+    launcher: &dyn Launcher,
+    mode: AttachMode,
+) -> StartupEstimate {
+    let mut estimate = launcher.startup(cluster, tasks, topology);
+    match mode {
+        AttachMode::AttachToRunning => {
+            // The application is already running: its launch cost does not apply, but
+            // the tool must acquire the proctable itself.
+            let app_launch = estimate.phase(StartupPhase::ApplicationLaunch);
+            if !app_launch.is_zero() {
+                estimate
+                    .phases
+                    .retain(|(phase, _)| *phase != StartupPhase::ApplicationLaunch);
+            }
+            let session = establish_session(cluster, tasks, mode);
+            estimate.push(StartupPhase::SystemSoftware, session.acquisition_cost);
+        }
+        AttachMode::LaunchUnderTool => {}
+    }
+    estimate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bgl::{BglCiodLauncher, CiodPatchLevel};
+    use crate::launchmon::LaunchMonLauncher;
+    use machine::cluster::BglMode;
+
+    #[test]
+    fn session_describes_every_task_and_host() {
+        let atlas = Cluster::atlas();
+        let session = establish_session(&atlas, 1_024, AttachMode::AttachToRunning);
+        assert_eq!(session.tasks(), 1_024);
+        // 8 tasks per node -> 128 distinct hosts.
+        assert_eq!(session.hosts().len(), 128);
+        assert!(session.acquisition_cost > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn attach_is_cheaper_than_launching_the_application_on_bgl() {
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let tasks = 65_536;
+        let plan = machine::placement::PlacementPlan::for_job(&bgl, tasks);
+        let spec = TopologySpec::for_placement(tbon::topology::TopologyKind::TwoDeep, &plan);
+        let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
+        let launch = session_startup(&bgl, tasks, &spec, &launcher, AttachMode::LaunchUnderTool);
+        let attach = session_startup(&bgl, tasks, &spec, &launcher, AttachMode::AttachToRunning);
+        assert!(launch.succeeded() && attach.succeeded());
+        assert!(
+            attach.total() < launch.total(),
+            "attach {:?} should beat launch {:?}",
+            attach.total(),
+            launch.total()
+        );
+        assert_eq!(attach.phase(StartupPhase::ApplicationLaunch), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn attach_mode_costs_scale_with_the_job() {
+        let atlas = Cluster::atlas();
+        let small = establish_session(&atlas, 512, AttachMode::AttachToRunning);
+        let large = establish_session(&atlas, 8_192, AttachMode::AttachToRunning);
+        assert!(large.acquisition_cost > small.acquisition_cost);
+        let launched = establish_session(&atlas, 8_192, AttachMode::AttachToRunning);
+        assert_eq!(launched.tasks(), 8_192);
+    }
+
+    #[test]
+    fn cluster_attach_startup_remains_interactive() {
+        // LaunchMON + attach on Atlas at full scale stays well inside interactive
+        // bounds — the point of Section IV.
+        let atlas = Cluster::atlas();
+        let spec = TopologySpec::two_deep(1_152, 34);
+        let est = session_startup(
+            &atlas,
+            atlas.max_tasks(),
+            &spec,
+            &LaunchMonLauncher::new(),
+            AttachMode::AttachToRunning,
+        );
+        assert!(est.succeeded());
+        assert!(est.total().as_secs() < 30.0, "got {}", est.total().as_secs());
+    }
+
+    #[test]
+    fn mode_labels() {
+        assert_eq!(AttachMode::LaunchUnderTool.label(), "launch under tool");
+        assert_eq!(AttachMode::AttachToRunning.label(), "attach to running job");
+    }
+}

@@ -1,0 +1,176 @@
+//! The MPIR process table, and the `strcat` pathology, for real.
+//!
+//! Debuggers learn where the application's processes live through the MPIR process
+//! table: one entry per MPI task giving host name, executable name and pid.  The
+//! paper reports that BG/L's resource manager packed this table into a wire buffer
+//! with repeated `strcat` calls.  `strcat` has to find the end of the destination
+//! string before it can append, so packing n entries costs Θ(n²) character scans —
+//! harmless at 4K tasks, catastrophic at 208K (and, combined with fixed-size buffers,
+//! the cause of an outright hang until IBM patched it).
+//!
+//! We implement the table and both packing strategies for real.  The launcher models
+//! use calibrated cost formulas for the 10⁵-task regime, but the ablation benchmark
+//! (`ablation_proctable`) runs these functions on real data so the quadratic/linear
+//! difference is measured, not asserted.
+
+/// One MPIR-style process-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcessTableEntry {
+    /// MPI rank.
+    pub rank: u64,
+    /// Host (compute node) name.
+    pub host: String,
+    /// Executable path.
+    pub executable: String,
+    /// Process id on the host.
+    pub pid: u32,
+}
+
+/// The full process table for a job.
+#[derive(Clone, Debug, Default)]
+pub struct ProcessTable {
+    entries: Vec<ProcessTableEntry>,
+}
+
+impl ProcessTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        ProcessTable::default()
+    }
+
+    /// Generate a synthetic table for a job of `tasks` ranks spread over compute
+    /// nodes named after their index, `tasks_per_node` ranks per node.
+    pub fn synthetic(tasks: u64, tasks_per_node: u32, executable: &str) -> Self {
+        let tasks_per_node = tasks_per_node.max(1) as u64;
+        let entries = (0..tasks)
+            .map(|rank| ProcessTableEntry {
+                rank,
+                host: format!("bglio{:05}", rank / tasks_per_node),
+                executable: executable.to_string(),
+                pid: 1_000 + (rank % 60_000) as u32,
+            })
+            .collect();
+        ProcessTable { entries }
+    }
+
+    /// Add an entry.
+    pub fn push(&mut self, entry: ProcessTableEntry) {
+        self.entries.push(entry);
+    }
+
+    /// The entries in rank order.
+    pub fn entries(&self) -> &[ProcessTableEntry] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render one entry in the textual wire format the packers consume.
+    fn render_entry(entry: &ProcessTableEntry) -> String {
+        format!(
+            "{}:{}:{}:{};",
+            entry.rank, entry.host, entry.executable, entry.pid
+        )
+    }
+}
+
+/// Pack the table the way the unpatched resource manager did: append each rendered
+/// entry by scanning the destination for its current end before copying — byte-for-
+/// byte what repeated `strcat` into one buffer does.  Θ(n²) in the table size.
+pub fn pack_naive(table: &ProcessTable) -> Vec<u8> {
+    let mut buffer: Vec<u8> = vec![0u8; 1];
+    // Keep buffer NUL-terminated like the C original; capacity grows as needed (the
+    // real bug also had fixed-size buffers, which we model as a failure mode in the
+    // launcher rather than reproducing the overflow here).
+    for entry in table.entries() {
+        let rendered = ProcessTable::render_entry(entry);
+        // "strcat": find the terminating NUL by scanning from the start...
+        let end = buffer
+            .iter()
+            .position(|&b| b == 0)
+            .expect("buffer is always NUL-terminated");
+        // ...then copy the new bytes and re-terminate.
+        buffer.truncate(end);
+        buffer.extend_from_slice(rendered.as_bytes());
+        buffer.push(0);
+    }
+    buffer.pop();
+    buffer
+}
+
+/// Pack the table the way the patched resource manager does: keep a cursor to the end
+/// and append directly.  Θ(n) in the table size.
+pub fn pack_indexed(table: &ProcessTable) -> Vec<u8> {
+    let mut buffer = Vec::new();
+    for entry in table.entries() {
+        buffer.extend_from_slice(ProcessTable::render_entry(entry).as_bytes());
+    }
+    buffer
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_table_has_one_entry_per_rank() {
+        let t = ProcessTable::synthetic(1_000, 64, "/g/g0/user/ring_test");
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.entries()[0].host, "bglio00000");
+        assert_eq!(t.entries()[999].host, "bglio00015");
+        assert_eq!(t.entries()[64].host, "bglio00001");
+    }
+
+    #[test]
+    fn both_packers_produce_identical_bytes() {
+        let t = ProcessTable::synthetic(257, 8, "/a.out");
+        assert_eq!(pack_naive(&t), pack_indexed(&t));
+    }
+
+    #[test]
+    fn empty_table_packs_to_nothing() {
+        let t = ProcessTable::new();
+        assert!(pack_naive(&t).is_empty());
+        assert!(pack_indexed(&t).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn packed_size_grows_linearly_with_entries() {
+        let small = pack_indexed(&ProcessTable::synthetic(100, 8, "/a.out"));
+        let large = pack_indexed(&ProcessTable::synthetic(1_000, 8, "/a.out"));
+        let ratio = large.len() as f64 / small.len() as f64;
+        assert!(ratio > 8.0 && ratio < 12.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn naive_packing_really_is_superlinear_in_work() {
+        // Count the scan work explicitly rather than relying on timing in a unit test:
+        // the naive packer scans the whole buffer per entry, so total scanned bytes
+        // grow quadratically.  (The benchmark measures the wall-clock consequence.)
+        fn scanned_bytes(entries: u64) -> u64 {
+            let t = ProcessTable::synthetic(entries, 8, "/a.out");
+            let mut total = 0u64;
+            let mut len = 0u64;
+            for e in t.entries() {
+                total += len; // bytes scanned to find the terminator
+                len += ProcessTable::render_entry(e).len() as u64;
+            }
+            total
+        }
+        let s1 = scanned_bytes(200);
+        let s2 = scanned_bytes(400);
+        assert!(
+            s2 as f64 / s1 as f64 > 3.5,
+            "doubling entries should ~quadruple scans: {s1} -> {s2}"
+        );
+    }
+}

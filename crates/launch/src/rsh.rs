@@ -1,0 +1,203 @@
+//! The MRNet-style remote-shell launcher.
+//!
+//! MRNet's built-in spawning facility starts each daemon (and each communication
+//! process) by running `rsh`/`ssh` from the front end, one at a time.  Figure 2's
+//! "MRNet" line is the consequence: startup time grows linearly with the daemon
+//! count, and with `rsh` the spawner stopped working entirely at 512 daemons on
+//! Atlas (connection/port exhaustion at the front end).  `ssh` scaled further on the
+//! older Thunder machine, but Atlas's compute nodes did not accept ssh — an example
+//! of the portability problem Section IV-B describes.
+
+use machine::cluster::Cluster;
+use simkit::time::SimDuration;
+use tbon::topology::TopologySpec;
+
+use crate::launcher::{Launcher, StartupEstimate, StartupFailure, StartupPhase};
+
+/// Which remote-shell protocol the spawner uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemoteShell {
+    /// `rsh`: fails outright once too many concurrent connections have been opened.
+    Rsh,
+    /// `ssh`: slower per spawn but does not exhaust privileged ports as quickly.
+    Ssh,
+}
+
+impl RemoteShell {
+    /// Per-daemon spawn latency as seen from the front end.
+    fn per_spawn(self) -> SimDuration {
+        match self {
+            // An rsh round trip plus remote fork/exec of the daemon.
+            RemoteShell::Rsh => SimDuration::from_millis(240.0),
+            // ssh adds key exchange on top.
+            RemoteShell::Ssh => SimDuration::from_millis(310.0),
+        }
+    }
+
+    /// The daemon count beyond which the spawner stops working (None = no hard limit
+    /// within the scales we model).
+    fn failure_threshold(self) -> Option<u32> {
+        match self {
+            RemoteShell::Rsh => Some(512),
+            RemoteShell::Ssh => None,
+        }
+    }
+
+    /// Label fragment for figure series.
+    pub fn label(self) -> &'static str {
+        match self {
+            RemoteShell::Rsh => "rsh",
+            RemoteShell::Ssh => "ssh",
+        }
+    }
+}
+
+/// The sequential remote-shell launcher.
+#[derive(Clone, Debug)]
+pub struct RshLauncher {
+    shell: RemoteShell,
+    /// Whether the target machine allows this protocol on its compute nodes at all.
+    /// (Atlas rejected ssh on compute nodes; BG/L rejects both for I/O nodes.)
+    machine_supports_shell: bool,
+}
+
+impl RshLauncher {
+    /// A launcher using the given protocol on a machine that supports it.
+    pub fn new(shell: RemoteShell) -> Self {
+        RshLauncher {
+            shell,
+            machine_supports_shell: true,
+        }
+    }
+
+    /// Mark the protocol as unsupported on the target's compute nodes.
+    pub fn unsupported(mut self) -> Self {
+        self.machine_supports_shell = false;
+        self
+    }
+
+    /// Time to connect all tool processes into the overlay network once they exist:
+    /// each parent accepts its children's connections one after another.
+    pub(crate) fn connect_time(spec: &TopologySpec, per_connect: SimDuration) -> SimDuration {
+        let mut total = SimDuration::ZERO;
+        for w in spec.level_widths.windows(2) {
+            let fanout = w[1].div_ceil(w[0].max(1));
+            total += per_connect * fanout as u64;
+        }
+        total
+    }
+}
+
+impl Launcher for RshLauncher {
+    fn name(&self) -> &'static str {
+        match self.shell {
+            RemoteShell::Rsh => "MRNet rsh",
+            RemoteShell::Ssh => "MRNet ssh",
+        }
+    }
+
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate {
+        let shape = cluster.job(tasks);
+        let daemons = shape.daemons.min(topology.backends());
+        let comm = topology.comm_processes();
+        let mut est = StartupEstimate::new(daemons, comm);
+
+        if !self.machine_supports_shell {
+            est.fail(StartupFailure::TopologyUnplaceable {
+                reason: format!(
+                    "{} is not available on {} compute nodes",
+                    self.shell.label(),
+                    cluster.name
+                ),
+            });
+            return est;
+        }
+
+        // Communication processes are spawned first, then the daemons, all serially
+        // from the front end.
+        let per = self.shell.per_spawn();
+        est.push(StartupPhase::CommProcessLaunch, per * comm as u64);
+        est.push(StartupPhase::DaemonLaunch, per * daemons as u64);
+        est.push(
+            StartupPhase::NetworkConnect,
+            Self::connect_time(topology, SimDuration::from_millis(4.0)),
+        );
+
+        if let Some(limit) = self.shell.failure_threshold() {
+            if daemons >= limit {
+                est.fail(StartupFailure::RemoteShellExhausted {
+                    at_daemons: daemons,
+                });
+            }
+        }
+        est
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cluster::Cluster;
+
+    #[test]
+    fn rsh_startup_is_linear_in_daemons() {
+        let atlas = Cluster::atlas();
+        let launcher = RshLauncher::new(RemoteShell::Rsh);
+        let t64 = launcher
+            .startup(&atlas, 64 * 8, &TopologySpec::flat(64))
+            .total()
+            .as_secs();
+        let t256 = launcher
+            .startup(&atlas, 256 * 8, &TopologySpec::flat(256))
+            .total()
+            .as_secs();
+        let ratio = t256 / t64;
+        assert!((3.5..4.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn rsh_fails_at_512_daemons_like_the_paper() {
+        let atlas = Cluster::atlas();
+        let launcher = RshLauncher::new(RemoteShell::Rsh);
+        let est = launcher.startup(&atlas, 512 * 8, &TopologySpec::flat(512));
+        assert!(!est.succeeded());
+        assert!(matches!(
+            est.failure,
+            Some(StartupFailure::RemoteShellExhausted { at_daemons: 512 })
+        ));
+        // The estimate still records how long the serial spawning would have taken:
+        // "over 2 minutes based on the clear linear scaling trend".
+        assert!(est.total().as_secs() > 120.0);
+    }
+
+    #[test]
+    fn ssh_scales_past_512_but_is_slower_per_daemon() {
+        let atlas = Cluster::atlas();
+        let ssh = RshLauncher::new(RemoteShell::Ssh);
+        let est = ssh.startup(&atlas, 512 * 8, &TopologySpec::flat(512));
+        assert!(est.succeeded());
+        let rsh = RshLauncher::new(RemoteShell::Rsh);
+        let rsh_256 = rsh.startup(&atlas, 256 * 8, &TopologySpec::flat(256));
+        let ssh_256 = ssh.startup(&atlas, 256 * 8, &TopologySpec::flat(256));
+        assert!(ssh_256.total() > rsh_256.total());
+    }
+
+    #[test]
+    fn unsupported_shell_fails_immediately() {
+        let atlas = Cluster::atlas();
+        let launcher = RshLauncher::new(RemoteShell::Ssh).unsupported();
+        let est = launcher.startup(&atlas, 64, &TopologySpec::flat(8));
+        assert!(!est.succeeded());
+        assert_eq!(est.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn comm_processes_add_to_the_serial_cost() {
+        let atlas = Cluster::atlas();
+        let launcher = RshLauncher::new(RemoteShell::Rsh);
+        let flat = launcher.startup(&atlas, 128 * 8, &TopologySpec::flat(128));
+        let deep = launcher.startup(&atlas, 128 * 8, &TopologySpec::two_deep(128, 12));
+        assert!(deep.total() > flat.total());
+        assert_eq!(deep.comm_processes, 12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Node inventory.
+//!
+//! A [`Node`] is the unit of placement for daemons, communication processes and
+//! application tasks.  We keep nodes as plain data — class, core count, clock — and
+//! give them stable integer identities so that mappings (task → node, daemon → node)
+//! are cheap dense vectors rather than hash maps, which matters when we instantiate
+//! the full 106,496-node BG/L inventory.
+
+use std::fmt;
+
+/// Stable identity of a node within one [`crate::cluster::Cluster`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// The role a node plays in the machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NodeClass {
+    /// Runs application (MPI) tasks.  On Atlas, tool daemons also run here.
+    Compute,
+    /// BG/L-style dedicated I/O node: runs CIOD and tool daemons, never app tasks.
+    Io,
+    /// Login/front-end node: the only place BG/L lets us put MRNet communication
+    /// processes; also where the STAT front end itself runs.
+    Login,
+    /// A service node running the resource manager's central daemons.
+    Service,
+}
+
+impl NodeClass {
+    /// Whether application tasks may be scheduled on this node class.
+    pub fn runs_app_tasks(self) -> bool {
+        matches!(self, NodeClass::Compute)
+    }
+
+    /// Whether tool daemons may be scheduled on this node class for the given machine
+    /// style.  On clusters the daemons share compute nodes with the application; on
+    /// BG/L they are restricted to I/O nodes.
+    pub fn runs_tool_daemons(self, daemons_on_io_nodes: bool) -> bool {
+        if daemons_on_io_nodes {
+            matches!(self, NodeClass::Io)
+        } else {
+            matches!(self, NodeClass::Compute)
+        }
+    }
+}
+
+impl fmt::Display for NodeClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeClass::Compute => "compute",
+            NodeClass::Io => "io",
+            NodeClass::Login => "login",
+            NodeClass::Service => "service",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One node of the machine.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Node {
+    /// Stable identity.
+    pub id: NodeId,
+    /// Role.
+    pub class: NodeClass,
+    /// Number of cores available for scheduling.
+    pub cores: u16,
+    /// Clock speed in GHz; used only for relative cost scaling between node classes
+    /// (e.g. a 700 MHz PowerPC 440 I/O node vs. a 2.4 GHz Opteron).
+    pub clock_ghz: f64,
+    /// Memory per node in MiB; the BG/L compute nodes' 512 MiB is part of why the
+    /// paper worries about fixed-size global bit vectors.
+    pub memory_mib: u32,
+}
+
+impl Node {
+    /// Construct a node.
+    pub fn new(id: u32, class: NodeClass, cores: u16, clock_ghz: f64, memory_mib: u32) -> Self {
+        Node {
+            id: NodeId(id),
+            class,
+            cores,
+            clock_ghz,
+            memory_mib,
+        }
+    }
+
+    /// Relative slowdown of this node compared to a 2.4 GHz reference core.
+    /// Cost models expressed in "reference seconds" multiply by this factor.
+    pub fn slowdown_factor(&self) -> f64 {
+        if self.clock_ghz <= 0.0 {
+            1.0
+        } else {
+            (2.4 / self.clock_ghz).max(0.1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_class_placement_rules() {
+        assert!(NodeClass::Compute.runs_app_tasks());
+        assert!(!NodeClass::Io.runs_app_tasks());
+        assert!(!NodeClass::Login.runs_app_tasks());
+
+        // Cluster style: daemons co-located with app tasks on compute nodes.
+        assert!(NodeClass::Compute.runs_tool_daemons(false));
+        assert!(!NodeClass::Io.runs_tool_daemons(false));
+        // BG/L style: daemons restricted to I/O nodes.
+        assert!(NodeClass::Io.runs_tool_daemons(true));
+        assert!(!NodeClass::Compute.runs_tool_daemons(true));
+    }
+
+    #[test]
+    fn slowdown_factor_scales_with_clock() {
+        let opteron = Node::new(0, NodeClass::Compute, 8, 2.4, 16_384);
+        let ppc440 = Node::new(1, NodeClass::Io, 2, 0.7, 512);
+        assert!((opteron.slowdown_factor() - 1.0).abs() < 1e-9);
+        assert!(ppc440.slowdown_factor() > 3.0);
+        let degenerate = Node::new(2, NodeClass::Compute, 1, 0.0, 1);
+        assert_eq!(degenerate.slowdown_factor(), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", NodeId(17)), "node17");
+        assert_eq!(format!("{}", NodeClass::Login), "login");
+    }
+}

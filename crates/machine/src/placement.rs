@@ -1,0 +1,160 @@
+//! Placement constraints for tool processes.
+//!
+//! The paper's topology choices were not free: on BG/L, MRNet communication processes
+//! can only run on the 14 login nodes (2 processors each), which "restricts the
+//! topologies that we can use" (Section III).  On Atlas, communication processes get a
+//! separate allocation of compute nodes, one process per core.  This module captures
+//! those budgets so the TBON topology builder can refuse (or clamp) configurations the
+//! real machines could not have run, and so the figure generators can annotate where a
+//! restriction bit.
+
+use crate::cluster::{Cluster, ClusterKind};
+
+/// How many communication processes a machine can host, and where.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommProcessBudget {
+    /// Maximum number of communication processes that can exist at once.
+    pub max_processes: u32,
+    /// Maximum processes per hosting node (caps how much fan-in a single node's
+    /// processes can absorb before they start competing for cores).
+    pub per_node: u32,
+    /// Number of distinct nodes available for hosting.
+    pub nodes: u32,
+}
+
+impl CommProcessBudget {
+    /// The budget for a given cluster.
+    pub fn for_cluster(cluster: &Cluster) -> Self {
+        match cluster.kind {
+            ClusterKind::LinuxCluster => {
+                // A dedicated allocation of compute nodes, one comm process per core.
+                // We allow up to 1/8th of the machine to be used for tool processes.
+                let nodes = (cluster.compute_nodes / 8).max(1);
+                CommProcessBudget {
+                    max_processes: nodes * cluster.cores_per_compute as u32,
+                    per_node: cluster.cores_per_compute as u32,
+                    nodes,
+                }
+            }
+            ClusterKind::BlueGeneL { .. } => CommProcessBudget {
+                // 14 login nodes × 2 processors each = 28 usable comm processes; the
+                // paper's 2-deep fanout cap of "sqrt(n) or 28, whichever is less"
+                // comes directly from this.
+                max_processes: cluster.login_nodes * cluster.cores_per_login as u32,
+                per_node: cluster.cores_per_login as u32,
+                nodes: cluster.login_nodes,
+            },
+        }
+    }
+
+    /// Clamp a requested number of communication processes to the budget.
+    pub fn clamp(&self, requested: u32) -> u32 {
+        requested.min(self.max_processes)
+    }
+
+    /// Whether the machine can host the requested number of communication processes.
+    pub fn can_host(&self, requested: u32) -> bool {
+        requested <= self.max_processes
+    }
+}
+
+/// A resolved placement of tool processes for one job: which hosts run daemons, how
+/// many communication processes are available, and where the front end sits.
+#[derive(Clone, Debug)]
+pub struct PlacementPlan {
+    /// Number of back-end daemons.
+    pub daemons: u32,
+    /// Tasks each daemon serves (the last daemon may serve fewer).
+    pub tasks_per_daemon: u32,
+    /// Communication-process budget for intermediate TBON levels.
+    pub comm_budget: CommProcessBudget,
+    /// Whether daemons run on dedicated I/O nodes.
+    pub daemons_on_io_nodes: bool,
+}
+
+impl PlacementPlan {
+    /// Compute the placement for a job of `tasks` MPI tasks on `cluster`.
+    pub fn for_job(cluster: &Cluster, tasks: u64) -> Self {
+        let shape = cluster.job(tasks);
+        PlacementPlan {
+            daemons: shape.daemons,
+            tasks_per_daemon: shape.tasks_per_daemon,
+            comm_budget: CommProcessBudget::for_cluster(cluster),
+            daemons_on_io_nodes: cluster.daemons_on_io_nodes(),
+        }
+    }
+
+    /// The fan-out from the front end used by the paper for a 2-deep tree:
+    /// `min(sqrt(daemons), 28)` on BG/L, `sqrt(daemons)` elsewhere, at least 1.
+    pub fn two_deep_fanout(&self) -> u32 {
+        let sqrt = (self.daemons as f64).sqrt().ceil() as u32;
+        let capped = sqrt.min(self.comm_budget.max_processes);
+        capped.max(1)
+    }
+
+    /// The second-level width used by the paper for a 3-deep tree: the front end uses
+    /// a fan-out of 4, and the next level employs 16 or 24 communication processes
+    /// depending on job scale.
+    pub fn three_deep_level_widths(&self) -> (u32, u32) {
+        let first = 4u32;
+        let second = if self.daemons >= 1_024 { 24 } else { 16 };
+        (first, second.min(self.comm_budget.max_processes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::BglMode;
+
+    #[test]
+    fn bgl_budget_is_28_comm_processes() {
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let budget = CommProcessBudget::for_cluster(&bgl);
+        assert_eq!(budget.max_processes, 28);
+        assert_eq!(budget.nodes, 14);
+        assert!(budget.can_host(28));
+        assert!(!budget.can_host(29));
+        assert_eq!(budget.clamp(100), 28);
+    }
+
+    #[test]
+    fn atlas_budget_scales_with_machine_size() {
+        let atlas = Cluster::atlas();
+        let budget = CommProcessBudget::for_cluster(&atlas);
+        assert!(budget.max_processes >= 512);
+        assert_eq!(budget.per_node, 8);
+    }
+
+    #[test]
+    fn two_deep_fanout_follows_the_paper_rule() {
+        // Atlas at 512 daemons: sqrt(512) ≈ 23 → fanout 23 (budget is not binding).
+        let atlas = Cluster::atlas();
+        let plan = PlacementPlan::for_job(&atlas, 4_096);
+        assert_eq!(plan.daemons, 512);
+        assert_eq!(plan.two_deep_fanout(), 23);
+
+        // BG/L at 1,664 daemons: sqrt ≈ 41 but capped to 28 by the login nodes.
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let plan = PlacementPlan::for_job(&bgl, 212_992);
+        assert_eq!(plan.daemons, 1_664);
+        assert_eq!(plan.two_deep_fanout(), 28);
+    }
+
+    #[test]
+    fn three_deep_widths_switch_at_scale() {
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let small = PlacementPlan::for_job(&bgl, 16_384);
+        assert_eq!(small.three_deep_level_widths(), (4, 16));
+        let large = PlacementPlan::for_job(&bgl, 106_496);
+        assert_eq!(large.three_deep_level_widths(), (4, 24));
+    }
+
+    #[test]
+    fn placement_tracks_daemon_location() {
+        let atlas = PlacementPlan::for_job(&Cluster::atlas(), 64);
+        assert!(!atlas.daemons_on_io_nodes);
+        let bgl = PlacementPlan::for_job(&Cluster::bluegene_l(BglMode::CoProcessor), 64);
+        assert!(bgl.daemons_on_io_nodes);
+    }
+}

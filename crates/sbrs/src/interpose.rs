@@ -1,0 +1,104 @@
+//! The `open()` interposition table.
+//!
+//! After relocation, the tool daemons must transparently read the RAM-disk copies
+//! even though the StackWalker layer still asks for the original paths.  The real
+//! SBRS interposes `open()` via symbol wrapping; here the same behaviour is a lookup
+//! table that the reproduction's stack-walking layer consults.  The table also counts
+//! hits and misses so tests (and the EXPERIMENTS record) can confirm that, once
+//! relocation has run, *no* accesses escape to the shared file system.
+
+use std::collections::HashMap;
+
+/// A redirect table from original paths to relocated paths.
+#[derive(Clone, Debug, Default)]
+pub struct OpenInterposition {
+    redirects: HashMap<String, String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl OpenInterposition {
+    /// An empty table (no redirects installed).
+    pub fn new() -> Self {
+        OpenInterposition::default()
+    }
+
+    /// Install a redirect from `original` to `relocated`.
+    pub fn install(&mut self, original: impl Into<String>, relocated: impl Into<String>) {
+        self.redirects.insert(original.into(), relocated.into());
+    }
+
+    /// Resolve an `open()` of `path`: returns the relocated path if a redirect is
+    /// installed, otherwise the original path unchanged.
+    pub fn resolve(&mut self, path: &str) -> String {
+        match self.redirects.get(path) {
+            Some(target) => {
+                self.hits += 1;
+                target.clone()
+            }
+            None => {
+                self.misses += 1;
+                path.to_string()
+            }
+        }
+    }
+
+    /// Resolve without recording statistics (for read-only queries).
+    pub fn peek(&self, path: &str) -> Option<&str> {
+        self.redirects.get(path).map(String::as_str)
+    }
+
+    /// Number of installed redirects.
+    pub fn len(&self) -> usize {
+        self.redirects.len()
+    }
+
+    /// True if no redirects are installed.
+    pub fn is_empty(&self) -> bool {
+        self.redirects.is_empty()
+    }
+
+    /// Opens that were redirected.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Opens that passed through unchanged.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_redirects_installed_paths() {
+        let mut t = OpenInterposition::new();
+        t.install("/g/g0/user/ring_test", "/tmp/sbrs/ring_test");
+        assert_eq!(t.resolve("/g/g0/user/ring_test"), "/tmp/sbrs/ring_test");
+        assert_eq!(t.resolve("/usr/lib64/libc.so.6"), "/usr/lib64/libc.so.6");
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_touch_statistics() {
+        let mut t = OpenInterposition::new();
+        t.install("/a", "/tmp/a");
+        assert_eq!(t.peek("/a"), Some("/tmp/a"));
+        assert_eq!(t.peek("/b"), None);
+        assert_eq!(t.hits(), 0);
+        assert_eq!(t.misses(), 0);
+    }
+
+    #[test]
+    fn reinstalling_overwrites_the_target() {
+        let mut t = OpenInterposition::new();
+        t.install("/a", "/tmp/a1");
+        t.install("/a", "/tmp/a2");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.resolve("/a"), "/tmp/a2");
+    }
+}

@@ -1,0 +1,265 @@
+//! Relocation planning and the broadcast cost model.
+//!
+//! SBRS's job splits into a *decision* (which binaries actually need relocating —
+//! only those on globally shared file systems) and a *mechanism* (one master daemon
+//! fetches each such binary and broadcasts it to the other daemons over the tool's
+//! communication fabric, each writing its copy to a node-local RAM disk).
+//!
+//! The decision and the resulting interposition table are computed for real from the
+//! cluster's mount table.  The mechanism's cost is modelled: a fetch of the file from
+//! the shared file system by the master daemon, then a binomial-tree broadcast among
+//! the daemons over the machine's daemon-to-daemon fabric (LaunchMON's back-end
+//! communication runs over Infiniband on Atlas), then a local RAM-disk write.  Before
+//! any of that, SBRS stops the application processes (SIGSTOP) and waits a short
+//! grace period so the broadcast does not compete with MPI spin-waiting for the
+//! cores — that grace period is accounted separately, as the paper reports the
+//! relocation cost (0.088 s) without it.
+
+use machine::cluster::Cluster;
+use machine::filesystem::{FileAccessKind, FileSystem};
+use machine::network::LinkClass;
+use simkit::time::SimDuration;
+use stackwalk::symtab::BinaryImage;
+
+use crate::interpose::OpenInterposition;
+
+/// The decision of what to relocate.
+#[derive(Clone, Debug)]
+pub struct RelocationPlan {
+    /// Binaries that will be broadcast (they live on shared file systems).
+    pub relocate: Vec<BinaryImage>,
+    /// Binaries left alone (already node-local).
+    pub skip: Vec<BinaryImage>,
+    /// RAM-disk directory the copies are written into.
+    pub target_dir: String,
+}
+
+impl RelocationPlan {
+    /// Decide what needs relocating for a working set on a cluster.
+    pub fn for_working_set(cluster: &Cluster, working_set: &[BinaryImage]) -> Self {
+        let mut relocate = Vec::new();
+        let mut skip = Vec::new();
+        for img in working_set {
+            if cluster.mounts.is_shared(&img.path) {
+                relocate.push(img.clone());
+            } else {
+                skip.push(img.clone());
+            }
+        }
+        RelocationPlan {
+            relocate,
+            skip,
+            target_dir: "/tmp/sbrs".to_string(),
+        }
+    }
+
+    /// Total bytes that will be broadcast.
+    pub fn bytes_to_relocate(&self) -> u64 {
+        self.relocate.iter().map(|i| i.bytes).sum()
+    }
+
+    /// The relocated path of an original path (whether or not it is in the plan).
+    pub fn relocated_path(&self, original: &str) -> String {
+        let file = original.rsplit('/').next().unwrap_or(original);
+        format!("{}/{}", self.target_dir, file)
+    }
+
+    /// Build the interposition table the daemons will install after the broadcast.
+    pub fn interposition(&self) -> OpenInterposition {
+        let mut table = OpenInterposition::new();
+        for img in &self.relocate {
+            table.install(img.path.clone(), self.relocated_path(&img.path));
+        }
+        table
+    }
+}
+
+/// The modelled outcome of executing a relocation plan.
+#[derive(Clone, Debug)]
+pub struct RelocationOutcome {
+    /// Time for the master daemon to fetch every relocated binary from the shared
+    /// file system (one reader, so no server contention).
+    pub fetch: SimDuration,
+    /// Time for the binomial-tree broadcast to reach every daemon.
+    pub broadcast: SimDuration,
+    /// Time for each daemon to write its copies to the local RAM disk (parallel
+    /// across daemons, so counted once).
+    pub local_write: SimDuration,
+    /// The SIGSTOP-and-settle grace period paid before relocation begins.
+    pub grace_period: SimDuration,
+    /// Number of daemons that received the binaries.
+    pub daemons: u32,
+    /// Bytes broadcast.
+    pub bytes: u64,
+}
+
+impl RelocationOutcome {
+    /// The relocation overhead as the paper reports it (fetch + broadcast + write,
+    /// excluding the application-quiescing grace period).
+    pub fn relocation_overhead(&self) -> SimDuration {
+        self.fetch + self.broadcast + self.local_write
+    }
+
+    /// The full wall-clock cost including the grace period.
+    pub fn total(&self) -> SimDuration {
+        self.relocation_overhead() + self.grace_period
+    }
+}
+
+/// The relocation service bound to a cluster.
+#[derive(Clone, Debug)]
+pub struct RelocationService {
+    cluster: Cluster,
+    /// Grace period given to SIGSTOPped application processes to settle.
+    pub grace_period: SimDuration,
+}
+
+impl RelocationService {
+    /// A service over a cluster with the default grace period.
+    pub fn new(cluster: Cluster) -> Self {
+        RelocationService {
+            cluster,
+            grace_period: SimDuration::from_millis(200.0),
+        }
+    }
+
+    /// The cluster this service runs on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Model the execution of `plan` across `daemons` tool daemons.
+    pub fn execute(&self, plan: &RelocationPlan, daemons: u32) -> RelocationOutcome {
+        let daemons = daemons.max(1);
+        let bytes = plan.bytes_to_relocate();
+
+        // Master daemon fetches each binary once from wherever it lives.
+        let mut fetch = SimDuration::ZERO;
+        for img in &plan.relocate {
+            let fs = FileSystem::of_kind(self.cluster.mounts.filesystem_of(&img.path));
+            fetch += fs.server_service_time(FileAccessKind::BulkRead, img.bytes);
+        }
+
+        // Binomial-tree broadcast among the daemons over the daemon fabric: each of
+        // the ceil(log2(n)) rounds forwards the full payload one hop.
+        let rounds = (daemons as f64).log2().ceil().max(0.0) as u64;
+        let link: LinkClass = self.cluster.interconnect.daemon_uplink();
+        let per_round = self.cluster.interconnect.transfer(link, bytes);
+        let broadcast = per_round * rounds;
+
+        // Each daemon writes its copies to the node-local RAM disk in parallel.
+        let ram = FileSystem::ramdisk();
+        let local_write: SimDuration = plan
+            .relocate
+            .iter()
+            .map(|img| ram.server_service_time(FileAccessKind::BulkRead, img.bytes))
+            .sum();
+
+        RelocationOutcome {
+            fetch,
+            broadcast,
+            local_write,
+            grace_period: self.grace_period,
+            daemons,
+            bytes,
+        }
+    }
+
+    /// Convenience: plan and execute for the cluster's own binary working set.
+    pub fn relocate_working_set(&self, daemons: u32) -> (RelocationPlan, RelocationOutcome) {
+        let working_set = stackwalk::symtab::working_set_of(&self.cluster);
+        let plan = RelocationPlan::for_working_set(&self.cluster, &working_set);
+        let outcome = self.execute(&plan, daemons);
+        (plan, outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cluster::BglMode;
+
+    #[test]
+    fn plan_only_relocates_shared_binaries() {
+        let atlas = Cluster::atlas();
+        let ws = stackwalk::symtab::working_set_of(&atlas);
+        let plan = RelocationPlan::for_working_set(&atlas, &ws);
+        assert!(!plan.relocate.is_empty());
+        assert!(!plan.skip.is_empty(), "system libraries stay local");
+        for img in &plan.relocate {
+            assert!(atlas.mounts.is_shared(&img.path));
+        }
+        for img in &plan.skip {
+            assert!(!atlas.mounts.is_shared(&img.path));
+        }
+    }
+
+    #[test]
+    fn interposition_covers_exactly_the_relocated_set() {
+        let atlas = Cluster::atlas();
+        let ws = stackwalk::symtab::working_set_of(&atlas);
+        let plan = RelocationPlan::for_working_set(&atlas, &ws);
+        let mut table = plan.interposition();
+        assert_eq!(table.len(), plan.relocate.len());
+        let original = &plan.relocate[0].path;
+        let resolved = table.resolve(original).to_string();
+        assert!(resolved.starts_with("/tmp/sbrs/"));
+        assert!(!atlas.mounts.is_shared(&resolved), "redirect target is local");
+    }
+
+    #[test]
+    fn paper_calibration_point_088_seconds() {
+        // "taking 0.088 seconds to relocate two main binary files, the base executable
+        // (10KB) and the MPI library (4MB), to 128 nodes."
+        let atlas = Cluster::atlas();
+        let service = RelocationService::new(atlas.clone());
+        let two_files = vec![
+            BinaryImage::new("/g/g0/user/ring_test", 10 * 1024),
+            BinaryImage::new("/g/g0/user/lib/libmpi.so", 4 * 1024 * 1024),
+        ];
+        let plan = RelocationPlan::for_working_set(&atlas, &two_files);
+        let outcome = service.execute(&plan, 128);
+        let secs = outcome.relocation_overhead().as_secs();
+        assert!(
+            (0.03..0.3).contains(&secs),
+            "expected ~0.088 s, got {secs}"
+        );
+        assert_eq!(outcome.bytes, 10 * 1024 + 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn broadcast_grows_logarithmically_with_daemons() {
+        let atlas = Cluster::atlas();
+        let service = RelocationService::new(atlas.clone());
+        let ws = stackwalk::symtab::working_set_of(&atlas);
+        let plan = RelocationPlan::for_working_set(&atlas, &ws);
+        let d128 = service.execute(&plan, 128).broadcast.as_secs();
+        let d1024 = service.execute(&plan, 1_024).broadcast.as_secs();
+        let growth = d1024 / d128;
+        assert!(growth < 2.0, "log growth expected, got {growth}");
+    }
+
+    #[test]
+    fn relocation_is_much_cheaper_than_what_it_saves() {
+        // The service only makes sense if its one-time cost is far below the per-run
+        // NFS contention it removes; check the orders of magnitude line up.
+        use stackwalk::sampler::{BinaryPlacement, SamplingCostModel};
+        let atlas = Cluster::atlas();
+        let service = RelocationService::new(atlas.clone());
+        let (_, outcome) = service.relocate_working_set(512);
+        let sampling = SamplingCostModel::new(atlas);
+        let nfs = sampling.estimate(4_096, BinaryPlacement::NfsHome, 1);
+        let relocated = sampling.estimate(4_096, BinaryPlacement::RelocatedRamDisk, 1);
+        let saved = nfs.total.as_secs() - relocated.total.as_secs();
+        assert!(outcome.total().as_secs() < saved / 5.0);
+    }
+
+    #[test]
+    fn bgl_static_binary_is_the_whole_plan() {
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let ws = stackwalk::symtab::working_set_of(&bgl);
+        let plan = RelocationPlan::for_working_set(&bgl, &ws);
+        assert_eq!(plan.relocate.len(), 1);
+        assert!(plan.skip.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Events and the event log.
+//!
+//! The engine deals in a small, closed vocabulary of event kinds rather than boxed
+//! closures.  This keeps the engine allocation-light, makes the event trace printable
+//! and diffable (important when comparing unpatched vs. patched resource-manager
+//! models), and sidesteps the borrow-checker gymnastics of self-scheduling closures.
+
+use crate::resource::ResourceId;
+use crate::time::{SimDuration, SimTime};
+
+/// Opaque identifier of an actor in a model (a daemon, a node, an MPI task, ...).
+/// The engine does not interpret it; models use it to correlate completions.
+pub type ActorId = u64;
+
+/// What an event does when it fires.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// An actor asks a resource for `service` worth of service time.  The request is
+    /// queued according to the resource's policy and a [`EventKind::Completion`] is
+    /// emitted when the service finishes.
+    Request {
+        /// Resource being requested.
+        resource: ResourceId,
+        /// Requesting actor.
+        actor: ActorId,
+        /// Amount of service time consumed once the request reaches a server slot.
+        service: SimDuration,
+    },
+    /// Emitted by the engine when a previously queued request finishes service.
+    Completion {
+        /// Resource that completed the request.
+        resource: ResourceId,
+        /// Actor whose request completed.
+        actor: ActorId,
+        /// How long the request waited in the queue before service began.
+        queued_for: SimDuration,
+    },
+    /// A pure time marker: nothing happens, but the event appears in the log.  Models
+    /// use markers to timestamp phase boundaries (e.g. "all daemons connected").
+    Marker {
+        /// Free-form label recorded in the event log.
+        label: &'static str,
+        /// Actor associated with the marker.
+        actor: ActorId,
+    },
+    /// Fires a model callback registered with [`crate::engine::Simulation::add_process`].
+    Wakeup {
+        /// Index of the process to wake.
+        process: usize,
+        /// Actor on whose behalf the wakeup was scheduled.
+        actor: ActorId,
+    },
+}
+
+/// An event scheduled to fire at a particular virtual time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// When the event fires.
+    pub at: SimTime,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Convenience constructor for a resource request fired immediately.
+    pub fn request(resource: ResourceId, actor: ActorId, service: SimDuration) -> EventKind {
+        EventKind::Request {
+            resource,
+            actor,
+            service,
+        }
+    }
+
+    /// Convenience constructor for a phase marker.
+    pub fn marker(label: &'static str, actor: ActorId) -> EventKind {
+        EventKind::Marker { label, actor }
+    }
+
+    /// Convenience constructor for a process wakeup.
+    pub fn wakeup(process: usize, actor: ActorId) -> EventKind {
+        EventKind::Wakeup { process, actor }
+    }
+}
+
+/// A record of one fired event, kept by the [`EventLog`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoggedEvent {
+    /// Virtual time at which the event fired.
+    pub at: SimTime,
+    /// Monotonic sequence number (firing order).
+    pub seq: u64,
+    /// The event payload.
+    pub kind: EventKind,
+}
+
+/// An append-only log of fired events.
+///
+/// Logging every event of a 200K-actor model would be wasteful, so the log can be
+/// switched off (the default for large runs) or restricted to markers and completions.
+#[derive(Clone, Debug, Default)]
+pub struct EventLog {
+    entries: Vec<LoggedEvent>,
+    policy: LogPolicy,
+}
+
+/// Which events the log retains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum LogPolicy {
+    /// Keep nothing (cheapest; the run report still carries aggregate statistics).
+    #[default]
+    Nothing,
+    /// Keep only [`EventKind::Marker`] events.
+    MarkersOnly,
+    /// Keep markers and completions.
+    MarkersAndCompletions,
+    /// Keep everything (tests and small didactic runs).
+    Everything,
+}
+
+impl EventLog {
+    /// Create a log with the given retention policy.
+    pub fn with_policy(policy: LogPolicy) -> Self {
+        EventLog {
+            entries: Vec::new(),
+            policy,
+        }
+    }
+
+    /// Record a fired event, subject to the retention policy.
+    pub fn record(&mut self, at: SimTime, seq: u64, kind: &EventKind) {
+        let keep = match self.policy {
+            LogPolicy::Nothing => false,
+            LogPolicy::MarkersOnly => matches!(kind, EventKind::Marker { .. }),
+            LogPolicy::MarkersAndCompletions => matches!(
+                kind,
+                EventKind::Marker { .. } | EventKind::Completion { .. }
+            ),
+            LogPolicy::Everything => true,
+        };
+        if keep {
+            self.entries.push(LoggedEvent {
+                at,
+                seq,
+                kind: kind.clone(),
+            });
+        }
+    }
+
+    /// All retained entries, in firing order.
+    pub fn entries(&self) -> &[LoggedEvent] {
+        &self.entries
+    }
+
+    /// The time of the first marker with the given label, if any.
+    pub fn marker_time(&self, wanted: &str) -> Option<SimTime> {
+        self.entries.iter().find_map(|e| match &e.kind {
+            EventKind::Marker { label, .. } if *label == wanted => Some(e.at),
+            _ => None,
+        })
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing was retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_policy_filters_events() {
+        let marker = EventKind::Marker {
+            label: "phase",
+            actor: 1,
+        };
+        let completion = EventKind::Completion {
+            resource: ResourceId(0),
+            actor: 1,
+            queued_for: SimDuration::ZERO,
+        };
+        let request = EventKind::Request {
+            resource: ResourceId(0),
+            actor: 1,
+            service: SimDuration::from_millis(1.0),
+        };
+
+        let mut log = EventLog::with_policy(LogPolicy::MarkersOnly);
+        log.record(SimTime::ZERO, 0, &marker);
+        log.record(SimTime::ZERO, 1, &completion);
+        log.record(SimTime::ZERO, 2, &request);
+        assert_eq!(log.len(), 1);
+
+        let mut log = EventLog::with_policy(LogPolicy::MarkersAndCompletions);
+        log.record(SimTime::ZERO, 0, &marker);
+        log.record(SimTime::ZERO, 1, &completion);
+        log.record(SimTime::ZERO, 2, &request);
+        assert_eq!(log.len(), 2);
+
+        let mut log = EventLog::with_policy(LogPolicy::Everything);
+        log.record(SimTime::ZERO, 0, &marker);
+        log.record(SimTime::ZERO, 1, &completion);
+        log.record(SimTime::ZERO, 2, &request);
+        assert_eq!(log.len(), 3);
+
+        let mut log = EventLog::with_policy(LogPolicy::Nothing);
+        log.record(SimTime::ZERO, 0, &marker);
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn marker_time_finds_first_occurrence() {
+        let mut log = EventLog::with_policy(LogPolicy::Everything);
+        log.record(SimTime::from_secs(1.0), 0, &EventKind::Marker { label: "a", actor: 0 });
+        log.record(SimTime::from_secs(2.0), 1, &EventKind::Marker { label: "b", actor: 0 });
+        log.record(SimTime::from_secs(3.0), 2, &EventKind::Marker { label: "a", actor: 0 });
+        assert_eq!(log.marker_time("a"), Some(SimTime::from_secs(1.0)));
+        assert_eq!(log.marker_time("b"), Some(SimTime::from_secs(2.0)));
+        assert_eq!(log.marker_time("c"), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # stackwalk — stack traces, symbol tables and the sampling cost model
+//!
+//! STAT gathers its raw data through the Dyninst StackWalker API: a lightweight,
+//! third-party (out-of-process) stack walker that each tool daemon uses to sample the
+//! call stacks of the application processes on its node.  This crate provides the
+//! Rust equivalent for the reproduction:
+//!
+//! * [`frame`] — interned stack frames and the frame table shared by every trace;
+//! * [`trace`] — stack traces and per-task sample series (the "space" and "time"
+//!   dimensions of STAT's 2D and 3D prefix trees);
+//! * [`symtab`] — binary images and the symbol-table bookkeeping a daemon performs
+//!   before it can symbolise its first trace;
+//! * [`sampler`] — the real walker that converts an application's in-memory stack
+//!   into an interned [`trace::StackTrace`], plus the environment cost model that
+//!   reproduces the paper's Section VI findings: symbol-table parsing against shared
+//!   file systems is what makes "node-local" sampling scale badly.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod frame;
+pub mod sampler;
+pub mod symtab;
+pub mod trace;
+
+pub use frame::{FrameId, FrameTable};
+pub use sampler::{SamplingConfig, SamplingCostModel, SamplingEstimate, Walker};
+pub use symtab::{BinaryImage, SymbolTableCache};
+pub use trace::{StackTrace, TaskSamples};

@@ -1,0 +1,212 @@
+//! Emulated daemons driving the real merge machinery.
+//!
+//! STATBench's emulated daemons do exactly what real STAT daemons do *except* talk to
+//! live processes: they fabricate the traces (here via [`crate::generator`]) and then
+//! run the genuine local-merge, serialisation and TBON-merge code paths.  The value of
+//! the emulation is that the measured quantities — packet sizes, filter work, tree
+//! shapes, wall time — come from the real implementation, not a model, while the
+//! "application" can be dialled to any size and shape.
+
+use std::time::Duration;
+
+use machine::cluster::Cluster;
+use machine::placement::PlacementPlan;
+use stat_core::prelude::*;
+use tbon::topology::{Topology, TopologyKind, TopologySpec};
+
+use crate::generator::{SyntheticApp, TraceShape};
+
+/// An emulated whole-job run: a synthetic application, a machine and a topology.
+#[derive(Clone, Debug)]
+pub struct EmulatedJob {
+    /// Machine whose daemon fan-in and placement rules apply.
+    pub cluster: Cluster,
+    /// Number of MPI tasks to emulate.
+    pub tasks: u64,
+    /// Shape of the synthetic traces.
+    pub shape: TraceShape,
+    /// Topology family for the overlay network.
+    pub topology: TopologyKind,
+    /// Task-set representation to exercise.
+    pub representation: Representation,
+    /// Samples per task.
+    pub samples_per_task: u32,
+}
+
+impl EmulatedJob {
+    /// An emulated job on the given cluster with typical STATBench parameters.
+    pub fn new(cluster: Cluster, tasks: u64) -> Self {
+        EmulatedJob {
+            cluster,
+            tasks,
+            shape: TraceShape::typical(),
+            topology: TopologyKind::TwoDeep,
+            representation: Representation::HierarchicalTaskList,
+            samples_per_task: 10,
+        }
+    }
+
+    /// Override the trace shape.
+    pub fn with_shape(mut self, shape: TraceShape) -> Self {
+        self.shape = shape;
+        self
+    }
+
+    /// Override the representation.
+    pub fn with_representation(mut self, representation: Representation) -> Self {
+        self.representation = representation;
+        self
+    }
+
+    /// Override the topology family.
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Run the emulation and collect the report.
+    pub fn run(&self) -> EmulationReport {
+        let app = SyntheticApp::new(self.tasks, self.shape);
+        let plan = PlacementPlan::for_job(&self.cluster, self.tasks);
+        let spec = TopologySpec::for_placement(self.topology, &plan);
+        let topology = Topology::build(spec.clone());
+
+        let start = std::time::Instant::now();
+        let daemons = StatDaemon::partition(self.tasks, spec.backends());
+        let contributions: Vec<DaemonContribution> = daemons
+            .iter()
+            .zip(topology.backends())
+            .map(|(daemon, &leaf)| match self.representation {
+                Representation::GlobalBitVector => {
+                    daemon.contribute::<DenseBitVector>(&app, self.samples_per_task, leaf)
+                }
+                Representation::HierarchicalTaskList => {
+                    daemon.contribute::<SubtreeTaskList>(&app, self.samples_per_task, leaf)
+                }
+            })
+            .collect();
+        let local_phase = start.elapsed();
+
+        let daemon_packet_bytes: Vec<u64> = contributions
+            .iter()
+            .map(|c| (c.tree_2d.size_bytes() + c.tree_3d.size_bytes()) as u64)
+            .collect();
+
+        let frontend = StatFrontEnd::new(topology, self.representation);
+        let gather = frontend.gather(&contributions, self.tasks);
+
+        EmulationReport {
+            tasks: self.tasks,
+            daemons: spec.backends(),
+            classes: gather.classes.len(),
+            merged_tree_nodes: gather.tree_3d.node_count(),
+            local_phase,
+            merge_wall: gather.metrics.merge_wall,
+            remap_wall: gather.metrics.remap_wall,
+            frontend_bytes_in: gather.metrics.frontend_bytes_in,
+            total_link_bytes: gather.metrics.total_link_bytes,
+            max_daemon_packet_bytes: daemon_packet_bytes.iter().copied().max().unwrap_or(0),
+            mean_daemon_packet_bytes: if daemon_packet_bytes.is_empty() {
+                0
+            } else {
+                daemon_packet_bytes.iter().sum::<u64>() / daemon_packet_bytes.len() as u64
+            },
+        }
+    }
+}
+
+/// What one emulation run measured.
+#[derive(Clone, Debug)]
+pub struct EmulationReport {
+    /// Tasks emulated.
+    pub tasks: u64,
+    /// Daemons emulated.
+    pub daemons: u32,
+    /// Behaviour classes the merged tree contained.
+    pub classes: usize,
+    /// Nodes in the merged 3D tree.
+    pub merged_tree_nodes: usize,
+    /// Wall time of the daemon-local phase (trace generation + local merge +
+    /// serialisation), summed over daemons but executed in this process.
+    pub local_phase: Duration,
+    /// Wall time of the TBON merge reductions.
+    pub merge_wall: Duration,
+    /// Wall time of the front-end remap (zero for the global representation).
+    pub remap_wall: Duration,
+    /// Bytes into the front end.
+    pub frontend_bytes_in: u64,
+    /// Bytes across all overlay links.
+    pub total_link_bytes: u64,
+    /// Largest single daemon packet (2D + 3D).
+    pub max_daemon_packet_bytes: u64,
+    /// Mean daemon packet size (2D + 3D).
+    pub mean_daemon_packet_bytes: u64,
+}
+
+impl EmulationReport {
+    /// The compression the tool achieved: emulated tasks per behaviour class.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.classes == 0 {
+            0.0
+        } else {
+            self.tasks as f64 / self.classes as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> Cluster {
+        Cluster::test_cluster(64, 8)
+    }
+
+    #[test]
+    fn emulation_recovers_the_requested_classes() {
+        let job = EmulatedJob::new(small_cluster(), 512).with_shape(TraceShape {
+            classes: 6,
+            ..TraceShape::typical()
+        });
+        let report = job.run();
+        // Temporal frames split each class across a few leaves but the terminal-node
+        // class extraction reassembles them: 6 classes of tasks.
+        assert_eq!(report.classes, 6);
+        assert_eq!(report.daemons, 64);
+        assert!(report.compression_ratio() > 80.0);
+    }
+
+    #[test]
+    fn representations_agree_on_classes_but_not_on_bytes() {
+        let base = EmulatedJob::new(small_cluster(), 1_024).with_shape(TraceShape::typical());
+        let dense = base
+            .clone()
+            .with_representation(Representation::GlobalBitVector)
+            .run();
+        let hier = base
+            .with_representation(Representation::HierarchicalTaskList)
+            .run();
+        assert_eq!(dense.classes, hier.classes);
+        assert!(dense.total_link_bytes > hier.total_link_bytes);
+        assert!(dense.max_daemon_packet_bytes > hier.max_daemon_packet_bytes);
+    }
+
+    #[test]
+    fn best_case_merged_tree_is_one_path() {
+        let job = EmulatedJob::new(small_cluster(), 256).with_shape(TraceShape::best_case(12));
+        let report = job.run();
+        assert_eq!(report.classes, 1);
+        // Root + 12 frames.
+        assert_eq!(report.merged_tree_nodes, 13);
+    }
+
+    #[test]
+    fn worst_case_merged_tree_grows_with_tasks() {
+        let job = EmulatedJob::new(small_cluster(), 128)
+            .with_shape(TraceShape::worst_case(10, 128))
+            .with_topology(TopologyKind::ThreeDeep);
+        let report = job.run();
+        assert_eq!(report.classes, 128);
+        assert!(report.merged_tree_nodes > 128);
+    }
+}

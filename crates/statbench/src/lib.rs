@@ -1,0 +1,35 @@
+//! # statbench — tool emulation for scalability studies without an application
+//!
+//! The paper's prior work (reference [9], "Benchmarking the Stack Trace Analysis Tool
+//! for BlueGene/L", ParCo 2007) built **STATBench**, an emulation infrastructure that
+//! lets the STAT developers evaluate the tool's scalability *without* having to run —
+//! or even possess — a full-scale application: emulated daemons generate synthetic
+//! stack traces with a controllable shape (depth, branching, number of equivalence
+//! classes, tasks per daemon) and drive the real merging machinery with them.
+//!
+//! This crate reproduces that infrastructure on top of the reproduction's own real
+//! machinery:
+//!
+//! * [`generator`] — parameterised synthetic trace generation (the knob set of the
+//!   STATBench paper: trace depth, branch width, equivalence-class count, and how
+//!   classes are spread over tasks);
+//! * [`emulator`] — emulated daemons that build real local prefix trees from the
+//!   synthetic traces and push real serialised packets through the real in-process
+//!   TBON, reporting wall time, packet sizes and tree shapes;
+//! * [`sweep`] — scalability sweeps over daemon counts and trace shapes that produce
+//!   the same [`simkit::stats::SeriesTable`]s the figure generators use.
+//!
+//! STATBench matters for the reproduction because it is how the original authors
+//! explored the regime *between* what they could run interactively and the full
+//! machine — exactly the regime this reproduction lives in.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod emulator;
+pub mod generator;
+pub mod sweep;
+
+pub use emulator::{EmulatedJob, EmulationReport};
+pub use generator::{SyntheticApp, TraceShape};
+pub use sweep::{sweep_daemon_counts, sweep_equivalence_classes, SweepConfig};

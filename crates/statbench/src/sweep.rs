@@ -1,0 +1,153 @@
+//! Scalability sweeps over the emulation.
+//!
+//! The STATBench paper's experiments are sweeps: hold the trace shape fixed and grow
+//! the daemon count (scaling sweep), or hold the job size fixed and grow the number
+//! of equivalence classes (stress sweep).  Both produce the usual
+//! [`simkit::stats::SeriesTable`]s so they slot into the same reporting pipeline as
+//! the paper's figures.
+
+use machine::cluster::Cluster;
+use simkit::stats::SeriesTable;
+use stat_core::prelude::Representation;
+use tbon::topology::TopologyKind;
+
+use crate::emulator::EmulatedJob;
+use crate::generator::TraceShape;
+
+/// Parameters shared by every point of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfig {
+    /// Machine whose placement rules shape the emulation.
+    pub cluster: Cluster,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Samples per task.
+    pub samples_per_task: u32,
+    /// Trace shape (the class count is overridden by the class sweep).
+    pub shape: TraceShape,
+}
+
+impl SweepConfig {
+    /// A default sweep configuration over a small test cluster.
+    pub fn new(cluster: Cluster) -> Self {
+        SweepConfig {
+            cluster,
+            topology: TopologyKind::TwoDeep,
+            samples_per_task: 5,
+            shape: TraceShape::typical(),
+        }
+    }
+
+    fn job(&self, tasks: u64, representation: Representation) -> EmulatedJob {
+        let mut job = EmulatedJob::new(self.cluster.clone(), tasks)
+            .with_shape(self.shape)
+            .with_representation(representation)
+            .with_topology(self.topology);
+        job.samples_per_task = self.samples_per_task;
+        job
+    }
+}
+
+/// Sweep the job size (and therefore the daemon count) for both representations,
+/// reporting merge wall time and bytes through the overlay.
+pub fn sweep_daemon_counts(config: &SweepConfig, task_counts: &[u64]) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        "STATBench scaling sweep (emulated daemons, real merges)",
+        "tasks",
+        "seconds / bytes",
+    );
+    for &tasks in task_counts {
+        for representation in [
+            Representation::GlobalBitVector,
+            Representation::HierarchicalTaskList,
+        ] {
+            let report = config.job(tasks, representation).run();
+            table.push(
+                format!("{} merge wall (s)", representation.label()),
+                tasks,
+                report.merge_wall.as_secs_f64(),
+            );
+            table.push(
+                format!("{} link bytes", representation.label()),
+                tasks,
+                report.total_link_bytes as f64,
+            );
+        }
+    }
+    table.note(format!(
+        "topology {}, {} samples/task, shape: depth {}, {} classes",
+        config.topology.label(),
+        config.samples_per_task,
+        config.shape.depth,
+        config.shape.classes
+    ));
+    table
+}
+
+/// Sweep the number of equivalence classes at a fixed job size, reporting merged tree
+/// size and front-end bytes — the stress dimension the prefix tree is sensitive to.
+pub fn sweep_equivalence_classes(
+    config: &SweepConfig,
+    tasks: u64,
+    class_counts: &[u32],
+) -> SeriesTable {
+    let mut table = SeriesTable::new(
+        format!("STATBench class sweep at {tasks} tasks"),
+        "equivalence classes",
+        "nodes / bytes",
+    );
+    for &classes in class_counts {
+        let shape = TraceShape {
+            classes,
+            ..config.shape
+        };
+        let mut job = EmulatedJob::new(config.cluster.clone(), tasks)
+            .with_shape(shape)
+            .with_representation(Representation::HierarchicalTaskList)
+            .with_topology(config.topology);
+        job.samples_per_task = config.samples_per_task;
+        let report = job.run();
+        table.push("merged tree nodes", classes as u64, report.merged_tree_nodes as f64);
+        table.push(
+            "front-end bytes in",
+            classes as u64,
+            report.frontend_bytes_in as f64,
+        );
+        table.push("classes recovered", classes as u64, report.classes as f64);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_sweep_shows_the_representation_gap() {
+        let config = SweepConfig::new(Cluster::test_cluster(256, 8));
+        let table = sweep_daemon_counts(&config, &[256, 1_024]);
+        let dense = table
+            .value_at("original bit vector link bytes", 1_024)
+            .unwrap();
+        let hier = table
+            .value_at("optimized bit vector link bytes", 1_024)
+            .unwrap();
+        assert!(dense > hier);
+    }
+
+    #[test]
+    fn class_sweep_recovers_every_requested_class() {
+        let config = SweepConfig::new(Cluster::test_cluster(64, 8));
+        let table = sweep_equivalence_classes(&config, 512, &[1, 8, 64]);
+        for classes in [1u64, 8, 64] {
+            assert_eq!(
+                table.value_at("classes recovered", classes),
+                Some(classes as f64)
+            );
+        }
+        // More classes means a bigger merged tree.
+        let small = table.value_at("merged tree nodes", 1).unwrap();
+        let large = table.value_at("merged tree nodes", 64).unwrap();
+        assert!(large > small);
+    }
+}

@@ -1,0 +1,306 @@
+//! Analytic cost model for tree reductions and broadcasts.
+//!
+//! The merge-time figures (4, 5 and 7) are fundamentally about *how many bytes pass
+//! through which node*.  With the original representation every edge label is a bit
+//! vector sized for the whole job, so packet sizes grow linearly with the total task
+//! count no matter where a node sits in the tree — and the tree's logarithmic depth
+//! cannot save the front end (or the I/O nodes) from linear data growth.  With the
+//! hierarchical representation a node's packet only describes the tasks in its own
+//! subtree, so per-node data volume is bounded by subtree size and the critical path
+//! really is logarithmic.
+//!
+//! [`ReductionCostModel`] turns a topology, an interconnect and a caller-supplied
+//! "how many bytes does this node emit" function into a critical-path estimate:
+//!
+//! * every internal node must receive one packet from each child over its incoming
+//!   link (fan-in serialises at the receiving NIC),
+//! * then run its filter, whose cost is affine in the bytes received,
+//! * nodes at the same level proceed in parallel,
+//! * and the critical path is the sum over levels of the slowest node at that level.
+//!
+//! The same structure gives a downward [`broadcast`](ReductionCostModel::broadcast)
+//! estimate used by the SBRS model.
+
+use machine::network::{Interconnect, LinkClass};
+use simkit::time::SimDuration;
+
+use crate::packet::EndpointId;
+use crate::topology::{Topology, TreeNodeRole};
+
+/// Inputs that rarely change between evaluations: where the tree runs and how fast
+/// its hosts and links are.
+#[derive(Clone, Debug)]
+pub struct ReductionCostModel<'a> {
+    /// The tree being evaluated.
+    pub topology: &'a Topology,
+    /// The machine's interconnect.
+    pub interconnect: &'a Interconnect,
+    /// Link class used by leaf daemons to reach their parents.
+    pub daemon_uplink: LinkClass,
+    /// Link class used between communication processes and the front end.
+    pub upper_link: LinkClass,
+    /// Filter compute cost per byte of input, on a 2.4 GHz reference core.
+    pub filter_secs_per_byte: f64,
+    /// Fixed filter invocation overhead, on a reference core.
+    pub filter_base: SimDuration,
+    /// Slowdown factor of the hosts running communication processes / the front end.
+    pub comm_host_slowdown: f64,
+    /// Slowdown factor of the hosts running the leaf daemons (used for their send-side
+    /// packing cost).
+    pub daemon_host_slowdown: f64,
+}
+
+/// The result of evaluating a reduction.
+#[derive(Clone, Debug)]
+pub struct ReductionCost {
+    /// End-to-end critical-path time from "all daemons have their local result" to
+    /// "the front end holds the merged result".
+    pub critical_path: SimDuration,
+    /// Time attributed to each internal level, root level first.
+    pub per_level: Vec<SimDuration>,
+    /// Bytes arriving at the front end.
+    pub frontend_bytes_in: u64,
+    /// Largest number of bytes received by any single node.
+    pub max_node_bytes_in: u64,
+    /// Total bytes crossing links (each packet counted once per hop).
+    pub total_link_bytes: u64,
+}
+
+impl<'a> ReductionCostModel<'a> {
+    /// A model with the filter constants used throughout the STAT reproduction and
+    /// link classes appropriate for the given interconnect.
+    pub fn standard(
+        topology: &'a Topology,
+        interconnect: &'a Interconnect,
+        comm_host_slowdown: f64,
+        daemon_host_slowdown: f64,
+    ) -> Self {
+        ReductionCostModel {
+            topology,
+            interconnect,
+            daemon_uplink: interconnect.daemon_uplink(),
+            upper_link: interconnect.frontend_uplink(),
+            // Merging serialised prefix trees costs on the order of a few ns per byte
+            // of input on a 2008-era reference core: the filter walks both inputs once.
+            filter_secs_per_byte: 6.0e-9,
+            filter_base: SimDuration::from_micros(150.0),
+            comm_host_slowdown,
+            daemon_host_slowdown,
+        }
+    }
+
+    /// Evaluate an upward reduction where node `id`, whose subtree contains
+    /// `subtree_backends` daemons, emits `packet_bytes(id, subtree_backends)` bytes.
+    pub fn reduce(&self, packet_bytes: &dyn Fn(EndpointId, u32) -> u64) -> ReductionCost {
+        let topo = self.topology;
+        let n = topo.len();
+
+        // Bytes each node sends to its parent.
+        let mut bytes_out = vec![0u64; n];
+        for node in topo.nodes() {
+            let subtree = topo.subtree_backends(node.id);
+            bytes_out[node.id.0 as usize] = packet_bytes(node.id, subtree);
+        }
+
+        let mut per_level = Vec::new();
+        let mut frontend_bytes_in = 0u64;
+        let mut max_node_bytes_in = 0u64;
+        let mut total_link_bytes = 0u64;
+
+        let levels = topo.levels();
+        // Internal levels, processed leaf-most first; reported root-first at the end.
+        let mut level_times_bottom_up = Vec::new();
+        for level in (0..levels.len().saturating_sub(1)).rev() {
+            let mut worst = SimDuration::ZERO;
+            for &id in &levels[level] {
+                let node = topo.node(id);
+                if node.role == TreeNodeRole::BackEnd {
+                    continue;
+                }
+                let mut bytes_in = 0u64;
+                let mut recv = SimDuration::ZERO;
+                for &child in &node.children {
+                    let child_role = topo.node(child).role;
+                    let link = if child_role == TreeNodeRole::BackEnd {
+                        self.daemon_uplink
+                    } else {
+                        self.upper_link
+                    };
+                    let child_bytes = bytes_out[child.0 as usize];
+                    bytes_in += child_bytes;
+                    recv += self.interconnect.transfer(link, child_bytes);
+                    // Sender-side packing cost on the child's host.
+                    let pack_slowdown = if child_role == TreeNodeRole::BackEnd {
+                        self.daemon_host_slowdown
+                    } else {
+                        self.comm_host_slowdown
+                    };
+                    recv += SimDuration::from_secs(
+                        child_bytes as f64 * 0.5e-9 * pack_slowdown,
+                    );
+                }
+                total_link_bytes += bytes_in;
+                max_node_bytes_in = max_node_bytes_in.max(bytes_in);
+                if id == topo.frontend() {
+                    frontend_bytes_in = bytes_in;
+                }
+                let filter = (self.filter_base
+                    + SimDuration::from_secs(bytes_in as f64 * self.filter_secs_per_byte))
+                .mul_f64(self.comm_host_slowdown);
+                let node_time = recv + filter;
+                worst = worst.max(node_time);
+            }
+            level_times_bottom_up.push(worst);
+        }
+
+        let critical_path = level_times_bottom_up.iter().copied().sum();
+        level_times_bottom_up.reverse();
+        per_level.extend(level_times_bottom_up);
+
+        ReductionCost {
+            critical_path,
+            per_level,
+            frontend_bytes_in,
+            max_node_bytes_in,
+            total_link_bytes,
+        }
+    }
+
+    /// Evaluate a downward broadcast of `bytes` from the front end to every daemon,
+    /// where each parent sends to its children one after another (store-and-forward
+    /// per level, pipelined across levels only at message granularity).  This is the
+    /// communication pattern SBRS uses to push relocated binaries.
+    pub fn broadcast(&self, bytes: u64) -> SimDuration {
+        let topo = self.topology;
+        let mut total = SimDuration::ZERO;
+        for level_nodes in topo.levels().iter().take(topo.levels().len() - 1) {
+            let mut worst = SimDuration::ZERO;
+            for &id in level_nodes {
+                let node = topo.node(id);
+                let mut send = SimDuration::ZERO;
+                for &child in &node.children {
+                    let link = if topo.node(child).role == TreeNodeRole::BackEnd {
+                        self.daemon_uplink
+                    } else {
+                        self.upper_link
+                    };
+                    send += self.interconnect.transfer(link, bytes);
+                }
+                worst = worst.max(send);
+            }
+            total += worst;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+    use machine::cluster::Cluster;
+
+    fn model<'a>(topo: &'a Topology, net: &'a Interconnect) -> ReductionCostModel<'a> {
+        ReductionCostModel::standard(topo, net, 1.0, 1.0)
+    }
+
+    #[test]
+    fn constant_payloads_favor_deeper_trees_at_scale() {
+        let net = Interconnect::atlas();
+        let per_leaf = |_: EndpointId, _subtree: u32| 64 * 1024u64;
+
+        let flat = Topology::build(TopologySpec::flat(512));
+        let deep = Topology::build(TopologySpec::two_deep(512, 23));
+        let flat_cost = model(&flat, &net).reduce(&per_leaf);
+        let deep_cost = model(&deep, &net).reduce(&per_leaf);
+        // The flat front end absorbs 512 packets serially; the 2-deep tree spreads the
+        // fan-in across 23 comm processes working in parallel.
+        assert!(flat_cost.critical_path > deep_cost.critical_path);
+        assert_eq!(flat_cost.frontend_bytes_in, 512 * 64 * 1024);
+        assert_eq!(deep_cost.frontend_bytes_in, 23 * 64 * 1024);
+    }
+
+    #[test]
+    fn global_vs_subtree_payloads_change_the_scaling_shape() {
+        // This is the Section V mechanism in miniature: with payloads proportional to
+        // the *whole job*, doubling the job doubles the merge time even on a 2-deep
+        // tree; with payloads proportional to the subtree, the critical path grows far
+        // more slowly.
+        let net = Interconnect::bluegene_l();
+        let bytes_per_task = 32u64;
+
+        let time_for = |daemons: u32, global: bool| {
+            let plan_tasks = daemons as u64 * 64;
+            let topo = Topology::build(TopologySpec::two_deep(daemons, 28));
+            let m = model(&topo, &net);
+            let cost = m.reduce(&|_id, subtree| {
+                if global {
+                    bytes_per_task * plan_tasks
+                } else {
+                    bytes_per_task * subtree as u64 * 64
+                }
+            });
+            cost.critical_path.as_secs()
+        };
+
+        let global_growth = time_for(1024, true) / time_for(128, true);
+        let hier_growth = time_for(1024, false) / time_for(128, false);
+        assert!(
+            global_growth > 6.0,
+            "global bit vectors should scale ~linearly, growth={global_growth}"
+        );
+        assert!(
+            hier_growth < global_growth / 1.5,
+            "hierarchical payloads should scale much better: {hier_growth} vs {global_growth}"
+        );
+    }
+
+    #[test]
+    fn per_level_times_sum_to_critical_path() {
+        let net = Interconnect::atlas();
+        let topo = Topology::build(TopologySpec::three_deep(128, 4, 16));
+        let cost = model(&topo, &net).reduce(&|_, subtree| subtree as u64 * 100);
+        let sum: SimDuration = cost.per_level.iter().copied().sum();
+        assert_eq!(sum, cost.critical_path);
+        assert_eq!(cost.per_level.len(), 3);
+    }
+
+    #[test]
+    fn slower_hosts_increase_filter_time() {
+        let net = Interconnect::bluegene_l();
+        let topo = Topology::build(TopologySpec::two_deep(256, 16));
+        let fast = ReductionCostModel::standard(&topo, &net, 1.0, 1.0)
+            .reduce(&|_, s| s as u64 * 1_000);
+        let slow = ReductionCostModel::standard(&topo, &net, 3.4, 3.4)
+            .reduce(&|_, s| s as u64 * 1_000);
+        assert!(slow.critical_path > fast.critical_path);
+    }
+
+    #[test]
+    fn broadcast_grows_with_fanout_and_depth() {
+        // Use the BG/L interconnect, whose daemon uplink and inter-process links have
+        // comparable bandwidth, so the comparison isolates the fan-out structure.
+        let net = Interconnect::bluegene_l();
+        let flat = Topology::build(TopologySpec::flat(128));
+        let deep = Topology::build(TopologySpec::two_deep(128, 12));
+        let four_mb = 4 << 20;
+        let flat_b = model(&flat, &net).broadcast(four_mb);
+        let deep_b = model(&deep, &net).broadcast(four_mb);
+        // Flat: the front end pushes 128 copies serially.  2-deep: 12 copies from the
+        // front end, then ~11 per comm process in parallel.
+        assert!(flat_b > deep_b);
+    }
+
+    #[test]
+    fn standard_model_uses_machine_appropriate_links() {
+        let bgl = Cluster::bluegene_l(machine::cluster::BglMode::CoProcessor);
+        let topo = Topology::build(TopologySpec::two_deep(64, 8));
+        let m = ReductionCostModel::standard(
+            &topo,
+            &bgl.interconnect,
+            bgl.login_host_slowdown(),
+            bgl.daemon_host_slowdown(),
+        );
+        assert_eq!(m.daemon_uplink, LinkClass::BglFunctional);
+    }
+}

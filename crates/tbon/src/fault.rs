@@ -1,0 +1,201 @@
+//! Fault handling: what the overlay does when tool processes die.
+//!
+//! The paper's experiments met real failures — rsh giving out at 512 daemons, the
+//! resource manager hanging at 208K, the flat tree collapsing at 256 I/O nodes — and
+//! a tool running 1,664 daemons for an interactive session cannot treat a lost daemon
+//! as fatal.  MRNet's answer (and the one a production STAT deployment relies on) is
+//! to *prune*: a failed daemon's subtree is removed from the reduction, the session
+//! continues over the survivors, and the front end reports which tasks are no longer
+//! covered.  This module implements that bookkeeping over a [`Topology`].
+
+use std::collections::BTreeSet;
+
+use crate::packet::EndpointId;
+use crate::topology::{Topology, TreeNodeRole};
+
+/// Tracks which endpoints have failed and what remains usable.
+#[derive(Clone, Debug)]
+pub struct FaultTracker {
+    topology: Topology,
+    failed: BTreeSet<EndpointId>,
+}
+
+/// The effect of one failure (or batch of failures).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PruneReport {
+    /// Back-end daemons no longer reachable (either failed themselves or orphaned by
+    /// a failed communication process).
+    pub lost_backends: Vec<EndpointId>,
+    /// Communication processes removed from the reduction.
+    pub lost_comm_processes: Vec<EndpointId>,
+    /// Whether the session can continue at all (the front end must survive and at
+    /// least one back-end must remain).
+    pub session_viable: bool,
+}
+
+impl FaultTracker {
+    /// A tracker with no failures.
+    pub fn new(topology: Topology) -> Self {
+        FaultTracker {
+            topology,
+            failed: BTreeSet::new(),
+        }
+    }
+
+    /// The topology being tracked.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Record that an endpoint has failed and compute the resulting prune.
+    pub fn fail(&mut self, endpoint: EndpointId) -> PruneReport {
+        self.fail_many(&[endpoint])
+    }
+
+    /// Record several simultaneous failures (e.g. a login node taking all of its
+    /// communication processes with it).
+    pub fn fail_many(&mut self, endpoints: &[EndpointId]) -> PruneReport {
+        for &e in endpoints {
+            if (e.0 as usize) < self.topology.len() {
+                self.failed.insert(e);
+            }
+        }
+        self.report()
+    }
+
+    /// Whether an endpoint is (transitively) unusable: it failed, or an ancestor did.
+    pub fn is_unreachable(&self, endpoint: EndpointId) -> bool {
+        let mut cur = Some(endpoint);
+        while let Some(e) = cur {
+            if self.failed.contains(&e) {
+                return true;
+            }
+            cur = self.topology.node(e).parent;
+        }
+        false
+    }
+
+    /// The back-ends that are still reachable, in backend order.
+    pub fn surviving_backends(&self) -> Vec<EndpointId> {
+        self.topology
+            .backends()
+            .iter()
+            .copied()
+            .filter(|&b| !self.is_unreachable(b))
+            .collect()
+    }
+
+    /// The fraction of back-ends still covered by the session.
+    pub fn coverage(&self) -> f64 {
+        let total = self.topology.backends().len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.surviving_backends().len() as f64 / total as f64
+    }
+
+    fn report(&self) -> PruneReport {
+        let lost_backends: Vec<EndpointId> = self
+            .topology
+            .backends()
+            .iter()
+            .copied()
+            .filter(|&b| self.is_unreachable(b))
+            .collect();
+        let lost_comm_processes: Vec<EndpointId> = self
+            .topology
+            .nodes()
+            .iter()
+            .filter(|n| n.role == TreeNodeRole::CommProcess && self.is_unreachable(n.id))
+            .map(|n| n.id)
+            .collect();
+        let frontend_ok = !self.failed.contains(&self.topology.frontend());
+        let session_viable =
+            frontend_ok && lost_backends.len() < self.topology.backends().len();
+        PruneReport {
+            lost_backends,
+            lost_comm_processes,
+            session_viable,
+        }
+    }
+
+    /// Build the leaf-payload selector for a degraded reduction: given one payload
+    /// per original backend (in backend order), keep only the survivors' payloads, in
+    /// the order the pruned reduction expects.
+    pub fn filter_leaf_payloads<T: Clone>(&self, payloads: &[T]) -> Vec<T> {
+        self.topology
+            .backends()
+            .iter()
+            .zip(payloads.iter())
+            .filter(|(&b, _)| !self.is_unreachable(b))
+            .map(|(_, p)| p.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+
+    fn tracker(backends: u32, comm: u32) -> FaultTracker {
+        FaultTracker::new(Topology::build(TopologySpec::two_deep(backends, comm)))
+    }
+
+    #[test]
+    fn failing_a_daemon_loses_only_that_daemon() {
+        let mut t = tracker(64, 8);
+        let victim = t.topology().backends()[10];
+        let report = t.fail(victim);
+        assert_eq!(report.lost_backends, vec![victim]);
+        assert!(report.lost_comm_processes.is_empty());
+        assert!(report.session_viable);
+        assert_eq!(t.surviving_backends().len(), 63);
+        assert!((t.coverage() - 63.0 / 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failing_a_comm_process_orphans_its_subtree() {
+        let mut t = tracker(64, 8);
+        let cp = t.topology().comm_processes()[0];
+        let expected_lost = t.topology().node(cp).children.len();
+        let report = t.fail(cp);
+        assert_eq!(report.lost_backends.len(), expected_lost);
+        assert_eq!(report.lost_comm_processes, vec![cp]);
+        assert!(report.session_viable);
+    }
+
+    #[test]
+    fn failing_the_frontend_kills_the_session() {
+        let mut t = tracker(8, 2);
+        let report = t.fail(t.topology().frontend());
+        assert!(!report.session_viable);
+        assert_eq!(report.lost_backends.len(), 8);
+    }
+
+    #[test]
+    fn losing_every_backend_kills_the_session() {
+        let mut t = tracker(4, 2);
+        let backends = t.topology().backends().to_vec();
+        let report = t.fail_many(&backends);
+        assert!(!report.session_viable);
+        assert_eq!(t.coverage(), 0.0);
+    }
+
+    #[test]
+    fn leaf_payload_filtering_matches_survivors() {
+        let mut t = tracker(6, 2);
+        let victim = t.topology().backends()[2];
+        t.fail(victim);
+        let payloads: Vec<u32> = (0..6).collect();
+        assert_eq!(t.filter_leaf_payloads(&payloads), vec![0, 1, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unknown_endpoints_are_ignored() {
+        let mut t = tracker(4, 2);
+        let report = t.fail(EndpointId(10_000));
+        assert!(report.lost_backends.is_empty());
+        assert!(report.session_viable);
+    }
+}

@@ -1,0 +1,39 @@
+//! # tbon — a tree-based overlay network (TBON), in the spirit of MRNet
+//!
+//! STAT's scalability rests on a tree-based overlay network: the front end talks to a
+//! layer of communication processes, which talk to further layers, which talk to the
+//! back-end daemons.  Data flowing up the tree passes through *filters* that aggregate
+//! it, so the front end only ever sees one merged result no matter how many daemons
+//! participate.  The original implementation is MRNet (Roth, Arnold & Miller, SC'03);
+//! this crate is a from-scratch Rust workalike with the pieces STAT needs:
+//!
+//! * [`topology`] — topology specifications (the paper's flat/1-deep, 2-deep and
+//!   3-deep trees with their fan-out rules) and balanced-tree construction;
+//! * [`packet`] — tagged, byte-serialised packets;
+//! * [`filter`] — the filter trait plus simple built-in filters; STAT's merge filter
+//!   lives in `stat-core` and plugs in through this trait;
+//! * [`network`] — a real, threaded, channel-based in-process network that executes
+//!   upward reductions through user filters (used by the examples, the integration
+//!   tests and the real-execution benchmarks);
+//! * [`cost`] — an analytic cost model of an upward reduction over a given topology,
+//!   interconnect and per-level payload size, used by the figure generators to model
+//!   configurations with hundreds of thousands of endpoints.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cost;
+pub mod fault;
+pub mod filter;
+pub mod network;
+pub mod packet;
+pub mod stream;
+pub mod topology;
+
+pub use cost::{ReductionCost, ReductionCostModel};
+pub use fault::{FaultTracker, PruneReport};
+pub use filter::{Filter, IdentityFilter, SumFilter};
+pub use network::{InProcessTbon, ReductionOutcome};
+pub use packet::{EndpointId, Packet, PacketTag};
+pub use stream::{BroadcastRoute, Stream, StreamManager};
+pub use topology::{Topology, TopologyKind, TopologySpec, TreeNode, TreeNodeRole};

@@ -1,0 +1,307 @@
+//! An in-process, thread-parallel TBON that really executes reductions.
+//!
+//! The figure generators use the analytic [`crate::cost`] model to reason about
+//! 212,992-task configurations, but the tool itself — and the integration tests, the
+//! examples and the real-execution benchmarks — run their reductions through this
+//! network: every communication process and daemon position in the topology is
+//! materialised, every filter invocation really happens on real serialised payloads,
+//! and nodes at the same tree level run concurrently on a thread pool, mirroring how
+//! the real MRNet processes run concurrently on different hosts.
+//!
+//! The output includes the byte-flow accounting (bytes into the front end, the
+//! heaviest node, total bytes crossing links) because those quantities, not wall-clock
+//! time on a single workstation, are what distinguish the original global-bit-vector
+//! representation from the hierarchical one at scale.
+
+use std::time::{Duration, Instant};
+
+use crate::filter::Filter;
+use crate::packet::{EndpointId, Packet};
+use crate::topology::{Topology, TreeNodeRole};
+
+/// The result of one upward reduction.
+#[derive(Clone, Debug)]
+pub struct ReductionOutcome {
+    /// The packet that arrived at the front end.
+    pub result: Packet,
+    /// Real wall-clock time spent executing the reduction in this process.
+    pub wall_time: Duration,
+    /// Number of filter invocations performed (one per internal node, including the
+    /// front end).
+    pub filter_invocations: usize,
+    /// Bytes received by the front end from its children.
+    pub frontend_bytes_in: u64,
+    /// The largest number of bytes received by any single node — the hot spot the
+    /// paper's Section V is concerned with.
+    pub max_node_bytes_in: u64,
+    /// Total bytes that crossed tree links (every packet counted once per hop).
+    pub total_link_bytes: u64,
+}
+
+/// Execution strategy for the in-process network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionMode {
+    /// Run every filter invocation on the calling thread (deterministic ordering,
+    /// easiest to debug).
+    Sequential,
+    /// Run the nodes of each tree level concurrently with scoped threads, limited to
+    /// the machine's available parallelism.
+    LevelParallel,
+}
+
+/// An in-process TBON bound to a concrete topology.
+#[derive(Clone, Debug)]
+pub struct InProcessTbon {
+    topology: Topology,
+    mode: ExecutionMode,
+}
+
+impl InProcessTbon {
+    /// Create a network over a topology using level-parallel execution.
+    pub fn new(topology: Topology) -> Self {
+        InProcessTbon {
+            topology,
+            mode: ExecutionMode::LevelParallel,
+        }
+    }
+
+    /// Select the execution mode.
+    pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// The topology the network is bound to.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Perform one upward reduction.
+    ///
+    /// `leaf_payloads` supplies one packet per back-end daemon, in the same order as
+    /// [`Topology::backends`].  Panics if the count does not match — a mismatch means
+    /// the caller's view of the job does not match the topology, which is a
+    /// programming error rather than a runtime condition.
+    pub fn reduce(&self, leaf_payloads: Vec<Packet>, filter: &dyn Filter) -> ReductionOutcome {
+        let backends = self.topology.backends();
+        assert_eq!(
+            leaf_payloads.len(),
+            backends.len(),
+            "one leaf payload per backend daemon is required"
+        );
+
+        let start = Instant::now();
+        // Current packet produced by each endpoint, indexed by endpoint id.
+        let mut produced: Vec<Option<Packet>> = vec![None; self.topology.len()];
+        for (&backend, packet) in backends.iter().zip(leaf_payloads) {
+            produced[backend.0 as usize] = Some(packet);
+        }
+
+        let mut filter_invocations = 0usize;
+        let mut max_node_bytes_in = 0u64;
+        let mut total_link_bytes = 0u64;
+        let mut frontend_bytes_in = 0u64;
+
+        // Walk levels bottom-up, skipping the leaf level.
+        let levels = self.topology.levels();
+        for level in (0..levels.len().saturating_sub(1)).rev() {
+            let node_ids: Vec<EndpointId> = levels[level]
+                .iter()
+                .copied()
+                .filter(|&id| self.topology.node(id).role != TreeNodeRole::BackEnd)
+                .collect();
+
+            let results: Vec<(EndpointId, Packet, u64)> = match self.mode {
+                ExecutionMode::Sequential => node_ids
+                    .iter()
+                    .map(|&id| self.reduce_node(id, &produced, filter))
+                    .collect(),
+                ExecutionMode::LevelParallel => self.reduce_level_parallel(&node_ids, &produced, filter),
+            };
+
+            for (id, packet, bytes_in) in results {
+                filter_invocations += 1;
+                max_node_bytes_in = max_node_bytes_in.max(bytes_in);
+                total_link_bytes += bytes_in;
+                if id == self.topology.frontend() {
+                    frontend_bytes_in = bytes_in;
+                }
+                produced[id.0 as usize] = Some(packet);
+            }
+        }
+
+        let result = produced[self.topology.frontend().0 as usize]
+            .take()
+            .expect("front end must have produced a result");
+
+        ReductionOutcome {
+            result,
+            wall_time: start.elapsed(),
+            filter_invocations,
+            frontend_bytes_in,
+            max_node_bytes_in,
+            total_link_bytes,
+        }
+    }
+
+    fn reduce_node(
+        &self,
+        id: EndpointId,
+        produced: &[Option<Packet>],
+        filter: &dyn Filter,
+    ) -> (EndpointId, Packet, u64) {
+        let node = self.topology.node(id);
+        let inputs: Vec<Packet> = node
+            .children
+            .iter()
+            .map(|&c| {
+                produced[c.0 as usize]
+                    .clone()
+                    .expect("child must have produced a packet before its parent runs")
+            })
+            .collect();
+        let bytes_in: u64 = inputs.iter().map(|p| p.size_bytes() as u64).sum();
+        let packet = filter.reduce(id, &inputs);
+        (id, packet, bytes_in)
+    }
+
+    fn reduce_level_parallel(
+        &self,
+        node_ids: &[EndpointId],
+        produced: &[Option<Packet>],
+        filter: &dyn Filter,
+    ) -> Vec<(EndpointId, Packet, u64)> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .min(node_ids.len().max(1));
+        if workers <= 1 || node_ids.len() <= 1 {
+            return node_ids
+                .iter()
+                .map(|&id| self.reduce_node(id, produced, filter))
+                .collect();
+        }
+        let chunk = node_ids.len().div_ceil(workers);
+        let mut results: Vec<(EndpointId, Packet, u64)> = Vec::with_capacity(node_ids.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for ids in node_ids.chunks(chunk) {
+                handles.push(scope.spawn(move || {
+                    ids.iter()
+                        .map(|&id| self.reduce_node(id, produced, filter))
+                        .collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                results.extend(h.join().expect("reduction worker panicked"));
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{IdentityFilter, SumFilter};
+    use crate::packet::PacketTag;
+    use crate::topology::TopologySpec;
+
+    fn leaf_packets(topology: &Topology, value_of: impl Fn(usize) -> u64) -> Vec<Packet> {
+        topology
+            .backends()
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| Packet::new(PacketTag::Custom(9), id, SumFilter::encode(value_of(i))))
+            .collect()
+    }
+
+    #[test]
+    fn sum_reduction_over_flat_tree() {
+        let topo = Topology::build(TopologySpec::flat(32));
+        let net = InProcessTbon::new(topo);
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let out = net.reduce(leaves, &SumFilter);
+        assert_eq!(SumFilter::decode(&out.result), (0..32).sum::<u64>());
+        assert_eq!(out.filter_invocations, 1);
+        assert_eq!(out.frontend_bytes_in, 32 * 8);
+    }
+
+    #[test]
+    fn sum_reduction_is_topology_invariant() {
+        let expected: u64 = (0..100u64).map(|i| i * 3 + 1).sum();
+        for spec in [
+            TopologySpec::flat(100),
+            TopologySpec::two_deep(100, 10),
+            TopologySpec::three_deep(100, 4, 16),
+        ] {
+            let net = InProcessTbon::new(Topology::build(spec));
+            let leaves = leaf_packets(net.topology(), |i| i as u64 * 3 + 1);
+            let out = net.reduce(leaves, &SumFilter);
+            assert_eq!(SumFilter::decode(&out.result), expected);
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_modes_agree() {
+        let topo = Topology::build(TopologySpec::two_deep(64, 8));
+        let seq = InProcessTbon::new(topo.clone()).with_mode(ExecutionMode::Sequential);
+        let par = InProcessTbon::new(topo).with_mode(ExecutionMode::LevelParallel);
+        let leaves_a = leaf_packets(seq.topology(), |i| (i * i) as u64);
+        let leaves_b = leaf_packets(par.topology(), |i| (i * i) as u64);
+        let a = seq.reduce(leaves_a, &SumFilter);
+        let b = par.reduce(leaves_b, &SumFilter);
+        assert_eq!(SumFilter::decode(&a.result), SumFilter::decode(&b.result));
+        assert_eq!(a.filter_invocations, b.filter_invocations);
+        assert_eq!(a.total_link_bytes, b.total_link_bytes);
+    }
+
+    #[test]
+    fn identity_filter_exposes_the_flat_tree_hotspot() {
+        // With no aggregation, a deeper tree does not reduce what the front end sees,
+        // but it does reduce what any single *intermediate* node must absorb relative
+        // to the flat tree's front end when payloads are large.
+        let payload = vec![7u8; 1024];
+        let flat = InProcessTbon::new(Topology::build(TopologySpec::flat(64)));
+        let deep = InProcessTbon::new(Topology::build(TopologySpec::two_deep(64, 8)));
+        let flat_out = flat.reduce(
+            flat.topology()
+                .backends()
+                .iter()
+                .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
+                .collect(),
+            &IdentityFilter,
+        );
+        let deep_out = deep.reduce(
+            deep.topology()
+                .backends()
+                .iter()
+                .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
+                .collect(),
+            &IdentityFilter,
+        );
+        assert_eq!(flat_out.result.size_bytes(), 64 * 1024);
+        assert_eq!(deep_out.result.size_bytes(), 64 * 1024);
+        assert_eq!(flat_out.max_node_bytes_in, 64 * 1024);
+        // In the 2-deep tree each comm process absorbs 8 KiB and the front end 64 KiB,
+        // so the max is still the front end — but total link bytes doubled because the
+        // data crossed two hops.  Both facts matter for the Section V argument.
+        assert_eq!(deep_out.total_link_bytes, 2 * 64 * 1024);
+        assert!(deep_out.filter_invocations > flat_out.filter_invocations);
+    }
+
+    #[test]
+    #[should_panic(expected = "one leaf payload per backend")]
+    fn mismatched_leaf_count_panics() {
+        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(4)));
+        net.reduce(vec![], &SumFilter);
+    }
+
+    #[test]
+    fn single_backend_tree_works() {
+        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(1)));
+        let leaves = leaf_packets(net.topology(), |_| 41);
+        let out = net.reduce(leaves, &SumFilter);
+        assert_eq!(SumFilter::decode(&out.result), 41);
+    }
+}

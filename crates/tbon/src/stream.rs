@@ -1,0 +1,232 @@
+//! Streams: multicast/gather sessions over the tree.
+//!
+//! MRNet organises communication into *streams*: a stream names a set of back-ends,
+//! a downward path to broadcast requests to them, and an upward path whose packets
+//! pass through a filter.  STAT uses a handful of streams per session (attach,
+//! sample, merge-2D, merge-3D, detach).  This module adds the downward half — which
+//! the reduction-only [`crate::network`] does not need — plus per-stream accounting,
+//! so sessions can be expressed as "broadcast this request, then reduce the replies".
+
+use std::collections::BTreeSet;
+
+use crate::packet::{EndpointId, Packet, PacketTag};
+use crate::topology::{Topology, TreeNodeRole};
+
+/// A stream: a named subset of back-ends plus accounting for traffic on it.
+#[derive(Clone, Debug)]
+pub struct Stream {
+    /// Stream identifier (unique within a session).
+    pub id: u32,
+    /// The back-ends participating in this stream, in backend order.
+    members: Vec<EndpointId>,
+    /// Packets broadcast downward on this stream.
+    broadcasts: u64,
+    /// Bytes broadcast downward (payload bytes × receiving back-ends).
+    broadcast_bytes: u64,
+}
+
+impl Stream {
+    /// Number of participating back-ends.
+    pub fn members(&self) -> &[EndpointId] {
+        &self.members
+    }
+
+    /// Packets broadcast so far.
+    pub fn broadcasts(&self) -> u64 {
+        self.broadcasts
+    }
+
+    /// Total downward payload bytes delivered (payload size × member count).
+    pub fn broadcast_bytes(&self) -> u64 {
+        self.broadcast_bytes
+    }
+}
+
+/// The hops a downward broadcast traverses, for cost accounting: one entry per tree
+/// edge the packet crosses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BroadcastRoute {
+    /// (parent, child) pairs, in top-down order.
+    pub hops: Vec<(EndpointId, EndpointId)>,
+    /// Back-ends that received the packet.
+    pub delivered_to: Vec<EndpointId>,
+}
+
+/// A stream manager bound to a topology.
+#[derive(Clone, Debug)]
+pub struct StreamManager {
+    topology: Topology,
+    streams: Vec<Stream>,
+}
+
+impl StreamManager {
+    /// A manager with no streams yet.
+    pub fn new(topology: Topology) -> Self {
+        StreamManager {
+            topology,
+            streams: Vec::new(),
+        }
+    }
+
+    /// The topology streams are routed over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Open a stream over every back-end (the stream STAT uses for whole-job
+    /// operations).
+    pub fn open_broadcast_stream(&mut self) -> u32 {
+        let members = self.topology.backends().to_vec();
+        self.open_stream(members)
+    }
+
+    /// Open a stream over an explicit set of back-ends (STAT's "focus on these
+    /// equivalence-class representatives" mode).  Unknown endpoints and non-backends
+    /// are ignored.
+    pub fn open_stream(&mut self, members: Vec<EndpointId>) -> u32 {
+        let valid: BTreeSet<EndpointId> = self.topology.backends().iter().copied().collect();
+        let members: Vec<EndpointId> = members
+            .into_iter()
+            .filter(|m| valid.contains(m))
+            .collect();
+        let id = self.streams.len() as u32;
+        self.streams.push(Stream {
+            id,
+            members,
+            broadcasts: 0,
+            broadcast_bytes: 0,
+        });
+        id
+    }
+
+    /// Look up a stream.
+    pub fn stream(&self, id: u32) -> Option<&Stream> {
+        self.streams.get(id as usize)
+    }
+
+    /// Broadcast a packet downward on a stream, returning the route it took.
+    ///
+    /// The route only includes edges that lead to at least one member back-end, so a
+    /// stream over a small subset of daemons does not touch the rest of the tree —
+    /// this is what makes "attach a heavyweight debugger to three representatives"
+    /// cheap even on a 1,664-daemon tree.
+    pub fn broadcast(&mut self, id: u32, tag: PacketTag, payload_bytes: usize) -> BroadcastRoute {
+        let members: BTreeSet<EndpointId> = match self.streams.get(id as usize) {
+            Some(s) => s.members.iter().copied().collect(),
+            None => BTreeSet::new(),
+        };
+        let mut hops = Vec::new();
+        let mut delivered = Vec::new();
+        if !members.is_empty() {
+            self.route(self.topology.frontend(), &members, &mut hops, &mut delivered);
+        }
+        if let Some(stream) = self.streams.get_mut(id as usize) {
+            stream.broadcasts += 1;
+            stream.broadcast_bytes += payload_bytes as u64 * delivered.len() as u64;
+        }
+        let _ = tag;
+        BroadcastRoute {
+            hops,
+            delivered_to: delivered,
+        }
+    }
+
+    fn route(
+        &self,
+        node: EndpointId,
+        members: &BTreeSet<EndpointId>,
+        hops: &mut Vec<(EndpointId, EndpointId)>,
+        delivered: &mut Vec<EndpointId>,
+    ) {
+        for &child in &self.topology.node(node).children {
+            let child_node = self.topology.node(child);
+            let reaches_member = match child_node.role {
+                TreeNodeRole::BackEnd => members.contains(&child),
+                _ => self.subtree_has_member(child, members),
+            };
+            if !reaches_member {
+                continue;
+            }
+            hops.push((node, child));
+            if child_node.role == TreeNodeRole::BackEnd {
+                delivered.push(child);
+            } else {
+                self.route(child, members, hops, delivered);
+            }
+        }
+    }
+
+    fn subtree_has_member(&self, node: EndpointId, members: &BTreeSet<EndpointId>) -> bool {
+        let n = self.topology.node(node);
+        if n.role == TreeNodeRole::BackEnd {
+            return members.contains(&node);
+        }
+        n.children
+            .iter()
+            .any(|&c| self.subtree_has_member(c, members))
+    }
+
+    /// Build the control packet a broadcast would carry (helper for sessions that
+    /// also want to hand the packet to the cost model).
+    pub fn control_packet(&self, tag: PacketTag) -> Packet {
+        Packet::control(tag, self.topology.frontend())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologySpec;
+
+    fn manager(backends: u32, comm: u32) -> StreamManager {
+        StreamManager::new(Topology::build(TopologySpec::two_deep(backends, comm)))
+    }
+
+    #[test]
+    fn whole_job_broadcast_reaches_every_backend() {
+        let mut mgr = manager(64, 8);
+        let stream = mgr.open_broadcast_stream();
+        let route = mgr.broadcast(stream, PacketTag::SampleTraces, 16);
+        assert_eq!(route.delivered_to.len(), 64);
+        // 8 frontend→comm hops + 64 comm→daemon hops.
+        assert_eq!(route.hops.len(), 8 + 64);
+        assert_eq!(mgr.stream(stream).unwrap().broadcasts(), 1);
+        assert_eq!(mgr.stream(stream).unwrap().broadcast_bytes(), 16 * 64);
+    }
+
+    #[test]
+    fn subset_streams_only_touch_their_subtrees() {
+        let mut mgr = manager(64, 8);
+        let backends = mgr.topology().backends().to_vec();
+        // Three representatives, all under the first two comm processes.
+        let members = vec![backends[0], backends[1], backends[9]];
+        let stream = mgr.open_stream(members.clone());
+        let route = mgr.broadcast(stream, PacketTag::Attach, 8);
+        assert_eq!(route.delivered_to, members);
+        // Only 2 of the 8 comm processes are on the route.
+        let comm_hops = route
+            .hops
+            .iter()
+            .filter(|(parent, _)| *parent == mgr.topology().frontend())
+            .count();
+        assert_eq!(comm_hops, 2);
+    }
+
+    #[test]
+    fn unknown_members_are_ignored() {
+        let mut mgr = manager(8, 2);
+        let stream = mgr.open_stream(vec![EndpointId(0), EndpointId(9_999)]);
+        // EndpointId(0) is the front end, not a backend, so the stream is empty.
+        assert!(mgr.stream(stream).unwrap().members().is_empty());
+        let route = mgr.broadcast(stream, PacketTag::Detach, 4);
+        assert!(route.delivered_to.is_empty());
+        assert!(route.hops.is_empty());
+    }
+
+    #[test]
+    fn broadcasting_on_a_missing_stream_is_a_noop() {
+        let mut mgr = manager(8, 2);
+        let route = mgr.broadcast(42, PacketTag::Detach, 4);
+        assert!(route.delivered_to.is_empty());
+    }
+}

@@ -1,0 +1,502 @@
+//! Topology specification and balanced-tree construction.
+//!
+//! The paper tests three families of tree (Section III):
+//!
+//! * **1-deep (flat)** — the front end connects directly to every daemon;
+//! * **2-deep** — one layer of communication processes; the fan-out from the front
+//!   end is `sqrt(#daemons)`, capped at 28 on BG/L because communication processes
+//!   can only live on the 14 dual-processor login nodes;
+//! * **3-deep** — two layers; the front end fans out to 4 processes, the next level
+//!   uses 16 or 24 processes depending on job scale.
+//!
+//! A [`TopologySpec`] captures the *intent* (which family, how many back-ends, what
+//! caps apply); [`Topology::build`] turns it into a concrete tree with stable
+//! endpoint ids, balanced so that every parent at a level has child counts differing
+//! by at most one.
+
+use machine::placement::PlacementPlan;
+
+use crate::packet::EndpointId;
+
+/// The topology families evaluated in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Front end directly connected to every back-end daemon ("1-deep").
+    Flat,
+    /// One layer of communication processes ("2-deep").
+    TwoDeep,
+    /// Two layers of communication processes ("3-deep").
+    ThreeDeep,
+}
+
+impl TopologyKind {
+    /// The series label used in the figures ("1-deep", "2-deep", "3-deep").
+    pub fn label(self) -> &'static str {
+        match self {
+            TopologyKind::Flat => "1-deep",
+            TopologyKind::TwoDeep => "2-deep",
+            TopologyKind::ThreeDeep => "3-deep",
+        }
+    }
+
+    /// All three families, in presentation order.
+    pub fn all() -> [TopologyKind; 3] {
+        [TopologyKind::Flat, TopologyKind::TwoDeep, TopologyKind::ThreeDeep]
+    }
+}
+
+/// A declarative description of a tree: the width of every level from the front end
+/// (width 1) down to the back-end daemons.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologySpec {
+    /// Widths of each level, root first.  `widths[0]` is always 1 (the front end) and
+    /// `widths.last()` is the number of back-end daemons.
+    pub level_widths: Vec<u32>,
+    /// Which family this spec was derived from, for labelling.
+    pub kind: TopologyKind,
+}
+
+impl TopologySpec {
+    /// A flat 1-to-N topology.
+    pub fn flat(backends: u32) -> Self {
+        TopologySpec {
+            level_widths: vec![1, backends.max(1)],
+            kind: TopologyKind::Flat,
+        }
+    }
+
+    /// A 2-deep topology with an explicit number of communication processes.
+    pub fn two_deep(backends: u32, comm_processes: u32) -> Self {
+        let backends = backends.max(1);
+        let comm = comm_processes.clamp(1, backends);
+        TopologySpec {
+            level_widths: vec![1, comm, backends],
+            kind: TopologyKind::TwoDeep,
+        }
+    }
+
+    /// A 3-deep topology with explicit level widths.
+    pub fn three_deep(backends: u32, first_level: u32, second_level: u32) -> Self {
+        let backends = backends.max(1);
+        let first = first_level.clamp(1, backends);
+        let second = second_level.clamp(first, backends);
+        TopologySpec {
+            level_widths: vec![1, first, second, backends],
+            kind: TopologyKind::ThreeDeep,
+        }
+    }
+
+    /// The paper's rule for a balanced `depth`-deep tree: the maximum fan-out is the
+    /// `depth`-th root of the number of daemons (Section V-A).
+    pub fn balanced(backends: u32, depth: u32) -> Self {
+        let backends = backends.max(1);
+        let depth = depth.clamp(1, 6);
+        if depth == 1 {
+            return TopologySpec::flat(backends);
+        }
+        let fanout = (backends as f64).powf(1.0 / depth as f64).ceil().max(1.0) as u32;
+        let mut widths = vec![1u32];
+        let mut width = 1u64;
+        for _ in 1..depth {
+            width = (width * fanout as u64).min(backends as u64);
+            widths.push(width as u32);
+        }
+        widths.push(backends);
+        let kind = match depth {
+            2 => TopologyKind::TwoDeep,
+            _ => TopologyKind::ThreeDeep,
+        };
+        TopologySpec {
+            level_widths: widths,
+            kind,
+        }
+    }
+
+    /// Build the spec the paper used for a given family on a given placement
+    /// (Section III): flat for 1-deep; `min(sqrt(daemons), budget)` comm processes
+    /// for 2-deep; fan-out 4 then 16/24 processes for 3-deep.
+    pub fn for_placement(kind: TopologyKind, plan: &PlacementPlan) -> Self {
+        match kind {
+            TopologyKind::Flat => TopologySpec::flat(plan.daemons),
+            TopologyKind::TwoDeep => TopologySpec::two_deep(plan.daemons, plan.two_deep_fanout()),
+            TopologyKind::ThreeDeep => {
+                let (first, second) = plan.three_deep_level_widths();
+                TopologySpec::three_deep(plan.daemons, first, second)
+            }
+        }
+    }
+
+    /// Number of back-end daemons.
+    pub fn backends(&self) -> u32 {
+        *self.level_widths.last().expect("spec always has levels")
+    }
+
+    /// Number of communication processes (all levels between the root and the leaves).
+    pub fn comm_processes(&self) -> u32 {
+        if self.level_widths.len() <= 2 {
+            0
+        } else {
+            self.level_widths[1..self.level_widths.len() - 1].iter().sum()
+        }
+    }
+
+    /// Tree depth measured in edges from the front end to a daemon.
+    pub fn depth(&self) -> u32 {
+        (self.level_widths.len() - 1) as u32
+    }
+
+    /// The largest fan-out any node in the tree will have.
+    pub fn max_fanout(&self) -> u32 {
+        self.level_widths
+            .windows(2)
+            .map(|w| w[1].div_ceil(w[0]))
+            .max()
+            .unwrap_or(1)
+    }
+}
+
+/// The role of a node in the tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TreeNodeRole {
+    /// The tool front end (tree root).
+    FrontEnd,
+    /// An intermediate communication process.
+    CommProcess,
+    /// A back-end tool daemon (tree leaf).
+    BackEnd,
+}
+
+/// One node of a concrete tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TreeNode {
+    /// Stable endpoint id (0 is always the front end).
+    pub id: EndpointId,
+    /// Role in the tree.
+    pub role: TreeNodeRole,
+    /// Level: 0 for the front end, `depth` for the daemons.
+    pub level: u32,
+    /// Index of this node within its level.
+    pub index_in_level: u32,
+    /// Parent endpoint, `None` only for the front end.
+    pub parent: Option<EndpointId>,
+    /// Children, in ascending id order.
+    pub children: Vec<EndpointId>,
+}
+
+/// A concrete, fully wired tree.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    spec: TopologySpec,
+    nodes: Vec<TreeNode>,
+    levels: Vec<Vec<EndpointId>>,
+}
+
+impl Topology {
+    /// Build a balanced tree from a spec.  Children are distributed contiguously so
+    /// that sibling subtree sizes differ by at most one daemon.
+    pub fn build(spec: TopologySpec) -> Self {
+        let mut nodes: Vec<TreeNode> = Vec::new();
+        let mut levels: Vec<Vec<EndpointId>> = Vec::new();
+        let depth = spec.depth();
+        let mut next_id = 0u32;
+
+        for (level, &width) in spec.level_widths.iter().enumerate() {
+            let mut ids = Vec::with_capacity(width as usize);
+            for index in 0..width {
+                let id = EndpointId(next_id);
+                next_id += 1;
+                let role = if level == 0 {
+                    TreeNodeRole::FrontEnd
+                } else if level as u32 == depth {
+                    TreeNodeRole::BackEnd
+                } else {
+                    TreeNodeRole::CommProcess
+                };
+                nodes.push(TreeNode {
+                    id,
+                    role,
+                    level: level as u32,
+                    index_in_level: index,
+                    parent: None,
+                    children: Vec::new(),
+                });
+                ids.push(id);
+            }
+            levels.push(ids);
+        }
+
+        // Wire each level to its parent level: child i of a level of width c attaches
+        // to parent floor(i * p / c) of the level above (width p).  This spreads
+        // children as evenly as possible and keeps rank ranges contiguous per subtree,
+        // which is what the hierarchical task-list representation relies on.
+        for level in 1..levels.len() {
+            let parent_width = levels[level - 1].len() as u64;
+            let child_width = levels[level].len() as u64;
+            for (i, &child_id) in levels[level].iter().enumerate() {
+                let parent_idx = (i as u64 * parent_width) / child_width;
+                let parent_id = levels[level - 1][parent_idx as usize];
+                nodes[child_id.0 as usize].parent = Some(parent_id);
+                nodes[parent_id.0 as usize].children.push(child_id);
+            }
+        }
+
+        Topology {
+            spec,
+            nodes,
+            levels,
+        }
+    }
+
+    /// The spec the tree was built from.
+    pub fn spec(&self) -> &TopologySpec {
+        &self.spec
+    }
+
+    /// The front end's endpoint id.
+    pub fn frontend(&self) -> EndpointId {
+        EndpointId(0)
+    }
+
+    /// Endpoint ids of every back-end daemon, in rank order of their level index.
+    pub fn backends(&self) -> &[EndpointId] {
+        self.levels.last().expect("tree always has levels")
+    }
+
+    /// Endpoint ids of every communication process.
+    pub fn comm_processes(&self) -> Vec<EndpointId> {
+        self.nodes
+            .iter()
+            .filter(|n| n.role == TreeNodeRole::CommProcess)
+            .map(|n| n.id)
+            .collect()
+    }
+
+    /// Node metadata.
+    pub fn node(&self, id: EndpointId) -> &TreeNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TreeNode] {
+        &self.nodes
+    }
+
+    /// Endpoint ids level by level, root first.
+    pub fn levels(&self) -> &[Vec<EndpointId>] {
+        &self.levels
+    }
+
+    /// Tree depth in edges.
+    pub fn depth(&self) -> u32 {
+        self.spec.depth()
+    }
+
+    /// Total number of endpoints.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True only for a degenerate empty tree (never produced by [`Topology::build`]).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The number of back-end daemons in the subtree rooted at `id`.
+    pub fn subtree_backends(&self, id: EndpointId) -> u32 {
+        let node = self.node(id);
+        match node.role {
+            TreeNodeRole::BackEnd => 1,
+            _ => node
+                .children
+                .iter()
+                .map(|&c| self.subtree_backends(c))
+                .sum(),
+        }
+    }
+
+    /// The largest fan-out actually present in the built tree.
+    pub fn max_fanout(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| n.children.len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Verify structural invariants; used by property tests.  Returns a description
+    /// of the first violation found, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("empty topology".into());
+        }
+        if self.node(self.frontend()).parent.is_some() {
+            return Err("front end has a parent".into());
+        }
+        let mut reachable_backends = 0u32;
+        for n in &self.nodes {
+            match n.role {
+                TreeNodeRole::FrontEnd => {
+                    if n.level != 0 {
+                        return Err(format!("front end at level {}", n.level));
+                    }
+                }
+                TreeNodeRole::CommProcess | TreeNodeRole::BackEnd => {
+                    let parent = match n.parent {
+                        Some(p) => p,
+                        None => return Err(format!("{} has no parent", n.id)),
+                    };
+                    let pnode = self.node(parent);
+                    if pnode.level + 1 != n.level {
+                        return Err(format!(
+                            "{} at level {} has parent at level {}",
+                            n.id, n.level, pnode.level
+                        ));
+                    }
+                    if !pnode.children.contains(&n.id) {
+                        return Err(format!("{} missing from parent's child list", n.id));
+                    }
+                    if n.role == TreeNodeRole::BackEnd {
+                        if !n.children.is_empty() {
+                            return Err(format!("backend {} has children", n.id));
+                        }
+                        reachable_backends += 1;
+                    }
+                }
+            }
+        }
+        if reachable_backends != self.spec.backends() {
+            return Err(format!(
+                "expected {} backends, found {}",
+                self.spec.backends(),
+                reachable_backends
+            ));
+        }
+        // Sibling balance: child counts at each level differ by at most one.
+        for level in 0..self.levels.len().saturating_sub(1) {
+            let counts: Vec<usize> = self.levels[level]
+                .iter()
+                .map(|&id| self.node(id).children.len())
+                .collect();
+            if let (Some(&min), Some(&max)) = (counts.iter().min(), counts.iter().max()) {
+                if max - min > 1 {
+                    return Err(format!(
+                        "unbalanced level {level}: child counts range {min}..{max}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cluster::{BglMode, Cluster};
+
+    #[test]
+    fn flat_topology_connects_every_daemon_to_the_frontend() {
+        let t = Topology::build(TopologySpec::flat(16));
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.backends().len(), 16);
+        assert_eq!(t.node(t.frontend()).children.len(), 16);
+        assert_eq!(t.comm_processes().len(), 0);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn two_deep_distributes_daemons_evenly() {
+        let t = Topology::build(TopologySpec::two_deep(100, 10));
+        assert_eq!(t.depth(), 2);
+        assert_eq!(t.comm_processes().len(), 10);
+        for cp in t.comm_processes() {
+            assert_eq!(t.node(cp).children.len(), 10);
+        }
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn uneven_division_stays_balanced() {
+        let t = Topology::build(TopologySpec::two_deep(103, 10));
+        let counts: Vec<usize> = t
+            .comm_processes()
+            .iter()
+            .map(|&cp| t.node(cp).children.len())
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 103);
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn three_deep_has_two_comm_levels() {
+        let t = Topology::build(TopologySpec::three_deep(256, 4, 16));
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.levels().len(), 4);
+        assert_eq!(t.levels()[1].len(), 4);
+        assert_eq!(t.levels()[2].len(), 16);
+        assert_eq!(t.backends().len(), 256);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn balanced_spec_uses_nth_root_fanout() {
+        let s = TopologySpec::balanced(256, 2);
+        assert_eq!(s.level_widths, vec![1, 16, 256]);
+        let s3 = TopologySpec::balanced(512, 3);
+        assert_eq!(s3.depth(), 3);
+        assert!(s3.max_fanout() <= 9, "cube root of 512 is 8, fanout {}", s3.max_fanout());
+        let s1 = TopologySpec::balanced(64, 1);
+        assert_eq!(s1.kind, TopologyKind::Flat);
+    }
+
+    #[test]
+    fn placement_rules_match_paper_section_iii() {
+        // BG/L full machine in VN mode: 1,664 daemons, 2-deep fanout capped at 28.
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let plan = machine::placement::PlacementPlan::for_job(&bgl, 212_992);
+        let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
+        assert_eq!(spec.level_widths, vec![1, 28, 1_664]);
+
+        let spec3 = TopologySpec::for_placement(TopologyKind::ThreeDeep, &plan);
+        assert_eq!(spec3.level_widths, vec![1, 4, 24, 1_664]);
+
+        // Atlas at 512 daemons: sqrt rule, no cap.
+        let atlas = Cluster::atlas();
+        let plan = machine::placement::PlacementPlan::for_job(&atlas, 4_096);
+        let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
+        assert_eq!(spec.level_widths[1], 23);
+    }
+
+    #[test]
+    fn subtree_backend_counts_sum_to_total() {
+        let t = Topology::build(TopologySpec::three_deep(100, 4, 16));
+        let total: u32 = t
+            .node(t.frontend())
+            .children
+            .iter()
+            .map(|&c| t.subtree_backends(c))
+            .sum();
+        assert_eq!(total, 100);
+        assert_eq!(t.subtree_backends(t.frontend()), 100);
+        for &b in t.backends() {
+            assert_eq!(t.subtree_backends(b), 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_specs_are_clamped() {
+        let t = Topology::build(TopologySpec::flat(0));
+        assert_eq!(t.backends().len(), 1);
+        let t = Topology::build(TopologySpec::two_deep(4, 100));
+        assert!(t.comm_processes().len() <= 4);
+        t.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(TopologyKind::Flat.label(), "1-deep");
+        assert_eq!(TopologyKind::TwoDeep.label(), "2-deep");
+        assert_eq!(TopologyKind::ThreeDeep.label(), "3-deep");
+    }
+}

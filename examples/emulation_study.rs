@@ -1,0 +1,67 @@
+//! A STATBench-style emulation study: how does the tool behave as the *application's*
+//! behaviour gets more complicated?
+//!
+//! ```text
+//! cargo run --release --example emulation_study
+//! ```
+//!
+//! Real applications are not all ring hangs.  This example uses the synthetic trace
+//! generator (the reproduction of the STATBench emulation infrastructure the authors
+//! used before they had 208K-task slots) to sweep two axes that the prefix tree is
+//! sensitive to — job size and the number of distinct behaviour classes — and reports
+//! what the real merge machinery does in response.
+
+use machine::Cluster;
+use statbench::{EmulatedJob, SweepConfig, TraceShape};
+use stat_core::prelude::Representation;
+
+fn main() {
+    let cluster = Cluster::test_cluster(512, 8);
+
+    println!("== one emulated job in detail ==");
+    let report = EmulatedJob::new(cluster.clone(), 4_096)
+        .with_shape(TraceShape::typical())
+        .run();
+    println!(
+        "  {} tasks over {} daemons -> {} classes ({}x compression), merged tree {} nodes",
+        report.tasks,
+        report.daemons,
+        report.classes,
+        report.compression_ratio() as u64,
+        report.merged_tree_nodes
+    );
+    println!(
+        "  daemon packets: mean {} bytes, max {} bytes; front end received {} bytes",
+        report.mean_daemon_packet_bytes, report.max_daemon_packet_bytes, report.frontend_bytes_in
+    );
+    println!(
+        "  local phase {:?}, TBON merge {:?}, remap {:?}\n",
+        report.local_phase, report.merge_wall, report.remap_wall
+    );
+
+    println!("== representation comparison at 8,192 tasks ==");
+    for representation in [
+        Representation::GlobalBitVector,
+        Representation::HierarchicalTaskList,
+    ] {
+        let r = EmulatedJob::new(cluster.clone(), 8_192)
+            .with_representation(representation)
+            .run();
+        println!(
+            "  {:<28} link bytes {:>12}, max daemon packet {:>9} bytes",
+            representation.label(),
+            r.total_link_bytes,
+            r.max_daemon_packet_bytes
+        );
+    }
+
+    println!("\n== scaling sweep (real merges, synthetic traces) ==");
+    let config = SweepConfig::new(cluster.clone());
+    println!("{}", statbench::sweep_daemon_counts(&config, &[512, 2_048, 4_096]));
+
+    println!("== class-count stress sweep at 2,048 tasks ==");
+    println!(
+        "{}",
+        statbench::sweep_equivalence_classes(&config, 2_048, &[1, 8, 64, 256])
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run STAT against a hung 512-task MPI job and print what a user sees.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The application is the paper's ring-topology test with the injected bug that makes
+//! rank 1 hang before its send.  STAT gathers ten stack traces from every task,
+//! merges them through a 2-deep tree-based overlay network, and reports the process
+//! equivalence classes — the handful of representative ranks worth attaching a
+//! heavyweight debugger to.
+
+use appsim::{FrameVocabulary, RingHangApp};
+use machine::Cluster;
+use stat_core::prelude::*;
+
+fn main() {
+    // A 512-task job on an Atlas-like Linux cluster (8 tasks per node, one STAT
+    // daemon per node).
+    let app = RingHangApp::new(512, FrameVocabulary::Linux);
+    let config = SessionConfig::new(Cluster::test_cluster(64, 8));
+
+    println!("Attaching STAT to `{}` ({} MPI tasks)...", "mpi_ring_hang", 512);
+    let result = run_session(&config, &app);
+
+    println!(
+        "gathered {} stack traces through {} daemons over a {}-deep tree\n",
+        result.traces_gathered,
+        result.daemons,
+        result.topology.depth()
+    );
+
+    println!("process equivalence classes (largest first):");
+    for class in &result.gather.classes {
+        println!(
+            "  {:>16}  {}",
+            class.tasks_string(),
+            class.path_string(&result.gather.frames)
+        );
+    }
+
+    let attach = result.gather.attach_set();
+    println!(
+        "\n{} tasks reduced to {} classes; attach a heavyweight debugger to ranks {:?}",
+        512,
+        result.gather.classes.len(),
+        attach
+    );
+
+    println!(
+        "\nmerge moved {} bytes over the overlay ({} bytes into the front end) in {:?}",
+        result.gather.metrics.total_link_bytes,
+        result.gather.metrics.frontend_bytes_in,
+        result.gather.metrics.merge_wall
+    );
+}

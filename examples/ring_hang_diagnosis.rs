@@ -1,0 +1,55 @@
+//! Diagnose the paper's ring hang at Figure 1 scale and emit the call-graph prefix
+//! tree as Graphviz DOT.
+//!
+//! ```text
+//! cargo run --example ring_hang_diagnosis > ring_hang.dot
+//! dot -Tpdf ring_hang.dot -o ring_hang.pdf   # optional, if graphviz is installed
+//! ```
+//!
+//! The output reproduces the structure of the paper's Figure 1: a 1,024-task BG/L job
+//! in which 1,022 tasks wait in `PMPI_Barrier`, rank 2 is stuck in `PMPI_Waitall`
+//! waiting on a receive that will never complete, and rank 1 — the culprit — sits in
+//! `do_SendOrStall`, never having posted its send.
+
+use appsim::{FrameVocabulary, RingHangApp};
+use machine::cluster::{BglMode, Cluster};
+use stat_core::prelude::*;
+use tbon::topology::TopologyKind;
+
+fn main() {
+    let tasks = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_024);
+
+    let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+    let config = SessionConfig {
+        cluster: Cluster::bluegene_l(BglMode::CoProcessor),
+        topology: TopologyKind::TwoDeep,
+        representation: Representation::HierarchicalTaskList,
+        samples_per_task: 3,
+    };
+    let result = run_session(&config, &app);
+
+    eprintln!(
+        "# {} tasks, {} daemons, {} behaviour classes:",
+        tasks,
+        result.daemons,
+        result.gather.classes.len()
+    );
+    for class in &result.gather.classes {
+        eprintln!(
+            "#   {:>18}  {}",
+            class.tasks_string(),
+            class.path_string(&result.gather.frames)
+        );
+    }
+    eprintln!(
+        "# hung rank (injected bug): {}; victim rank: {}",
+        app.hung_rank(),
+        app.victim_rank()
+    );
+
+    // The DOT drawing goes to stdout so it can be redirected to a file.
+    println!("{}", result.gather.to_dot());
+}

@@ -1,0 +1,75 @@
+//! Walk through what the Scalable Binary Relocation Service does for one job.
+//!
+//! ```text
+//! cargo run --example sbrs_relocation
+//! ```
+//!
+//! Shows the mount-table classification of the target application's binaries, the
+//! relocation plan and its modelled cost, the open() interposition table the daemons
+//! install afterwards, and the effect on the sampling phase at several job sizes —
+//! the content of the paper's Section VI and Figure 10.
+
+use machine::Cluster;
+use sbrs::{RelocationPlan, RelocationService};
+use stackwalk::sampler::{BinaryPlacement, SamplingCostModel};
+use stackwalk::symtab::working_set_of;
+
+fn main() {
+    let atlas = Cluster::atlas();
+    let working_set = working_set_of(&atlas);
+
+    println!("target application working set on {}:", atlas.name);
+    for image in &working_set {
+        println!(
+            "  {:<40} {:>9} bytes  on {}",
+            image.path,
+            image.bytes,
+            atlas.mounts.filesystem_of(&image.path).label()
+        );
+    }
+
+    let plan = RelocationPlan::for_working_set(&atlas, &working_set);
+    println!(
+        "\nSBRS will relocate {} images ({} bytes); {} are already node-local",
+        plan.relocate.len(),
+        plan.bytes_to_relocate(),
+        plan.skip.len()
+    );
+
+    let service = RelocationService::new(atlas.clone());
+    for daemons in [128u32, 512, 1_024] {
+        let outcome = service.execute(&plan, daemons);
+        println!(
+            "  relocation to {:>5} daemons: {:>7.3} s  (fetch {:.3} s, broadcast {:.3} s)",
+            daemons,
+            outcome.relocation_overhead().as_secs(),
+            outcome.fetch.as_secs(),
+            outcome.broadcast.as_secs()
+        );
+    }
+
+    let mut interposition = plan.interposition();
+    println!("\nopen() interposition after relocation:");
+    for image in &plan.relocate {
+        println!("  {:<40} -> {}", image.path, interposition.resolve(&image.path));
+    }
+
+    println!("\neffect on the sampling phase (10 traces per task):");
+    let model = SamplingCostModel::new(atlas);
+    println!(
+        "{:>8} {:>14} {:>14} {:>18}",
+        "tasks", "NFS (s)", "Lustre (s)", "SBRS RAM disk (s)"
+    );
+    for tasks in [64u64, 256, 1_024, 4_096] {
+        let nfs = model.estimate(tasks, BinaryPlacement::NfsHome, 1).total;
+        let lustre = model.estimate(tasks, BinaryPlacement::LustreScratch, 1).total;
+        let ram = model.estimate(tasks, BinaryPlacement::RelocatedRamDisk, 1).total;
+        println!(
+            "{:>8} {:>14.2} {:>14.2} {:>18.2}",
+            tasks,
+            nfs.as_secs(),
+            lustre.as_secs(),
+            ram.as_secs()
+        );
+    }
+}

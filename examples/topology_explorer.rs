@@ -1,0 +1,93 @@
+//! Explore how overlay-network topology and task-set representation interact.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer [tasks]
+//! ```
+//!
+//! For a given job size on BG/L, prints a matrix of estimated merge times and
+//! front-end byte loads for every topology family × representation, plus the real
+//! byte counts measured by pushing real serialised trees through the real in-process
+//! TBON at a scaled-down daemon count.  This is the Section V design space in one
+//! table.
+
+use appsim::{FrameVocabulary, RingHangApp};
+use machine::cluster::{BglMode, Cluster};
+use stat_core::prelude::*;
+use tbon::topology::TopologyKind;
+
+fn main() {
+    let tasks: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(131_072);
+    let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+    let shape = cluster.job(tasks);
+
+    println!(
+        "modelled merge phase at {} tasks ({} daemons) on BG/L:\n",
+        shape.tasks, shape.daemons
+    );
+    println!(
+        "{:<12} {:<28} {:>12} {:>16}",
+        "topology", "representation", "merge (s)", "front-end MB"
+    );
+    for kind in TopologyKind::all() {
+        for representation in [
+            Representation::GlobalBitVector,
+            Representation::HierarchicalTaskList,
+        ] {
+            let estimator = PhaseEstimator::new(cluster.clone(), representation);
+            let est = estimator.merge_estimate(tasks, kind);
+            match est.failed {
+                Some(reason) => println!(
+                    "{:<12} {:<28} {:>12} {:>16}   ({reason})",
+                    kind.label(),
+                    representation.label(),
+                    "FAILS",
+                    "-"
+                ),
+                None => println!(
+                    "{:<12} {:<28} {:>12.2} {:>16.1}",
+                    kind.label(),
+                    representation.label(),
+                    est.time.as_secs(),
+                    est.frontend_bytes as f64 / 1.0e6
+                ),
+            }
+        }
+    }
+
+    // A real, executed cross-check at a scale that fits comfortably in one process:
+    // 2,048 tasks over 16 daemons, real packets through the real overlay.
+    println!("\nreal execution cross-check (2,048 tasks, 16 daemons):\n");
+    println!(
+        "{:<12} {:<28} {:>14} {:>14}",
+        "topology", "representation", "link bytes", "front-end bytes"
+    );
+    let app = RingHangApp::new(2_048, FrameVocabulary::BlueGeneL);
+    for kind in TopologyKind::all() {
+        for representation in [
+            Representation::GlobalBitVector,
+            Representation::HierarchicalTaskList,
+        ] {
+            let config = SessionConfig {
+                cluster: Cluster::bluegene_l(BglMode::CoProcessor),
+                topology: kind,
+                representation,
+                samples_per_task: 3,
+            };
+            let result = run_session(&config, &app);
+            println!(
+                "{:<12} {:<28} {:>14} {:>14}",
+                kind.label(),
+                representation.label(),
+                result.gather.metrics.total_link_bytes,
+                result.gather.metrics.frontend_bytes_in
+            );
+        }
+    }
+    println!(
+        "\nthe modelled gap and the measured gap point the same way: job-wide bit vectors\n\
+         push job-sized labels across every link, subtree task lists do not"
+    );
+}

@@ -1,0 +1,304 @@
+//! Property-based tests (proptest) over the core data structures and invariants:
+//! task-set algebra, prefix-tree merging, wire-format round trips, topology
+//! construction and the discrete-event engine's conservation laws.
+
+use proptest::prelude::*;
+
+use stackwalk::{FrameTable, StackTrace};
+use stat_core::prelude::*;
+use tbon::topology::{Topology, TopologySpec};
+
+// ---------------------------------------------------------------------------------
+// Task-set algebra
+// ---------------------------------------------------------------------------------
+
+fn rank_set(width: u64) -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::btree_set(0..width, 0..64).prop_map(|s| s.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn dense_and_subtree_sets_agree_on_membership(ranks in rank_set(300)) {
+        let mut dense = DenseBitVector::empty(300);
+        let mut subtree = SubtreeTaskList::empty(300);
+        for &r in &ranks {
+            dense.insert(r);
+            subtree.insert(r);
+        }
+        prop_assert_eq!(dense.members(), subtree.members());
+        prop_assert_eq!(dense.count(), ranks.len() as u64);
+        for r in 0..300 {
+            prop_assert_eq!(dense.contains(r), ranks.contains(&r));
+        }
+    }
+
+    #[test]
+    fn dense_union_is_commutative_associative_idempotent(
+        a in rank_set(256),
+        b in rank_set(256),
+        c in rank_set(256),
+    ) {
+        let build = |ranks: &[u64]| {
+            let mut s = DenseBitVector::empty(256);
+            for &r in ranks {
+                s.insert(r);
+            }
+            s
+        };
+        let (sa, sb, sc) = (build(&a), build(&b), build(&c));
+
+        // commutative
+        let mut ab = sa.clone();
+        ab.union_in_place(&sb);
+        let mut ba = sb.clone();
+        ba.union_in_place(&sa);
+        prop_assert_eq!(ab.members(), ba.members());
+
+        // associative
+        let mut ab_c = ab.clone();
+        ab_c.union_in_place(&sc);
+        let mut bc = sb.clone();
+        bc.union_in_place(&sc);
+        let mut a_bc = sa.clone();
+        a_bc.union_in_place(&bc);
+        prop_assert_eq!(ab_c.members(), a_bc.members());
+
+        // idempotent
+        let mut aa = sa.clone();
+        aa.union_in_place(&sa);
+        prop_assert_eq!(aa.members(), sa.members());
+    }
+
+    #[test]
+    fn rebase_preserves_count_and_shifts_members(
+        positions in rank_set(100),
+        offset in 0u64..50,
+    ) {
+        let mut s = SubtreeTaskList::empty(100);
+        for &p in &positions {
+            s.insert(p);
+        }
+        let before = s.members();
+        s.rebase(offset, 100 + offset);
+        let after = s.members();
+        prop_assert_eq!(after.len(), before.len());
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(b + offset, *a);
+        }
+    }
+
+    #[test]
+    fn remap_through_a_permutation_preserves_population(positions in rank_set(128)) {
+        let mut s = SubtreeTaskList::empty(128);
+        for &p in &positions {
+            s.insert(p);
+        }
+        // A deterministic but non-trivial permutation.
+        let map: Vec<u64> = (0..128u64).map(|i| (i * 37 + 11) % 128).collect();
+        let dense = s.remap_to_dense(&map, 128);
+        prop_assert_eq!(dense.count(), positions.len() as u64);
+        for &p in &positions {
+            prop_assert!(dense.contains(map[p as usize]));
+        }
+    }
+
+    #[test]
+    fn rank_range_formatting_reports_the_true_count(ranks in rank_set(400)) {
+        let label = format_rank_ranges(&ranks, 5);
+        let count: usize = label.split(':').next().unwrap().parse().unwrap();
+        prop_assert_eq!(count, ranks.len());
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Prefix trees
+// ---------------------------------------------------------------------------------
+
+const FRAME_POOL: &[&str] = &[
+    "main",
+    "MPI_Barrier",
+    "MPI_Waitall",
+    "progress",
+    "poll",
+    "compute",
+    "io_wait",
+];
+
+fn arbitrary_traces(tasks: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    // Each task gets a call path of 1..6 frame indices into FRAME_POOL.
+    prop::collection::vec(prop::collection::vec(0..FRAME_POOL.len(), 1..6), tasks..=tasks)
+}
+
+fn build_global(paths: &[Vec<usize>], table: &mut FrameTable) -> GlobalPrefixTree {
+    let mut tree = GlobalPrefixTree::new_global(paths.len() as u64);
+    for (rank, path) in paths.iter().enumerate() {
+        let names: Vec<&str> = path.iter().map(|&i| FRAME_POOL[i]).collect();
+        let trace = StackTrace::new(table.intern_path(&names));
+        tree.add_trace(&trace, rank as u64);
+    }
+    tree
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_task_is_classified_exactly_once(paths in arbitrary_traces(24)) {
+        let mut table = FrameTable::new();
+        let tree = build_global(&paths, &mut table);
+        let classes = equivalence_classes(&tree);
+        let mut all: Vec<u64> = classes.iter().flat_map(|c| c.tasks.clone()).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..24u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn global_merge_is_commutative_in_classes(
+        left in arbitrary_traces(12),
+        right in arbitrary_traces(12),
+    ) {
+        // Build the two halves over a shared 24-task domain.
+        let mut table = FrameTable::new();
+        let build_half = |paths: &[Vec<usize>], offset: u64, table: &mut FrameTable| {
+            let mut tree = GlobalPrefixTree::new_global(24);
+            for (i, path) in paths.iter().enumerate() {
+                let names: Vec<&str> = path.iter().map(|&i| FRAME_POOL[i]).collect();
+                let trace = StackTrace::new(table.intern_path(&names));
+                tree.add_trace(&trace, offset + i as u64);
+            }
+            tree
+        };
+        let a = build_half(&left, 0, &mut table);
+        let b = build_half(&right, 12, &mut table);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+
+        let classes_of = |t: &GlobalPrefixTree| {
+            let mut cs: Vec<Vec<u64>> =
+                equivalence_classes(t).into_iter().map(|c| c.tasks).collect();
+            cs.sort();
+            cs
+        };
+        prop_assert_eq!(classes_of(&ab), classes_of(&ba));
+        prop_assert_eq!(ab.node_count(), ba.node_count());
+    }
+
+    #[test]
+    fn hierarchical_and_global_agree_after_remap(paths in arbitrary_traces(16)) {
+        let mut table = FrameTable::new();
+        let global = build_global(&paths, &mut table);
+
+        // Split the 16 tasks over 4 "daemons", build subtree trees, merge and remap.
+        let mut merged: Option<SubtreePrefixTree> = None;
+        let mut rank_map: Vec<u64> = Vec::new();
+        for daemon in 0..4usize {
+            let mut tree = SubtreePrefixTree::new_subtree(4);
+            for local in 0..4usize {
+                let rank = daemon * 4 + local;
+                let names: Vec<&str> = paths[rank].iter().map(|&i| FRAME_POOL[i]).collect();
+                let trace = StackTrace::new(table.intern_path(&names));
+                tree.add_trace(&trace, local as u64);
+                rank_map.push(rank as u64);
+            }
+            merged = Some(match merged.take() {
+                None => tree,
+                Some(mut acc) => {
+                    acc.merge(&tree);
+                    acc
+                }
+            });
+        }
+        let remapped = merged.unwrap().remap(&rank_map, 16);
+
+        let classes_of = |t: &GlobalPrefixTree| {
+            let mut cs: Vec<Vec<u64>> =
+                equivalence_classes(t).into_iter().map(|c| c.tasks).collect();
+            cs.sort();
+            cs
+        };
+        prop_assert_eq!(classes_of(&global), classes_of(&remapped));
+    }
+
+    #[test]
+    fn wire_format_round_trips_arbitrary_trees(paths in arbitrary_traces(20)) {
+        let mut table = FrameTable::new();
+        let tree = build_global(&paths, &mut table);
+        let bytes = encode_tree(&tree, &table);
+        let mut fresh = FrameTable::new();
+        let back: GlobalPrefixTree = decode_tree(&bytes, &mut fresh).unwrap();
+        prop_assert_eq!(back.node_count(), tree.node_count());
+        prop_assert_eq!(back.width(), tree.width());
+        prop_assert_eq!(
+            back.tasks(back.root()).members(),
+            tree.tasks(tree.root()).members()
+        );
+        // Re-encoding the decoded tree is a fixed point in size.
+        let bytes2 = encode_tree(&back, &fresh);
+        prop_assert_eq!(bytes.len(), bytes2.len());
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Topologies
+// ---------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn built_topologies_always_validate(backends in 1u32..3_000, depth in 1u32..4) {
+        let topo = Topology::build(TopologySpec::balanced(backends, depth));
+        prop_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
+        prop_assert_eq!(topo.backends().len() as u32, backends.max(1));
+        prop_assert_eq!(topo.subtree_backends(topo.frontend()) as u32, backends.max(1));
+    }
+
+    #[test]
+    fn explicit_two_deep_specs_validate(backends in 1u32..2_000, comm in 1u32..64) {
+        let topo = Topology::build(TopologySpec::two_deep(backends, comm));
+        prop_assert!(topo.validate().is_ok());
+        let total: u32 = topo
+            .comm_processes()
+            .iter()
+            .map(|&cp| topo.node(cp).children.len() as u32)
+            .sum();
+        prop_assert_eq!(total, backends.max(1));
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Discrete-event engine conservation laws
+// ---------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_scheduled_request_completes_exactly_once(
+        requests in prop::collection::vec((0u64..1_000, 1u64..50), 1..80),
+        slots in 1usize..4,
+    ) {
+        use simkit::prelude::*;
+        let mut sim = Simulation::new(7);
+        let server = sim.add_resource(Resource::fifo("srv", slots));
+        let mut total_service = SimDuration::ZERO;
+        for (i, (start_ms, service_ms)) in requests.iter().enumerate() {
+            let service = SimDuration::from_millis(*service_ms as f64);
+            total_service += service;
+            sim.schedule(
+                SimTime::from_millis(*start_ms as f64),
+                Event::request(server, i as u64, service),
+            );
+        }
+        let report = sim.run();
+        prop_assert_eq!(report.completed_requests, requests.len() as u64);
+        // The run can never finish before the last arrival plus its own service, nor
+        // before the total service divided by the parallel slots.
+        let busy = report.resource("srv").unwrap().busy_time;
+        prop_assert_eq!(busy.as_nanos(), total_service.as_nanos());
+        prop_assert!(report.finished_at.as_secs() >= total_service.as_secs() / slots as f64);
+    }
+}

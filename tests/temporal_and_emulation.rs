@@ -1,0 +1,146 @@
+//! Integration tests for the time-evolving workloads (where the 2D and 3D analyses
+//! genuinely disagree), the report/pruning operations, and the STATBench emulation
+//! layer driving the real tool.
+
+use appsim::{
+    Application, CheckpointStormApp, FrameVocabulary, IterativeSolverApp, StragglerApp,
+};
+use machine::Cluster;
+use statbench::{EmulatedJob, TraceShape};
+use stat_core::prelude::*;
+use tbon::topology::TopologyKind;
+
+fn run(app: &dyn Application, samples: u32) -> SessionResult {
+    let config = SessionConfig {
+        cluster: Cluster::test_cluster(64, 8),
+        topology: TopologyKind::TwoDeep,
+        representation: Representation::HierarchicalTaskList,
+        samples_per_task: samples,
+    };
+    run_session(&config, app)
+}
+
+#[test]
+fn healthy_solver_looks_different_in_3d_than_in_2d() {
+    let app = IterativeSolverApp::new(256, 1, FrameVocabulary::Linux);
+    let result = run(&app, 9);
+    // A single snapshot (2D) splits the job into whichever phases the ranks happened
+    // to be in at that instant: several classes, each covering only a slice of the
+    // job.
+    let classes_2d = equivalence_classes(&result.gather.tree_2d);
+    assert!(classes_2d.len() >= 2, "a snapshot shows several phases");
+    let largest_2d = classes_2d.iter().map(EquivalenceClass::size).max().unwrap();
+    assert!(largest_2d < 200, "no single phase holds the whole job in a snapshot");
+    // Over time (3D) every task visits every phase, so each class covers the whole
+    // job — the signature of "working", as opposed to "stuck somewhere".
+    assert!(result.gather.classes.iter().all(|c| c.size() == 256));
+}
+
+#[test]
+fn stragglers_are_singled_out_for_the_debugger() {
+    let app = StragglerApp::new(512, 3, FrameVocabulary::Linux);
+    let result = run(&app, 4);
+    let compute_class = result
+        .gather
+        .classes
+        .iter()
+        .find(|c| c.path_string(&result.gather.frames).contains("compute_interior"))
+        .expect("straggler class exists");
+    assert_eq!(compute_class.tasks, app.stragglers().to_vec());
+    // The attach set stays tiny even though the job has 512 tasks.
+    assert!(result.gather.attach_set().len() <= 4);
+}
+
+#[test]
+fn checkpoint_storm_separates_writers_from_waiters() {
+    let app = CheckpointStormApp::new(400, 0.9, FrameVocabulary::Linux);
+    let result = run(&app, 3);
+    let writer_class = result
+        .gather
+        .classes
+        .iter()
+        .find(|c| c.path_string(&result.gather.frames).contains("MPI_File_write_all"))
+        .expect("writer class exists");
+    assert_eq!(writer_class.size(), 40);
+}
+
+#[test]
+fn report_operations_work_on_real_session_output() {
+    let app = StragglerApp::new(256, 2, FrameVocabulary::Linux);
+    let result = run(&app, 4);
+
+    let text = render_text_tree(&result.gather.tree_3d, &result.gather.frames);
+    assert!(text.contains("timestep_loop"));
+    assert_eq!(text.lines().count(), result.gather.tree_3d.node_count());
+
+    let summary = session_summary(&result.gather, 256);
+    assert!(summary.contains("behaviour classes"));
+
+    // Pruning away small populations hides the stragglers; focusing finds them again.
+    let pruned = prune_by_population(&result.gather.tree_3d, 10);
+    assert!(pruned.node_count() < result.gather.tree_3d.node_count());
+    let focused = focus_on_path(
+        &result.gather.tree_3d,
+        &result.gather.frames,
+        &["_start", "main", "timestep_loop", "compute_interior"],
+    );
+    let focused_classes = equivalence_classes(&focused);
+    assert!(focused_classes
+        .iter()
+        .any(|c| c.tasks == app.stragglers().to_vec()));
+}
+
+#[test]
+fn emulated_jobs_and_real_apps_share_the_same_pipeline() {
+    // The STATBench emulation and a real (simulated) application must exercise the
+    // same machinery and produce structurally comparable results.
+    let emulated = EmulatedJob::new(Cluster::test_cluster(64, 8), 1_024)
+        .with_shape(TraceShape {
+            classes: 3,
+            ..TraceShape::typical()
+        })
+        .run();
+    assert_eq!(emulated.classes, 3);
+    assert!(emulated.compression_ratio() > 300.0);
+
+    let app = appsim::RingHangApp::new(1_024, FrameVocabulary::BlueGeneL);
+    let real = run(&app, 5);
+    assert_eq!(real.gather.classes.len(), 3);
+    // Both paths end with a job-wide tree covering every task.
+    assert_eq!(
+        real.gather.tree_3d.tasks(real.gather.tree_3d.root()).count(),
+        1_024
+    );
+}
+
+#[test]
+fn overlay_fault_handling_degrades_gracefully() {
+    use tbon::fault::FaultTracker;
+    use tbon::topology::{Topology, TopologySpec};
+
+    let topology = Topology::build(TopologySpec::two_deep(32, 4));
+    let mut tracker = FaultTracker::new(topology.clone());
+    // Lose one communication process: its 8 daemons disappear, the session survives.
+    let cp = topology.comm_processes()[1];
+    let report = tracker.fail(cp);
+    assert!(report.session_viable);
+    assert_eq!(report.lost_backends.len(), 8);
+    assert!((tracker.coverage() - 24.0 / 32.0).abs() < 1e-9);
+
+    // A degraded gather over the survivors still produces a coherent answer.
+    let app = appsim::RingHangApp::new(256, FrameVocabulary::Linux);
+    let daemons = StatDaemon::partition(256, 32);
+    let contributions: Vec<DaemonContribution> = daemons
+        .iter()
+        .zip(topology.backends())
+        .map(|(d, &leaf)| d.contribute::<SubtreeTaskList>(&app, 2, leaf))
+        .collect();
+    let surviving = tracker.filter_leaf_payloads(&contributions);
+    assert_eq!(surviving.len(), 24);
+    // Rebuild a pruned topology over the survivors and merge what remains.
+    let pruned_topology = Topology::build(TopologySpec::two_deep(24, 4));
+    let frontend = StatFrontEnd::new(pruned_topology, Representation::HierarchicalTaskList);
+    let gather = frontend.gather(&surviving, 256);
+    let covered = gather.tree_3d.tasks(gather.tree_3d.root()).count();
+    assert_eq!(covered, 24 * 8, "only the surviving daemons' tasks are covered");
+}
