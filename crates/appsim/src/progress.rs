@@ -213,7 +213,11 @@ mod tests {
         assert_eq!(writers, 25);
         let extremes = CheckpointStormApp::new(10, 2.0, FrameVocabulary::Linux);
         let writers = (0..10)
-            .filter(|&r| extremes.main_thread_path(r, 0).contains(&"MPI_File_write_all"))
+            .filter(|&r| {
+                extremes
+                    .main_thread_path(r, 0)
+                    .contains(&"MPI_File_write_all")
+            })
             .count();
         assert_eq!(writers, 0, "completed fraction clamps to 1.0");
     }

@@ -68,9 +68,7 @@ impl FrameVocabulary {
     pub fn poll_step(self) -> &'static [&'static str] {
         match self {
             FrameVocabulary::Linux => &["poll_active_fboxes"],
-            FrameVocabulary::BlueGeneL => {
-                &["BGLML_Messager_advance", "BGLML_Messager_CMadvance"]
-            }
+            FrameVocabulary::BlueGeneL => &["BGLML_Messager_advance", "BGLML_Messager_CMadvance"],
         }
     }
 
@@ -116,7 +114,10 @@ mod tests {
     fn platform_entry_points_differ() {
         assert_eq!(FrameVocabulary::Linux.start(), "_start");
         assert_eq!(FrameVocabulary::BlueGeneL.start(), "_start_blrts");
-        assert_eq!(FrameVocabulary::Linux.main(), FrameVocabulary::BlueGeneL.main());
+        assert_eq!(
+            FrameVocabulary::Linux.main(),
+            FrameVocabulary::BlueGeneL.main()
+        );
     }
 
     #[test]

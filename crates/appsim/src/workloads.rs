@@ -228,7 +228,11 @@ mod tests {
         for rank in 0..100 {
             wide_leaves.insert(wide.main_thread_path(rank, 0));
         }
-        assert_eq!(wide_leaves.len(), 8, "classes beyond the kernel list still distinct");
+        assert_eq!(
+            wide_leaves.len(),
+            8,
+            "classes beyond the kernel list still distinct"
+        );
     }
 
     #[test]

@@ -38,16 +38,20 @@ fn bench_subtree_concat(c: &mut Criterion) {
                 b.insert(i);
             }
         }
-        group.bench_with_input(BenchmarkId::from_parameter(local), &local, |bench, &local| {
-            bench.iter(|| {
-                let mut left = a.clone();
-                let mut right = b.clone();
-                left.rebase(0, local * 2);
-                right.rebase(local, local * 2);
-                left.union_in_place(&right);
-                left
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(local),
+            &local,
+            |bench, &local| {
+                bench.iter(|| {
+                    let mut left = a.clone();
+                    let mut right = b.clone();
+                    left.rebase(0, local * 2);
+                    right.rebase(local, local * 2);
+                    left.union_in_place(&right);
+                    left
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -61,9 +65,11 @@ fn bench_remap(c: &mut Criterion) {
             set.insert(i);
         }
         let map: Vec<u64> = (0..tasks).rev().collect();
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |bench, &tasks| {
-            bench.iter(|| set.remap_to_dense(&map, tasks))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tasks),
+            &tasks,
+            |bench, &tasks| bench.iter(|| set.remap_to_dense(&map, tasks)),
+        );
     }
     group.finish();
 }

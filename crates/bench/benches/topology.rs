@@ -30,24 +30,20 @@ fn bench_reduction(c: &mut Criterion) {
     for daemons in [64u32, 1_664] {
         let topo = Topology::build(TopologySpec::two_deep(daemons, 28));
         let net = InProcessTbon::new(topo);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(daemons),
-            &daemons,
-            |b, _| {
-                b.iter(|| {
-                    let leaves: Vec<Packet> = net
-                        .topology()
-                        .backends()
-                        .iter()
-                        .enumerate()
-                        .map(|(i, &ep)| {
-                            Packet::new(PacketTag::Custom(0), ep, SumFilter::encode(i as u64))
-                        })
-                        .collect();
-                    net.reduce(leaves, &SumFilter)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(daemons), &daemons, |b, _| {
+            b.iter(|| {
+                let leaves: Vec<Packet> = net
+                    .topology()
+                    .backends()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &ep)| {
+                        Packet::new(PacketTag::Custom(0), ep, SumFilter::encode(i as u64))
+                    })
+                    .collect();
+                net.reduce(leaves, &SumFilter)
+            })
+        });
     }
     group.finish();
 }

@@ -48,7 +48,10 @@ pub fn ablation_topology(tasks: u64) -> SeriesTable {
                 .max_fanout() as f64,
         );
     }
-    table.note(format!("job shape: {} daemons, {} tasks", shape.daemons, shape.tasks));
+    table.note(format!(
+        "job shape: {} daemons, {} tasks",
+        shape.daemons, shape.tasks
+    ));
     table
 }
 
@@ -144,13 +147,29 @@ pub fn ablation_threads() -> SeriesTable {
     );
     let worker_threads = [0u32, 1, 3, 7, 15];
     for m in measure_thread_scaling(8, &worker_threads, 3) {
-        table.push("real traces per daemon", m.threads_per_task as u64, m.traces_gathered as f64);
-        table.push("real tree bytes per daemon", m.threads_per_task as u64, m.tree_bytes as f64);
+        table.push(
+            "real traces per daemon",
+            m.threads_per_task as u64,
+            m.traces_gathered as f64,
+        );
+        table.push(
+            "real tree bytes per daemon",
+            m.threads_per_task as u64,
+            m.tree_bytes as f64,
+        );
     }
     let counts: Vec<u32> = worker_threads.iter().map(|w| w + 1).collect();
     for p in project_thread_counts(&cluster, 65_536, &counts, 5) {
-        table.push("projected sampling seconds", p.threads_per_task as u64, p.sampling.as_secs());
-        table.push("projected merge seconds", p.threads_per_task as u64, p.merge.as_secs());
+        table.push(
+            "projected sampling seconds",
+            p.threads_per_task as u64,
+            p.sampling.as_secs(),
+        );
+        table.push(
+            "projected merge seconds",
+            p.threads_per_task as u64,
+            p.merge.as_secs(),
+        );
     }
     table.note(
         "sampling grows roughly linearly with threads (constant per-thread cost); the merge \

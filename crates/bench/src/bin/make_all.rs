@@ -16,17 +16,69 @@ fn main() {
 
     let (dot, summary) = stat_bench::fig01_prefix_tree(1_024);
     write(dir, "fig01_prefix_tree", &format!("{summary}\n{dot}"));
-    write(dir, "fig02_startup_atlas", &stat_bench::fig02_startup_atlas().to_string());
-    write(dir, "fig03_startup_bgl", &stat_bench::fig03_startup_bgl().to_string());
-    write(dir, "fig04_merge_atlas", &stat_bench::fig04_merge_atlas().to_string());
-    write(dir, "fig05_merge_bgl", &stat_bench::fig05_merge_bgl().to_string());
-    write(dir, "fig06_bitvector_demo", &stat_bench::fig06_bitvector_demo().to_string());
-    write(dir, "fig07_merge_optimized", &stat_bench::fig07_merge_optimized().to_string());
-    write(dir, "fig08_sampling_atlas", &stat_bench::fig08_sampling_atlas().to_string());
-    write(dir, "fig09_sampling_bgl", &stat_bench::fig09_sampling_bgl().to_string());
-    write(dir, "fig10_sampling_sbrs", &stat_bench::fig10_sampling_sbrs().to_string());
-    write(dir, "ablation_topology", &stat_bench::ablation_topology(65_536).to_string());
-    write(dir, "ablation_bitvector", &stat_bench::ablation_bitvector().to_string());
-    write(dir, "ablation_proctable", &stat_bench::ablation_proctable().to_string());
-    write(dir, "ablation_threads", &stat_bench::ablation_threads().to_string());
+    write(
+        dir,
+        "fig02_startup_atlas",
+        &stat_bench::fig02_startup_atlas().to_string(),
+    );
+    write(
+        dir,
+        "fig03_startup_bgl",
+        &stat_bench::fig03_startup_bgl().to_string(),
+    );
+    write(
+        dir,
+        "fig04_merge_atlas",
+        &stat_bench::fig04_merge_atlas().to_string(),
+    );
+    write(
+        dir,
+        "fig05_merge_bgl",
+        &stat_bench::fig05_merge_bgl().to_string(),
+    );
+    write(
+        dir,
+        "fig06_bitvector_demo",
+        &stat_bench::fig06_bitvector_demo().to_string(),
+    );
+    write(
+        dir,
+        "fig07_merge_optimized",
+        &stat_bench::fig07_merge_optimized().to_string(),
+    );
+    write(
+        dir,
+        "fig08_sampling_atlas",
+        &stat_bench::fig08_sampling_atlas().to_string(),
+    );
+    write(
+        dir,
+        "fig09_sampling_bgl",
+        &stat_bench::fig09_sampling_bgl().to_string(),
+    );
+    write(
+        dir,
+        "fig10_sampling_sbrs",
+        &stat_bench::fig10_sampling_sbrs().to_string(),
+    );
+    write(
+        dir,
+        "ablation_topology",
+        &stat_bench::ablation_topology(65_536).to_string(),
+    );
+    write(
+        dir,
+        "ablation_bitvector",
+        &stat_bench::ablation_bitvector().to_string(),
+    );
+    write(
+        dir,
+        "ablation_proctable",
+        &stat_bench::ablation_proctable().to_string(),
+    );
+    write(
+        dir,
+        "ablation_threads",
+        &stat_bench::ablation_threads().to_string(),
+    );
 }

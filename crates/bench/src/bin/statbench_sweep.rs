@@ -5,6 +5,12 @@ use statbench::{sweep_daemon_counts, sweep_equivalence_classes, SweepConfig};
 
 fn main() {
     let config = SweepConfig::new(Cluster::test_cluster(1_024, 8));
-    println!("{}", sweep_daemon_counts(&config, &[512, 1_024, 2_048, 4_096, 8_192]));
-    println!("{}", sweep_equivalence_classes(&config, 4_096, &[1, 4, 16, 64, 256]));
+    println!(
+        "{}",
+        sweep_daemon_counts(&config, &[512, 1_024, 2_048, 4_096, 8_192])
+    );
+    println!(
+        "{}",
+        sweep_equivalence_classes(&config, 4_096, &[1, 4, 16, 64, 256])
+    );
 }

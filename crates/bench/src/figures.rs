@@ -79,11 +79,7 @@ pub fn fig02_startup_atlas() -> SeriesTable {
 /// Figure 3: STAT startup time on BG/L for several topologies and modes, before and
 /// after the IBM resource-manager patches.
 pub fn fig03_startup_bgl() -> SeriesTable {
-    let mut table = SeriesTable::new(
-        "Figure 3: STAT startup time on BG/L",
-        "tasks",
-        "seconds",
-    );
+    let mut table = SeriesTable::new("Figure 3: STAT startup time on BG/L", "tasks", "seconds");
     let node_counts: [u64; 8] = [1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 106_496];
     for &mode in &[BglMode::CoProcessor, BglMode::VirtualNode] {
         let cluster = Cluster::bluegene_l(mode);
@@ -155,7 +151,12 @@ pub fn fig04_merge_atlas() -> SeriesTable {
     merge_figure(
         "Figure 4: STAT merge time on Atlas (original bit vector)",
         &[(Cluster::atlas(), "")],
-        &|c| c.figure_scales().into_iter().filter(|&t| t <= 4_096).collect(),
+        &|c| {
+            c.figure_scales()
+                .into_iter()
+                .filter(|&t| t <= 4_096)
+                .collect()
+        },
         Representation::GlobalBitVector,
         &TopologyKind::all(),
     )
@@ -207,7 +208,11 @@ pub fn fig06_bitvector_demo() -> SeriesTable {
         table.push("original bits stored", daemon, original.width() as f64);
         table.push("original bits that matter", daemon, original.count() as f64);
         table.push("optimized bits stored", daemon, optimized.width() as f64);
-        table.push("optimized bits that matter", daemon, optimized.count() as f64);
+        table.push(
+            "optimized bits that matter",
+            daemon,
+            optimized.count() as f64,
+        );
     }
     table.note(
         "original: every daemon stores one bit per task of the whole job (white boxes in \
@@ -316,11 +321,7 @@ pub fn fig08_sampling_atlas() -> SeriesTable {
 /// Figure 9: sampling time on BG/L up to 212,992 tasks, with the run-to-run
 /// variation the paper observed between nominally identical configurations.
 pub fn fig09_sampling_bgl() -> SeriesTable {
-    let mut table = SeriesTable::new(
-        "Figure 9: STAT sampling time on BG/L",
-        "tasks",
-        "seconds",
-    );
+    let mut table = SeriesTable::new("Figure 9: STAT sampling time on BG/L", "tasks", "seconds");
     for &mode in &[BglMode::CoProcessor, BglMode::VirtualNode] {
         let cluster = Cluster::bluegene_l(mode);
         let model = SamplingCostModel::new(cluster.clone());
@@ -328,7 +329,10 @@ pub fn fig09_sampling_bgl() -> SeriesTable {
         // what the daemons do locally, but each run sees different file-server load,
         // which is where the >20% (occasionally 2x) spread comes from.  Different
         // seeds per series model exactly that.
-        for (kind, seed) in [(TopologyKind::TwoDeep, 11u64), (TopologyKind::ThreeDeep, 1215)] {
+        for (kind, seed) in [
+            (TopologyKind::TwoDeep, 11u64),
+            (TopologyKind::ThreeDeep, 1215),
+        ] {
             let series = format!("{} {}", kind.label(), mode.label());
             for tasks in cluster.figure_scales() {
                 let est = model.estimate(tasks, BinaryPlacement::NfsHome, seed ^ tasks);
@@ -404,7 +408,10 @@ mod tests {
         let rsh = table.value_at("MRNet rsh", 256).unwrap();
         let lm = table.value_at("LaunchMON", 256).unwrap();
         assert!(rsh / lm > 5.0);
-        assert!(table.notes().iter().any(|n| n.contains("failed outright at 512")));
+        assert!(table
+            .notes()
+            .iter()
+            .any(|n| n.contains("failed outright at 512")));
     }
 
     #[test]
@@ -423,7 +430,10 @@ mod tests {
         let table = fig07_merge_optimized();
         let orig = table.value_at("original VN", 212_992).unwrap();
         let opt = table.value_at("optimized VN", 212_992).unwrap();
-        assert!(orig / opt > 3.0, "expected a large gap, got {orig} vs {opt}");
+        assert!(
+            orig / opt > 3.0,
+            "expected a large gap, got {orig} vs {opt}"
+        );
     }
 
     #[test]

@@ -17,9 +17,9 @@ pub mod ablations;
 pub mod figures;
 
 pub use figures::{
-    fig01_prefix_tree, fig02_startup_atlas, fig03_startup_bgl, fig04_merge_atlas,
-    fig05_merge_bgl, fig06_bitvector_demo, fig07_merge_optimized, fig08_sampling_atlas,
-    fig09_sampling_bgl, fig10_sampling_sbrs,
+    fig01_prefix_tree, fig02_startup_atlas, fig03_startup_bgl, fig04_merge_atlas, fig05_merge_bgl,
+    fig06_bitvector_demo, fig07_merge_optimized, fig08_sampling_atlas, fig09_sampling_bgl,
+    fig10_sampling_sbrs,
 };
 
 pub use ablations::{ablation_bitvector, ablation_proctable, ablation_threads, ablation_topology};

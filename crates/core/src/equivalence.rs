@@ -78,7 +78,12 @@ pub fn equivalence_classes<S: TaskSetOps>(tree: &PrefixTree<S>) -> Vec<Equivalen
     }
     // Largest classes first: the user looks at the outliers (smallest classes) last
     // in the visualisation but the sort makes reports deterministic.
-    classes.sort_by(|a, b| b.tasks.len().cmp(&a.tasks.len()).then_with(|| a.path.cmp(&b.path)));
+    classes.sort_by(|a, b| {
+        b.tasks
+            .len()
+            .cmp(&a.tasks.len())
+            .then_with(|| a.path.cmp(&b.path))
+    });
     classes
 }
 
@@ -114,8 +119,16 @@ pub fn summarize<S: TaskSetOps>(tree: &PrefixTree<S>) -> ClassSummary {
     ClassSummary {
         tasks: tree.tasks(tree.root()).count(),
         classes: classes.len(),
-        largest: classes.iter().map(EquivalenceClass::size).max().unwrap_or(0),
-        smallest: classes.iter().map(EquivalenceClass::size).min().unwrap_or(0),
+        largest: classes
+            .iter()
+            .map(EquivalenceClass::size)
+            .max()
+            .unwrap_or(0),
+        smallest: classes
+            .iter()
+            .map(EquivalenceClass::size)
+            .min()
+            .unwrap_or(0),
     }
 }
 
@@ -146,10 +159,7 @@ mod tests {
         assert_eq!(classes[0].size(), 1_022);
         assert!(classes[0].path_string(&table).contains("PMPI_Barrier"));
         // The two singletons are ranks 1 and 2.
-        let singles: Vec<u64> = classes[1..]
-            .iter()
-            .flat_map(|c| c.tasks.clone())
-            .collect();
+        let singles: Vec<u64> = classes[1..].iter().flat_map(|c| c.tasks.clone()).collect();
         assert_eq!(
             {
                 let mut s = singles.clone();
@@ -165,7 +175,10 @@ mod tests {
         let (tree, _) = ring_tree(4_096);
         let attach = debugger_attach_set(&tree);
         assert_eq!(attach.len(), 3);
-        assert!(attach.contains(&0), "barrier class representative is rank 0");
+        assert!(
+            attach.contains(&0),
+            "barrier class representative is rank 0"
+        );
         assert!(attach.contains(&1));
         assert!(attach.contains(&2));
     }
@@ -186,7 +199,9 @@ mod tests {
         let classes = equivalence_classes(&tree);
         let barrier = &classes[0];
         assert!(barrier.tasks_string().starts_with("1022:[0,3-"));
-        assert!(barrier.path_string(&table).starts_with("_start_blrts > main"));
+        assert!(barrier
+            .path_string(&table)
+            .starts_with("_start_blrts > main"));
         assert_eq!(barrier.representative(), Some(0));
     }
 

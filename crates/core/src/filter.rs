@@ -104,10 +104,18 @@ mod tests {
         let stall = StackTrace::new(table.intern_path(&["_start", "main", "do_SendOrStall"]));
         let mut tree = GlobalPrefixTree::new_global(total);
         for rank in ranks {
-            let t = if Some(rank) == stall_rank { &stall } else { &barrier };
+            let t = if Some(rank) == stall_rank {
+                &stall
+            } else {
+                &barrier
+            };
             tree.add_trace(t, rank);
         }
-        Packet::new(PacketTag::Merged2d, EndpointId(source), encode_tree(&tree, &table))
+        Packet::new(
+            PacketTag::Merged2d,
+            EndpointId(source),
+            encode_tree(&tree, &table),
+        )
     }
 
     #[test]
@@ -141,7 +149,11 @@ mod tests {
             for p in 0..local_tasks {
                 tree.add_trace(&barrier, p);
             }
-            Packet::new(PacketTag::Merged2d, EndpointId(9), encode_tree(&tree, &table))
+            Packet::new(
+                PacketTag::Merged2d,
+                EndpointId(9),
+                encode_tree(&tree, &table),
+            )
         };
         let filter = StatMergeFilter::<SubtreeTaskList>::new();
         let out = filter.reduce(EndpointId(0), &[make(4), make(8), make(2)]);

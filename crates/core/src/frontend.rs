@@ -126,11 +126,7 @@ impl StatFrontEnd {
         self.representation
     }
 
-    fn reduce_with(
-        &self,
-        leaves: Vec<Packet>,
-        filter: &dyn Filter,
-    ) -> ReductionOutcome {
+    fn reduce_with(&self, leaves: Vec<Packet>, filter: &dyn Filter) -> ReductionOutcome {
         let net = InProcessTbon::new(self.topology.clone());
         net.reduce(leaves, filter)
     }
@@ -155,12 +151,10 @@ impl StatFrontEnd {
                 let out_3d = self.reduce_with(packets_3d, &filter);
                 metrics.absorb(&out_2d);
                 metrics.absorb(&out_3d);
-                let tree_2d: GlobalPrefixTree =
-                    decode_tree(&out_2d.result.payload, &mut frames)
-                        .expect("front end received a well-formed 2D tree");
-                let tree_3d: GlobalPrefixTree =
-                    decode_tree(&out_3d.result.payload, &mut frames)
-                        .expect("front end received a well-formed 3D tree");
+                let tree_2d: GlobalPrefixTree = decode_tree(&out_2d.result.payload, &mut frames)
+                    .expect("front end received a well-formed 2D tree");
+                let tree_3d: GlobalPrefixTree = decode_tree(&out_3d.result.payload, &mut frames)
+                    .expect("front end received a well-formed 3D tree");
                 (tree_2d, tree_3d, Duration::ZERO)
             }
             Representation::HierarchicalTaskList => {
@@ -171,12 +165,10 @@ impl StatFrontEnd {
                 metrics.absorb(&out_2d);
                 metrics.absorb(&out_3d);
                 metrics.absorb(&map_out);
-                let sub_2d: SubtreePrefixTree =
-                    decode_tree(&out_2d.result.payload, &mut frames)
-                        .expect("front end received a well-formed 2D tree");
-                let sub_3d: SubtreePrefixTree =
-                    decode_tree(&out_3d.result.payload, &mut frames)
-                        .expect("front end received a well-formed 3D tree");
+                let sub_2d: SubtreePrefixTree = decode_tree(&out_2d.result.payload, &mut frames)
+                    .expect("front end received a well-formed 2D tree");
+                let sub_3d: SubtreePrefixTree = decode_tree(&out_3d.result.payload, &mut frames)
+                    .expect("front end received a well-formed 3D tree");
                 let position_to_rank = decode_rank_map(&map_out.result.payload)
                     .expect("front end received a well-formed rank map");
                 // The remap step the paper prices at 0.66 s for 208K tasks.
@@ -254,7 +246,10 @@ mod tests {
         let hier = run(Representation::HierarchicalTaskList, 2_048, 16);
         assert_eq!(global.classes.len(), hier.classes.len());
         for (g, h) in global.classes.iter().zip(hier.classes.iter()) {
-            assert_eq!(g.tasks, h.tasks, "class membership must not depend on representation");
+            assert_eq!(
+                g.tasks, h.tasks,
+                "class membership must not depend on representation"
+            );
         }
         // ...but moves far fewer bytes through the overlay.
         assert!(

@@ -519,7 +519,10 @@ mod tests {
     fn three_d_analysis_accumulates_all_samples() {
         let mut table = FrameTable::new();
         let shallow = trace(&mut table, &["_start", "main", "MPI_Barrier", "poll"]);
-        let deep = trace(&mut table, &["_start", "main", "MPI_Barrier", "poll", "poll_inner"]);
+        let deep = trace(
+            &mut table,
+            &["_start", "main", "MPI_Barrier", "poll", "poll_inner"],
+        );
         let samples = TaskSamples::new(5, vec![shallow.clone(), deep.clone(), shallow.clone()]);
 
         let mut tree_3d = GlobalPrefixTree::new_global(16);

@@ -65,10 +65,10 @@ pub mod prelude {
         classes_above, focus_on_path, prune_by_population, render_text_tree, session_summary,
     };
     pub use crate::serialize::{decode_tree, encode_tree};
-    pub use crate::session::{run_session, MergeEstimate, PhaseEstimator, SessionConfig, SessionResult};
-    pub use crate::taskset::{
-        format_rank_ranges, DenseBitVector, SubtreeTaskList, TaskSetOps,
+    pub use crate::session::{
+        run_session, MergeEstimate, PhaseEstimator, SessionConfig, SessionResult,
     };
+    pub use crate::taskset::{format_rank_ranges, DenseBitVector, SubtreeTaskList, TaskSetOps};
     pub use crate::threads::{measure_thread_scaling, project_thread_counts};
 }
 

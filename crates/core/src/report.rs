@@ -30,15 +30,9 @@ fn render_node<S: TaskSetOps>(
     out: &mut String,
 ) {
     if node == tree.root() {
-        out.push_str(&format!(
-            "/ ({} tasks)\n",
-            tree.tasks(node).count()
-        ));
+        out.push_str(&format!("/ ({} tasks)\n", tree.tasks(node).count()));
     } else {
-        let name = tree
-            .frame(node)
-            .map(|f| table.name(f))
-            .unwrap_or("<root>");
+        let name = tree.frame(node).map(|f| table.name(f)).unwrap_or("<root>");
         let label = format_rank_ranges(&tree.tasks(node).members(), 4);
         out.push_str(&format!("{}{name}  {label}\n", "  ".repeat(depth)));
     }
@@ -53,9 +47,13 @@ fn render_node<S: TaskSetOps>(
 pub fn prune_by_population<S: TaskSetOps>(tree: &PrefixTree<S>, min_tasks: u64) -> PrefixTree<S> {
     let mut out = PrefixTree::<S>::new(tree.width(), tree.is_concatenating());
     out.replace_tasks(0, tree.tasks(tree.root()).clone());
-    copy_filtered(tree, tree.root(), &mut out, 0, &mut |t: &PrefixTree<S>, n| {
-        t.tasks(n).count() >= min_tasks
-    });
+    copy_filtered(
+        tree,
+        tree.root(),
+        &mut out,
+        0,
+        &mut |t: &PrefixTree<S>, n| t.tasks(n).count() >= min_tasks,
+    );
     out
 }
 
@@ -69,21 +67,23 @@ pub fn focus_on_path<S: TaskSetOps>(
     let mut out = PrefixTree::<S>::new(tree.width(), tree.is_concatenating());
     out.replace_tasks(0, tree.tasks(tree.root()).clone());
     let prefix: Vec<String> = prefix.iter().map(|s| s.to_string()).collect();
-    copy_filtered(tree, tree.root(), &mut out, 0, &mut |t: &PrefixTree<S>, n| {
-        // Keep a node if its path is a prefix of the filter, or the filter is a
-        // prefix of its path (i.e. it lies on or below the focused branch).
-        let path: Vec<&str> = t
-            .path_to(n)
-            .iter()
-            .map(|&f| table.name(f))
-            .collect();
-        let shared = path
-            .iter()
-            .zip(prefix.iter())
-            .take_while(|(a, b)| **a == b.as_str())
-            .count();
-        shared == path.len().min(prefix.len())
-    });
+    copy_filtered(
+        tree,
+        tree.root(),
+        &mut out,
+        0,
+        &mut |t: &PrefixTree<S>, n| {
+            // Keep a node if its path is a prefix of the filter, or the filter is a
+            // prefix of its path (i.e. it lies on or below the focused branch).
+            let path: Vec<&str> = t.path_to(n).iter().map(|&f| table.name(f)).collect();
+            let shared = path
+                .iter()
+                .zip(prefix.iter())
+                .take_while(|(a, b)| **a == b.as_str())
+                .count();
+            shared == path.len().min(prefix.len())
+        },
+    );
     out
 }
 
@@ -186,7 +186,10 @@ mod tests {
         assert_eq!(classes[0].size(), 254);
         assert_eq!(classes[1].tasks, vec![1, 2]);
         // A threshold of 1 keeps everything.
-        assert_eq!(prune_by_population(&tree, 1).node_count(), tree.node_count());
+        assert_eq!(
+            prune_by_population(&tree, 1).node_count(),
+            tree.node_count()
+        );
     }
 
     #[test]

@@ -262,7 +262,10 @@ mod tests {
         let back: GlobalPrefixTree = decode_tree(&bytes, &mut other_table).unwrap();
         assert_eq!(back.node_count(), tree.node_count());
         assert_eq!(back.width(), tree.width());
-        assert_eq!(back.tasks(back.root()).members(), tree.tasks(tree.root()).members());
+        assert_eq!(
+            back.tasks(back.root()).members(),
+            tree.tasks(tree.root()).members()
+        );
         // Frame names survive re-interning even into a fresh table.
         let names: Vec<&str> = back
             .leaves()
@@ -353,6 +356,9 @@ mod tests {
         let ranks = vec![0u64, 2, 1, 3, 1_000_000];
         let bytes = encode_rank_map(&ranks);
         assert_eq!(decode_rank_map(&bytes).unwrap(), ranks);
-        assert_eq!(decode_rank_map(&bytes[..4]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            decode_rank_map(&bytes[..4]).unwrap_err(),
+            DecodeError::Truncated
+        );
     }
 }

@@ -263,9 +263,7 @@ mod tests {
         for (g, h) in global.gather.classes.iter().zip(hier.gather.classes.iter()) {
             assert_eq!(g.tasks, h.tasks);
         }
-        assert!(
-            global.gather.metrics.total_link_bytes > hier.gather.metrics.total_link_bytes
-        );
+        assert!(global.gather.metrics.total_link_bytes > hier.gather.metrics.total_link_bytes);
     }
 
     #[test]
@@ -275,13 +273,22 @@ mod tests {
         let hier = PhaseEstimator::new(bgl, Representation::HierarchicalTaskList);
 
         let growth = |est: &PhaseEstimator| {
-            let small = est.merge_estimate(16_384, TopologyKind::TwoDeep).time.as_secs();
-            let large = est.merge_estimate(212_992, TopologyKind::TwoDeep).time.as_secs();
+            let small = est
+                .merge_estimate(16_384, TopologyKind::TwoDeep)
+                .time
+                .as_secs();
+            let large = est
+                .merge_estimate(212_992, TopologyKind::TwoDeep)
+                .time
+                .as_secs();
             large / small
         };
         let g_growth = growth(&global);
         let h_growth = growth(&hier);
-        assert!(g_growth > 6.0, "global bit vectors scale ~linearly: {g_growth}");
+        assert!(
+            g_growth > 6.0,
+            "global bit vectors scale ~linearly: {g_growth}"
+        );
         assert!(
             h_growth < g_growth / 2.0,
             "hierarchical lists scale much better: {h_growth} vs {g_growth}"

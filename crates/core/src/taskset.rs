@@ -84,10 +84,7 @@ impl DenseBitVector {
 
     /// Reconstruct from packed words (used by deserialisation).
     pub fn from_words(width: u64, words: Vec<u64>) -> Self {
-        let mut v = DenseBitVector {
-            width,
-            words,
-        };
+        let mut v = DenseBitVector { width, words };
         v.words.resize(Self::word_count(width), 0);
         v
     }
@@ -315,7 +312,13 @@ pub fn format_rank_ranges(ranks: &[u64], max_ranges: usize) -> String {
     let mut shown: Vec<String> = ranges
         .iter()
         .take(max_ranges)
-        .map(|(a, b)| if a == b { a.to_string() } else { format!("{a}-{b}") })
+        .map(|(a, b)| {
+            if a == b {
+                a.to_string()
+            } else {
+                format!("{a}-{b}")
+            }
+        })
         .collect();
     if ranges.len() > max_ranges {
         shown.push("...".to_string());
@@ -459,9 +462,7 @@ mod tests {
 
     #[test]
     fn rank_range_formatting_matches_figure_1_style() {
-        let ranks: Vec<u64> = std::iter::once(0)
-            .chain(3..=1023)
-            .collect();
+        let ranks: Vec<u64> = std::iter::once(0).chain(3..=1023).collect();
         assert_eq!(format_rank_ranges(&ranks, 10), "1022:[0,3-1023]");
         assert_eq!(format_rank_ranges(&[1], 10), "1:[1]");
         assert_eq!(format_rank_ranges(&[], 10), "0:[]");

@@ -50,11 +50,8 @@ pub fn measure_thread_scaling(
         .map(|&workers| {
             let app = ThreadedApp::new(tasks_per_daemon, workers, FrameVocabulary::Linux);
             let daemon = StatDaemon::new(0, (0..tasks_per_daemon).collect(), tasks_per_daemon);
-            let contribution = daemon.contribute::<SubtreeTaskList>(
-                &app,
-                samples,
-                tbon::packet::EndpointId(1),
-            );
+            let contribution =
+                daemon.contribute::<SubtreeTaskList>(&app, samples, tbon::packet::EndpointId(1));
             let mut table = stackwalk::FrameTable::new();
             let tree: crate::graph::SubtreePrefixTree =
                 crate::serialize::decode_tree(&contribution.tree_3d.payload, &mut table)
@@ -108,9 +105,7 @@ pub fn project_thread_counts(
             // merged data volume grows with the thread count.
             estimator.tree_edges_2d *= threads as u64;
             estimator.tree_edges_3d *= threads as u64;
-            let merge = estimator
-                .merge_estimate(tasks, TopologyKind::TwoDeep)
-                .time;
+            let merge = estimator.merge_estimate(tasks, TopologyKind::TwoDeep).time;
             ThreadProjection {
                 threads_per_task: threads,
                 sampling,

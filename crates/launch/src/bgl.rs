@@ -120,7 +120,10 @@ impl Launcher for BglCiodLauncher {
 
         if !matches!(cluster.kind, ClusterKind::BlueGeneL { .. }) {
             est.fail(StartupFailure::TopologyUnplaceable {
-                reason: format!("the CIOD launcher only exists on BG/L, not {}", cluster.name),
+                reason: format!(
+                    "the CIOD launcher only exists on BG/L, not {}",
+                    cluster.name
+                ),
             });
             return est;
         }
@@ -154,7 +157,10 @@ impl Launcher for BglCiodLauncher {
             self.daemon_spawn_per_io_node * daemons as u64,
         );
         // MRNet still launches the communication processes serially on login nodes.
-        est.push(StartupPhase::CommProcessLaunch, self.comm_spawn * comm as u64);
+        est.push(
+            StartupPhase::CommProcessLaunch,
+            self.comm_spawn * comm as u64,
+        );
         est.push(
             StartupPhase::NetworkConnect,
             RshLauncher::connect_time(topology, self.per_connect),
@@ -258,7 +264,11 @@ mod tests {
         let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
         let t8k = launcher
-            .startup(&cluster, 8_192, &bgl_spec(&cluster, 8_192, TopologyKind::TwoDeep))
+            .startup(
+                &cluster,
+                8_192,
+                &bgl_spec(&cluster, 8_192, TopologyKind::TwoDeep),
+            )
             .total()
             .as_secs();
         let t64k = launcher
@@ -292,9 +302,12 @@ mod tests {
         let large = 100_000u64;
         let up_growth = unpatched.process_table_cost(large).as_secs()
             / unpatched.process_table_cost(small).as_secs();
-        let p_growth =
-            patched.process_table_cost(large).as_secs() / patched.process_table_cost(small).as_secs();
-        assert!(up_growth > 20.0, "quadratic growth expected, got {up_growth}");
+        let p_growth = patched.process_table_cost(large).as_secs()
+            / patched.process_table_cost(small).as_secs();
+        assert!(
+            up_growth > 20.0,
+            "quadratic growth expected, got {up_growth}"
+        );
         assert!(p_growth < 12.0, "linear growth expected, got {p_growth}");
     }
 }

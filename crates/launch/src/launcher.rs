@@ -157,7 +157,10 @@ mod tests {
         e.push(StartupPhase::DaemonLaunch, SimDuration::from_secs(4.0));
         e.push(StartupPhase::NetworkConnect, SimDuration::from_secs(1.0));
         assert_eq!(e.total(), SimDuration::from_secs(5.0));
-        assert_eq!(e.phase(StartupPhase::DaemonLaunch), SimDuration::from_secs(4.0));
+        assert_eq!(
+            e.phase(StartupPhase::DaemonLaunch),
+            SimDuration::from_secs(4.0)
+        );
         assert_eq!(e.phase(StartupPhase::SystemSoftware), SimDuration::ZERO);
         assert!((e.phase_fraction(StartupPhase::DaemonLaunch) - 0.8).abs() < 1e-9);
         assert!(e.succeeded());

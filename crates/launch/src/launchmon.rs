@@ -79,9 +79,8 @@ impl Launcher for LaunchMonLauncher {
 
         // Resource-manager bulk launch of the daemons.
         let levels = (daemons.max(2) as f64).log2().ceil() as u64;
-        let bulk = self.rm_handshake
-            + self.rm_tree_level * levels
-            + self.per_daemon * daemons as u64;
+        let bulk =
+            self.rm_handshake + self.rm_tree_level * levels + self.per_daemon * daemons as u64;
         est.push(StartupPhase::SystemSoftware, self.rm_handshake);
         est.push(StartupPhase::DaemonLaunch, bulk - self.rm_handshake);
 

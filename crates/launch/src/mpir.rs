@@ -160,7 +160,10 @@ mod tests {
             attach.total(),
             launch.total()
         );
-        assert_eq!(attach.phase(StartupPhase::ApplicationLaunch), SimDuration::ZERO);
+        assert_eq!(
+            attach.phase(StartupPhase::ApplicationLaunch),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -187,7 +190,11 @@ mod tests {
             AttachMode::AttachToRunning,
         );
         assert!(est.succeeded());
-        assert!(est.total().as_secs() < 30.0, "got {}", est.total().as_secs());
+        assert!(
+            est.total().as_secs() < 30.0,
+            "got {}",
+            est.total().as_secs()
+        );
     }
 
     #[test]

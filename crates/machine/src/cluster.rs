@@ -180,9 +180,7 @@ impl Cluster {
     pub fn tasks_per_daemon(&self) -> u32 {
         match self.kind {
             ClusterKind::LinuxCluster => self.tasks_per_compute_node(),
-            ClusterKind::BlueGeneL { mode } => {
-                self.compute_per_io * mode.tasks_per_compute_node()
-            }
+            ClusterKind::BlueGeneL { mode } => self.compute_per_io * mode.tasks_per_compute_node(),
         }
     }
 
@@ -312,7 +310,9 @@ impl Cluster {
             ClusterKind::BlueGeneL { mode } => {
                 let per_node = mode.tasks_per_compute_node() as u64;
                 // 1K, 2K, ..., 104K compute nodes in powers of two, expressed as tasks.
-                let node_counts = [1_024u64, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 106_496];
+                let node_counts = [
+                    1_024u64, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 106_496,
+                ];
                 node_counts.iter().map(|n| n * per_node).collect()
             }
         }
@@ -379,7 +379,11 @@ mod tests {
     fn daemon_hosts_respect_machine_style() {
         let atlas = Cluster::atlas();
         let hosts = atlas.daemon_hosts(64);
-        assert_eq!(hosts.len(), 8, "64 tasks / 8 per node = 8 compute-node hosts");
+        assert_eq!(
+            hosts.len(),
+            8,
+            "64 tasks / 8 per node = 8 compute-node hosts"
+        );
 
         let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
         let hosts = bgl.daemon_hosts(1_024);
@@ -394,10 +398,7 @@ mod tests {
         // 2,048 VN tasks = 1,024 compute nodes and 16 daemons (128 tasks/daemon),
         // plus 14 login nodes and 1 service node.
         assert_eq!(nodes.len(), 1_024 + 16 + 14 + 1);
-        let io_count = nodes
-            .iter()
-            .filter(|n| n.class == NodeClass::Io)
-            .count();
+        let io_count = nodes.iter().filter(|n| n.class == NodeClass::Io).count();
         assert_eq!(io_count, 16);
     }
 
@@ -414,7 +415,10 @@ mod tests {
     fn working_set_reflects_linking_style() {
         let atlas = Cluster::atlas();
         let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
-        assert!(atlas.binary_working_set.len() > 1, "dynamic linking on Atlas");
+        assert!(
+            atlas.binary_working_set.len() > 1,
+            "dynamic linking on Atlas"
+        );
         assert_eq!(bgl.binary_working_set.len(), 1, "static linking on BG/L");
         assert!(atlas.symbol_working_set_bytes() > 4 << 20);
     }

@@ -157,8 +157,7 @@ impl FileSystem {
                 // scattered through the file; we charge the server for reading roughly
                 // the whole file at the scattered-read rate plus a handful of metadata
                 // round trips.
-                let read =
-                    SimDuration::from_secs(bytes as f64 / self.scattered_read_bytes_per_sec);
+                let read = SimDuration::from_secs(bytes as f64 / self.scattered_read_bytes_per_sec);
                 self.metadata_op * 4 + read
             }
             FileAccessKind::BulkRead => {
@@ -175,8 +174,7 @@ impl FileSystem {
             FileAccessKind::SymbolTableParse => {
                 // Building the in-memory symbol lookup structures scales with file
                 // size but is pure local CPU work.
-                self.client_parse_overhead
-                    + SimDuration::from_secs(bytes as f64 / 400.0e6)
+                self.client_parse_overhead + SimDuration::from_secs(bytes as f64 / 400.0e6)
             }
             FileAccessKind::BulkRead => SimDuration::from_secs(bytes as f64 / 2.0e9),
         }
@@ -287,7 +285,9 @@ mod tests {
                 < nfs.server_service_time(FileAccessKind::BulkRead, big)
         );
         // Metadata ops are comparable: within a factor of 2.
-        let nfs_md = nfs.server_service_time(FileAccessKind::Metadata, 0).as_secs();
+        let nfs_md = nfs
+            .server_service_time(FileAccessKind::Metadata, 0)
+            .as_secs();
         let lus_md = lustre
             .server_service_time(FileAccessKind::Metadata, 0)
             .as_secs();

@@ -204,7 +204,10 @@ mod tests {
         let original = &plan.relocate[0].path;
         let resolved = table.resolve(original).to_string();
         assert!(resolved.starts_with("/tmp/sbrs/"));
-        assert!(!atlas.mounts.is_shared(&resolved), "redirect target is local");
+        assert!(
+            !atlas.mounts.is_shared(&resolved),
+            "redirect target is local"
+        );
     }
 
     #[test]
@@ -220,10 +223,7 @@ mod tests {
         let plan = RelocationPlan::for_working_set(&atlas, &two_files);
         let outcome = service.execute(&plan, 128);
         let secs = outcome.relocation_overhead().as_secs();
-        assert!(
-            (0.03..0.3).contains(&secs),
-            "expected ~0.088 s, got {secs}"
-        );
+        assert!((0.03..0.3).contains(&secs), "expected ~0.088 s, got {secs}");
         assert_eq!(outcome.bytes, 10 * 1024 + 4 * 1024 * 1024);
     }
 

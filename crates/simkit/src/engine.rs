@@ -290,10 +290,8 @@ impl Simulation {
             EventKind::Wakeup { process, actor } => {
                 if process < self.processes.len() {
                     // Temporarily move the process out so it can borrow the context.
-                    let mut proc = std::mem::replace(
-                        &mut self.processes[process],
-                        Box::new(NoopProcess),
-                    );
+                    let mut proc =
+                        std::mem::replace(&mut self.processes[process], Box::new(NoopProcess));
                     let mut ctx = ProcessCtx {
                         now: self.now,
                         pending: deferred,

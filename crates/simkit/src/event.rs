@@ -217,9 +217,30 @@ mod tests {
     #[test]
     fn marker_time_finds_first_occurrence() {
         let mut log = EventLog::with_policy(LogPolicy::Everything);
-        log.record(SimTime::from_secs(1.0), 0, &EventKind::Marker { label: "a", actor: 0 });
-        log.record(SimTime::from_secs(2.0), 1, &EventKind::Marker { label: "b", actor: 0 });
-        log.record(SimTime::from_secs(3.0), 2, &EventKind::Marker { label: "a", actor: 0 });
+        log.record(
+            SimTime::from_secs(1.0),
+            0,
+            &EventKind::Marker {
+                label: "a",
+                actor: 0,
+            },
+        );
+        log.record(
+            SimTime::from_secs(2.0),
+            1,
+            &EventKind::Marker {
+                label: "b",
+                actor: 0,
+            },
+        );
+        log.record(
+            SimTime::from_secs(3.0),
+            2,
+            &EventKind::Marker {
+                label: "a",
+                actor: 0,
+            },
+        );
         assert_eq!(log.marker_time("a"), Some(SimTime::from_secs(1.0)));
         assert_eq!(log.marker_time("b"), Some(SimTime::from_secs(2.0)));
         assert_eq!(log.marker_time("c"), None);

@@ -216,10 +216,7 @@ mod tests {
     #[test]
     fn piecewise_selects_first_matching_segment() {
         let m = PiecewiseCost::new()
-            .upto(
-                100,
-                LinearCost::per_unit(D::from_millis(1.0)),
-            )
+            .upto(100, LinearCost::per_unit(D::from_millis(1.0)))
             .upto(
                 1_000,
                 ConstantCost {

@@ -207,7 +207,11 @@ mod tests {
         let mut sorted = p.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(p, (0..100).collect::<Vec<_>>(), "shuffle should move things");
+        assert_ne!(
+            p,
+            (0..100).collect::<Vec<_>>(),
+            "shuffle should move things"
+        );
     }
 
     #[test]

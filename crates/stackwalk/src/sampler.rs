@@ -242,8 +242,7 @@ impl SamplingCostModel {
             let arrival = SimTime::from_millis(rng.uniform(0.0, 5.0));
             for (img, kind) in &working_set {
                 let fs = FileSystem::of_kind(*kind);
-                let read_bytes =
-                    (img.bytes as f64 * cfg.symtab_read_fraction).round() as u64;
+                let read_bytes = (img.bytes as f64 * cfg.symtab_read_fraction).round() as u64;
                 let mut service =
                     fs.server_service_time(FileAccessKind::SymbolTableParse, read_bytes);
                 if kind.is_shared() {
@@ -271,8 +270,7 @@ impl SamplingCostModel {
 
         // ---- Phase 2: walking stacks of the local tasks. ----
         // Per-trace cost on this machine's daemon hosts.
-        let per_trace = (cfg.per_trace_overhead
-            + cfg.per_frame_walk * cfg.mean_trace_depth as u64)
+        let per_trace = (cfg.per_trace_overhead + cfg.per_frame_walk * cfg.mean_trace_depth as u64)
             .mul_f64(slowdown);
         let traces_per_daemon = tasks_per_daemon as u64 * cfg.samples_per_task as u64;
         // CPU contention: on Atlas the daemon shares its node with spin-waiting MPI
@@ -281,9 +279,8 @@ impl SamplingCostModel {
         let base_contention = if self.cluster.daemons_on_io_nodes() {
             1.0
         } else {
-            let occupancy = (tasks_per_daemon as f64
-                / self.cluster.cores_per_compute as f64)
-                .min(1.0);
+            let occupancy =
+                (tasks_per_daemon as f64 / self.cluster.cores_per_compute as f64).min(1.0);
             1.0 + 0.8 * occupancy
         };
         // The slowest of `daemons` daemons: each gets an independent jitter draw, and
@@ -423,9 +420,7 @@ mod tests {
     fn effective_working_set_respects_placement() {
         let model = SamplingCostModel::new(Cluster::atlas());
         let relocated = model.effective_working_set(BinaryPlacement::RelocatedRamDisk);
-        assert!(relocated
-            .iter()
-            .all(|(_, k)| !k.is_shared()));
+        assert!(relocated.iter().all(|(_, k)| !k.is_shared()));
         let nfs = model.effective_working_set(BinaryPlacement::NfsHome);
         assert!(nfs.iter().any(|(_, k)| *k == FileSystemKind::Nfs));
         // Node-local system libraries are never "relocated" — they are already local.

@@ -116,7 +116,10 @@ mod tests {
     #[test]
     fn working_sets_match_the_machines() {
         let atlas = working_set_of(&Cluster::atlas());
-        assert!(atlas.len() >= 3, "dynamically linked app has several images");
+        assert!(
+            atlas.len() >= 3,
+            "dynamically linked app has several images"
+        );
         let bgl = working_set_of(&Cluster::bluegene_l(BglMode::CoProcessor));
         assert_eq!(bgl.len(), 1, "statically linked app is one image");
         assert!(bgl[0].bytes > atlas[0].bytes, "static binary is bigger");

@@ -122,7 +122,12 @@ mod tests {
         let send = trace(&mut t, &["_start", "main", "do_SendOrStall"]);
         let samples = TaskSamples::new(
             7,
-            vec![barrier.clone(), send.clone(), barrier.clone(), barrier.clone()],
+            vec![
+                barrier.clone(),
+                send.clone(),
+                barrier.clone(),
+                barrier.clone(),
+            ],
         );
         assert_eq!(samples.sample_count(), 4);
         let distinct = samples.distinct_traces();

@@ -226,12 +226,15 @@ mod tests {
 
     #[test]
     fn degenerate_shapes_are_clamped_not_panicking() {
-        let app = SyntheticApp::new(4, TraceShape {
-            depth: 0,
-            classes: 0,
-            divergence_depth: 99,
-            temporal_frames: 99,
-        });
+        let app = SyntheticApp::new(
+            4,
+            TraceShape {
+                depth: 0,
+                classes: 0,
+                divergence_depth: 99,
+                temporal_frames: 99,
+            },
+        );
         let path = app.main_thread_path(0, 0);
         assert!(path.len() >= 2);
     }

@@ -1,6 +1,6 @@
 //! # statbench — tool emulation for scalability studies without an application
 //!
-//! The paper's prior work (reference [9], "Benchmarking the Stack Trace Analysis Tool
+//! The paper's prior work (reference \[9\], "Benchmarking the Stack Trace Analysis Tool
 //! for BlueGene/L", ParCo 2007) built **STATBench**, an emulation infrastructure that
 //! lets the STAT developers evaluate the tool's scalability *without* having to run —
 //! or even possess — a full-scale application: emulated daemons generate synthetic

@@ -107,7 +107,11 @@ pub fn sweep_equivalence_classes(
             .with_topology(config.topology);
         job.samples_per_task = config.samples_per_task;
         let report = job.run();
-        table.push("merged tree nodes", classes as u64, report.merged_tree_nodes as f64);
+        table.push(
+            "merged tree nodes",
+            classes as u64,
+            report.merged_tree_nodes as f64,
+        );
         table.push(
             "front-end bytes in",
             classes as u64,

@@ -135,9 +135,7 @@ impl<'a> ReductionCostModel<'a> {
                     } else {
                         self.comm_host_slowdown
                     };
-                    recv += SimDuration::from_secs(
-                        child_bytes as f64 * 0.5e-9 * pack_slowdown,
-                    );
+                    recv += SimDuration::from_secs(child_bytes as f64 * 0.5e-9 * pack_slowdown);
                 }
                 total_link_bytes += bytes_in;
                 max_node_bytes_in = max_node_bytes_in.max(bytes_in);
@@ -269,10 +267,10 @@ mod tests {
     fn slower_hosts_increase_filter_time() {
         let net = Interconnect::bluegene_l();
         let topo = Topology::build(TopologySpec::two_deep(256, 16));
-        let fast = ReductionCostModel::standard(&topo, &net, 1.0, 1.0)
-            .reduce(&|_, s| s as u64 * 1_000);
-        let slow = ReductionCostModel::standard(&topo, &net, 3.4, 3.4)
-            .reduce(&|_, s| s as u64 * 1_000);
+        let fast =
+            ReductionCostModel::standard(&topo, &net, 1.0, 1.0).reduce(&|_, s| s as u64 * 1_000);
+        let slow =
+            ReductionCostModel::standard(&topo, &net, 3.4, 3.4).reduce(&|_, s| s as u64 * 1_000);
         assert!(slow.critical_path > fast.critical_path);
     }
 

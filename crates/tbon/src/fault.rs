@@ -110,8 +110,7 @@ impl FaultTracker {
             .map(|n| n.id)
             .collect();
         let frontend_ok = !self.failed.contains(&self.topology.frontend());
-        let session_viable =
-            frontend_ok && lost_backends.len() < self.topology.backends().len();
+        let session_viable = frontend_ok && lost_backends.len() < self.topology.backends().len();
         PruneReport {
             lost_backends,
             lost_comm_processes,

@@ -116,7 +116,9 @@ impl InProcessTbon {
                     .iter()
                     .map(|&id| self.reduce_node(id, &produced, filter))
                     .collect(),
-                ExecutionMode::LevelParallel => self.reduce_level_parallel(&node_ids, &produced, filter),
+                ExecutionMode::LevelParallel => {
+                    self.reduce_level_parallel(&node_ids, &produced, filter)
+                }
             };
 
             for (id, packet, bytes_in) in results {

@@ -85,10 +85,7 @@ impl StreamManager {
     /// are ignored.
     pub fn open_stream(&mut self, members: Vec<EndpointId>) -> u32 {
         let valid: BTreeSet<EndpointId> = self.topology.backends().iter().copied().collect();
-        let members: Vec<EndpointId> = members
-            .into_iter()
-            .filter(|m| valid.contains(m))
-            .collect();
+        let members: Vec<EndpointId> = members.into_iter().filter(|m| valid.contains(m)).collect();
         let id = self.streams.len() as u32;
         self.streams.push(Stream {
             id,
@@ -118,7 +115,12 @@ impl StreamManager {
         let mut hops = Vec::new();
         let mut delivered = Vec::new();
         if !members.is_empty() {
-            self.route(self.topology.frontend(), &members, &mut hops, &mut delivered);
+            self.route(
+                self.topology.frontend(),
+                &members,
+                &mut hops,
+                &mut delivered,
+            );
         }
         if let Some(stream) = self.streams.get_mut(id as usize) {
             stream.broadcasts += 1;

@@ -41,7 +41,11 @@ impl TopologyKind {
 
     /// All three families, in presentation order.
     pub fn all() -> [TopologyKind; 3] {
-        [TopologyKind::Flat, TopologyKind::TwoDeep, TopologyKind::ThreeDeep]
+        [
+            TopologyKind::Flat,
+            TopologyKind::TwoDeep,
+            TopologyKind::ThreeDeep,
+        ]
     }
 }
 
@@ -136,7 +140,9 @@ impl TopologySpec {
         if self.level_widths.len() <= 2 {
             0
         } else {
-            self.level_widths[1..self.level_widths.len() - 1].iter().sum()
+            self.level_widths[1..self.level_widths.len() - 1]
+                .iter()
+                .sum()
         }
     }
 
@@ -445,7 +451,11 @@ mod tests {
         assert_eq!(s.level_widths, vec![1, 16, 256]);
         let s3 = TopologySpec::balanced(512, 3);
         assert_eq!(s3.depth(), 3);
-        assert!(s3.max_fanout() <= 9, "cube root of 512 is 8, fanout {}", s3.max_fanout());
+        assert!(
+            s3.max_fanout() <= 9,
+            "cube root of 512 is 8, fanout {}",
+            s3.max_fanout()
+        );
         let s1 = TopologySpec::balanced(64, 1);
         assert_eq!(s1.kind, TopologyKind::Flat);
     }

@@ -1,6 +1,10 @@
 //! Price a full debugging session at 208K tasks — the paper's headline scale — and
 //! show how each of the three lessons changes the bill.
 //!
+//! Reproduces: the paper's title result — Sections IV (scalable startup), V
+//! (hierarchical data structures) and VI (scalable access to static data) composed
+//! into one 208K-task session, before vs. after the fixes.
+//!
 //! ```text
 //! cargo run --release --example bgl_208k_campaign
 //! ```
@@ -31,7 +35,10 @@ fn main() {
     let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
 
     // --- Startup ---------------------------------------------------------------
-    println!("== startup (2-deep tree, {} comm processes) ==", spec.comm_processes());
+    println!(
+        "== startup (2-deep tree, {} comm processes) ==",
+        spec.comm_processes()
+    );
     for patch in [CiodPatchLevel::Unpatched, CiodPatchLevel::Patched] {
         let launcher = BglCiodLauncher::new(patch);
         let est = launcher.startup(&cluster, tasks, &spec);
@@ -50,7 +57,10 @@ fn main() {
     println!("\n== stack-trace sampling (10 samples per task) ==");
     for (label, placement) in [
         ("binaries on NFS home directories", BinaryPlacement::NfsHome),
-        ("binaries relocated by SBRS", BinaryPlacement::RelocatedRamDisk),
+        (
+            "binaries relocated by SBRS",
+            BinaryPlacement::RelocatedRamDisk,
+        ),
     ] {
         let estimator = PhaseEstimator::new(cluster.clone(), Representation::HierarchicalTaskList);
         let est = estimator.sampling_estimate(tasks, placement, 2024);

@@ -1,6 +1,10 @@
 //! A STATBench-style emulation study: how does the tool behave as the *application's*
 //! behaviour gets more complicated?
 //!
+//! Reproduces: the STATBench emulation methodology of the paper's reference \[9\]
+//! (Section VII uses it for the threading projections): synthetic traces with a
+//! controlled class structure driving the real merge machinery.
+//!
 //! ```text
 //! cargo run --release --example emulation_study
 //! ```
@@ -12,8 +16,8 @@
 //! what the real merge machinery does in response.
 
 use machine::Cluster;
-use statbench::{EmulatedJob, SweepConfig, TraceShape};
 use stat_core::prelude::Representation;
+use statbench::{EmulatedJob, SweepConfig, TraceShape};
 
 fn main() {
     let cluster = Cluster::test_cluster(512, 8);
@@ -57,7 +61,10 @@ fn main() {
 
     println!("\n== scaling sweep (real merges, synthetic traces) ==");
     let config = SweepConfig::new(cluster.clone());
-    println!("{}", statbench::sweep_daemon_counts(&config, &[512, 2_048, 4_096]));
+    println!(
+        "{}",
+        statbench::sweep_daemon_counts(&config, &[512, 2_048, 4_096])
+    );
 
     println!("== class-count stress sweep at 2,048 tasks ==");
     println!(

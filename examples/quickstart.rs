@@ -1,5 +1,8 @@
 //! Quickstart: run STAT against a hung 512-task MPI job and print what a user sees.
 //!
+//! Reproduces: the end-to-end STAT workflow of Sections II–III on the Figure 1
+//! scenario (the MPI ring test with the injected rank-1 hang), at 512 tasks.
+//!
 //! ```text
 //! cargo run --example quickstart
 //! ```
@@ -20,7 +23,10 @@ fn main() {
     let app = RingHangApp::new(512, FrameVocabulary::Linux);
     let config = SessionConfig::new(Cluster::test_cluster(64, 8));
 
-    println!("Attaching STAT to `{}` ({} MPI tasks)...", "mpi_ring_hang", 512);
+    println!(
+        "Attaching STAT to `{}` ({} MPI tasks)...",
+        "mpi_ring_hang", 512
+    );
     let result = run_session(&config, &app);
 
     println!(

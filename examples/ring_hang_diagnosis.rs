@@ -1,6 +1,9 @@
 //! Diagnose the paper's ring hang at Figure 1 scale and emit the call-graph prefix
 //! tree as Graphviz DOT.
 //!
+//! Reproduces: Figure 1 — the 2D call-graph prefix tree of the 1,024-task BG/L ring
+//! hang, with its three process equivalence classes.
+//!
 //! ```text
 //! cargo run --example ring_hang_diagnosis > ring_hang.dot
 //! dot -Tpdf ring_hang.dot -o ring_hang.pdf   # optional, if graphviz is installed

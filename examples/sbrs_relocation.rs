@@ -1,5 +1,8 @@
 //! Walk through what the Scalable Binary Relocation Service does for one job.
 //!
+//! Reproduces: Section VI-B (the SBRS design) and the mechanism behind Figure 10's
+//! flat sampling-time curve: relocate once, then every `open()` hits the RAM disk.
+//!
 //! ```text
 //! cargo run --example sbrs_relocation
 //! ```
@@ -51,7 +54,11 @@ fn main() {
     let mut interposition = plan.interposition();
     println!("\nopen() interposition after relocation:");
     for image in &plan.relocate {
-        println!("  {:<40} -> {}", image.path, interposition.resolve(&image.path));
+        println!(
+            "  {:<40} -> {}",
+            image.path,
+            interposition.resolve(&image.path)
+        );
     }
 
     println!("\neffect on the sampling phase (10 traces per task):");
@@ -62,8 +69,12 @@ fn main() {
     );
     for tasks in [64u64, 256, 1_024, 4_096] {
         let nfs = model.estimate(tasks, BinaryPlacement::NfsHome, 1).total;
-        let lustre = model.estimate(tasks, BinaryPlacement::LustreScratch, 1).total;
-        let ram = model.estimate(tasks, BinaryPlacement::RelocatedRamDisk, 1).total;
+        let lustre = model
+            .estimate(tasks, BinaryPlacement::LustreScratch, 1)
+            .total;
+        let ram = model
+            .estimate(tasks, BinaryPlacement::RelocatedRamDisk, 1)
+            .total;
         println!(
             "{:>8} {:>14.2} {:>14.2} {:>18.2}",
             tasks,

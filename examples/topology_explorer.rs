@@ -1,5 +1,9 @@
 //! Explore how overlay-network topology and task-set representation interact.
 //!
+//! Reproduces: the Section V design space behind Figures 4–7 — topology family
+//! (flat/2-deep/3-deep) crossed with task-set representation (job-wide bit vectors
+//! vs. subtree task lists) — as one table for a chosen job size.
+//!
 //! ```text
 //! cargo run --release --example topology_explorer [tasks]
 //! ```

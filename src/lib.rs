@@ -15,6 +15,9 @@
 //! * [`machine`] — the Atlas and BlueGene/L machine models;
 //! * [`simkit`] — the deterministic discrete-event simulation engine underneath.
 
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
 pub use appsim;
 pub use launch;
 pub use machine;

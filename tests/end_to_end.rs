@@ -2,15 +2,39 @@
 //! applications and overlay network, plus the interactions between the launcher,
 //! SBRS and sampling models that the figures compose.
 
-use appsim::{
-    AllEquivalentApp, Application, ComputeSpreadApp, DeadlockPairApp, FrameVocabulary, RingHangApp,
+use appsim::{AllEquivalentApp, ComputeSpreadApp, DeadlockPairApp, FrameVocabulary, RingHangApp};
+use launch::{
+    BglCiodLauncher, CiodPatchLevel, LaunchMonLauncher, Launcher, RemoteShell, RshLauncher,
 };
-use launch::{BglCiodLauncher, CiodPatchLevel, LaunchMonLauncher, Launcher, RemoteShell, RshLauncher};
 use machine::cluster::{BglMode, Cluster};
 use machine::placement::PlacementPlan;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel};
 use stat_core::prelude::*;
 use tbon::topology::{TopologyKind, TopologySpec};
+
+/// Workspace-wiring smoke test: the umbrella crate's re-exports must resolve and
+/// must be the same crates the rest of this file links against directly, and a
+/// minimal attach → sample → merge → report pipeline must complete through them.
+#[test]
+fn umbrella_reexports_resolve_and_run_a_minimal_pipeline() {
+    // Every `pub use` in `stat_repro`'s root is exercised by name.
+    let app = stat_repro::appsim::RingHangApp::new(64, stat_repro::appsim::FrameVocabulary::Linux);
+    let cluster = stat_repro::machine::Cluster::test_cluster(8, 8);
+    let config = stat_repro::stat_core::prelude::SessionConfig::new(cluster);
+    let result = stat_repro::stat_core::prelude::run_session(&config, &app);
+    assert_eq!(result.gather.classes.len(), 3);
+    assert_eq!(result.gather.attach_set().len(), 3);
+
+    // The re-exported crates are the very crates this test file imports directly:
+    // a value built through one path must typecheck through the other.
+    let direct: FrameVocabulary = stat_repro::appsim::FrameVocabulary::BlueGeneL;
+    assert_eq!(direct, FrameVocabulary::BlueGeneL);
+    let _spec: tbon::topology::TopologySpec = stat_repro::tbon::topology::TopologySpec::flat(4);
+    let _walker: stackwalk::Walker = stat_repro::stackwalk::Walker::new();
+    let _rng: simkit::rng::DeterministicRng = stat_repro::simkit::rng::DeterministicRng::new(1);
+    let _shell: launch::RemoteShell = stat_repro::launch::RemoteShell::Rsh;
+    let _interpose: sbrs::OpenInterposition = stat_repro::sbrs::OpenInterposition::new();
+}
 
 fn session(cluster: Cluster, kind: TopologyKind, representation: Representation) -> SessionConfig {
     SessionConfig {
@@ -101,7 +125,12 @@ fn compute_spread_produces_the_requested_number_of_classes() {
     );
     let result = run_session(&config, &app);
     assert_eq!(result.gather.classes.len(), 5);
-    let total: usize = result.gather.classes.iter().map(EquivalenceClass::size).sum();
+    let total: usize = result
+        .gather
+        .classes
+        .iter()
+        .map(EquivalenceClass::size)
+        .sum();
     assert_eq!(total, 640);
 }
 
@@ -154,8 +183,7 @@ fn startup_sampling_and_merge_compose_into_a_session_estimate() {
     let merge = estimator.merge_estimate(tasks, TopologyKind::TwoDeep);
     assert!(merge.failed.is_none());
 
-    let total =
-        startup.total().as_secs() + sampling.total.as_secs() + merge.time.as_secs();
+    let total = startup.total().as_secs() + sampling.total.as_secs() + merge.time.as_secs();
     assert!(total > 0.0);
     // Startup dominates the whole session at this scale — the paper's motivation for
     // Section IV.
@@ -182,7 +210,9 @@ fn sbrs_relocation_pays_for_itself_within_one_sampling_pass() {
 
     let sampling = SamplingCostModel::new(atlas);
     let before = sampling.estimate(4_096, BinaryPlacement::NfsHome, 3).total;
-    let after = sampling.estimate(4_096, BinaryPlacement::RelocatedRamDisk, 3).total;
+    let after = sampling
+        .estimate(4_096, BinaryPlacement::RelocatedRamDisk, 3)
+        .total;
     let saved = before.as_secs() - after.as_secs();
     assert!(
         outcome.total().as_secs() < saved,
@@ -205,7 +235,10 @@ fn interposition_redirects_every_shared_open_after_relocation() {
             image.path
         );
     }
-    assert_eq!(table.misses(), (working_set.len() - plan.relocate.len()) as u64);
+    assert_eq!(
+        table.misses(),
+        (working_set.len() - plan.relocate.len()) as u64
+    );
 }
 
 #[test]

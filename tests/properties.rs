@@ -126,7 +126,10 @@ const FRAME_POOL: &[&str] = &[
 
 fn arbitrary_traces(tasks: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
     // Each task gets a call path of 1..6 frame indices into FRAME_POOL.
-    prop::collection::vec(prop::collection::vec(0..FRAME_POOL.len(), 1..6), tasks..=tasks)
+    prop::collection::vec(
+        prop::collection::vec(0..FRAME_POOL.len(), 1..6),
+        tasks..=tasks,
+    )
 }
 
 fn build_global(paths: &[Vec<usize>], table: &mut FrameTable) -> GlobalPrefixTree {

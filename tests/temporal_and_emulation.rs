@@ -2,12 +2,10 @@
 //! genuinely disagree), the report/pruning operations, and the STATBench emulation
 //! layer driving the real tool.
 
-use appsim::{
-    Application, CheckpointStormApp, FrameVocabulary, IterativeSolverApp, StragglerApp,
-};
+use appsim::{Application, CheckpointStormApp, FrameVocabulary, IterativeSolverApp, StragglerApp};
 use machine::Cluster;
-use statbench::{EmulatedJob, TraceShape};
 use stat_core::prelude::*;
+use statbench::{EmulatedJob, TraceShape};
 use tbon::topology::TopologyKind;
 
 fn run(app: &dyn Application, samples: u32) -> SessionResult {
@@ -30,7 +28,10 @@ fn healthy_solver_looks_different_in_3d_than_in_2d() {
     let classes_2d = equivalence_classes(&result.gather.tree_2d);
     assert!(classes_2d.len() >= 2, "a snapshot shows several phases");
     let largest_2d = classes_2d.iter().map(EquivalenceClass::size).max().unwrap();
-    assert!(largest_2d < 200, "no single phase holds the whole job in a snapshot");
+    assert!(
+        largest_2d < 200,
+        "no single phase holds the whole job in a snapshot"
+    );
     // Over time (3D) every task visits every phase, so each class covers the whole
     // job — the signature of "working", as opposed to "stuck somewhere".
     assert!(result.gather.classes.iter().all(|c| c.size() == 256));
@@ -44,7 +45,10 @@ fn stragglers_are_singled_out_for_the_debugger() {
         .gather
         .classes
         .iter()
-        .find(|c| c.path_string(&result.gather.frames).contains("compute_interior"))
+        .find(|c| {
+            c.path_string(&result.gather.frames)
+                .contains("compute_interior")
+        })
         .expect("straggler class exists");
     assert_eq!(compute_class.tasks, app.stragglers().to_vec());
     // The attach set stays tiny even though the job has 512 tasks.
@@ -59,7 +63,10 @@ fn checkpoint_storm_separates_writers_from_waiters() {
         .gather
         .classes
         .iter()
-        .find(|c| c.path_string(&result.gather.frames).contains("MPI_File_write_all"))
+        .find(|c| {
+            c.path_string(&result.gather.frames)
+                .contains("MPI_File_write_all")
+        })
         .expect("writer class exists");
     assert_eq!(writer_class.size(), 40);
 }
@@ -108,7 +115,10 @@ fn emulated_jobs_and_real_apps_share_the_same_pipeline() {
     assert_eq!(real.gather.classes.len(), 3);
     // Both paths end with a job-wide tree covering every task.
     assert_eq!(
-        real.gather.tree_3d.tasks(real.gather.tree_3d.root()).count(),
+        real.gather
+            .tree_3d
+            .tasks(real.gather.tree_3d.root())
+            .count(),
         1_024
     );
 }
@@ -142,5 +152,9 @@ fn overlay_fault_handling_degrades_gracefully() {
     let frontend = StatFrontEnd::new(pruned_topology, Representation::HierarchicalTaskList);
     let gather = frontend.gather(&surviving, 256);
     let covered = gather.tree_3d.tasks(gather.tree_3d.root()).count();
-    assert_eq!(covered, 24 * 8, "only the surviving daemons' tasks are covered");
+    assert_eq!(
+        covered,
+        24 * 8,
+        "only the surviving daemons' tasks are covered"
+    );
 }

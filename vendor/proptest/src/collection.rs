@@ -1,0 +1,161 @@
+//! Collection strategies: `vec` and `btree_set`, with upstream's `SizeRange`
+//! conversion from plain ranges.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive range of collection sizes (upstream `proptest::collection::SizeRange`).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        let span = (self.max_inclusive - self.min) as u64 + 1;
+        self.min + rng.below(span) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            min: n,
+            max_inclusive: n,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `element` and a size drawn from
+/// `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec()`].
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.sample(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with element strategy `element` and a target size
+/// drawn from `size`.
+///
+/// As upstream documents, the size is a *target*: if the element strategy cannot
+/// produce enough distinct values the set is returned smaller rather than looping
+/// forever.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The result of [`btree_set`].
+#[derive(Clone, Debug)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        // Bounded retries so a narrow element domain cannot stall generation.
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < target.saturating_mul(10) + 16 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_and_elements_in_range() {
+        let mut rng = TestRng::for_property("vec");
+        let strat = vec(0u64..5, 2..7);
+        for _ in 0..500 {
+            let v = strat.generate(&mut rng);
+            assert!((2..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn inclusive_size_pins_length() {
+        let mut rng = TestRng::for_property("vec_incl");
+        let strat = vec(0u64..5, 4..=4);
+        assert_eq!(strat.generate(&mut rng).len(), 4);
+    }
+
+    #[test]
+    fn btree_set_is_deduplicated_and_bounded() {
+        let mut rng = TestRng::for_property("set");
+        let strat = btree_set(0u64..3, 0..64);
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.len() <= 3, "only 3 distinct values exist");
+        }
+    }
+
+    #[test]
+    fn nested_vec_of_tuples() {
+        let mut rng = TestRng::for_property("nested");
+        let strat = vec((0u64..1_000, 1u64..50), 1..80);
+        let v = strat.generate(&mut rng);
+        assert!(!v.is_empty() && v.len() < 80);
+        assert!(v.iter().all(|&(a, b)| a < 1_000 && (1..50).contains(&b)));
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build container has no network access to crates.io, so the workspace vendors
+//! the subset of proptest that `tests/properties.rs` uses: range and tuple
+//! strategies, `prop::collection::{vec, btree_set}`, `Strategy::prop_map`, the
+//! `proptest!` macro with an optional inline `proptest_config`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.**  A failing case panics with the generated inputs available in
+//!   the assertion message; upstream would additionally minimise the case.
+//! * **Deterministic seeding.**  Every test function runs the same seeded sequence of
+//!   cases on every invocation, so failures reproduce without a persistence file.
+//!
+//! Both trade-offs keep the vendored crate tiny while preserving the property-test
+//! semantics: N generated cases per property, all assertions checked on each.
+
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The glob-imported surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirrors upstream's `prelude::prop` module: qualified access to the strategy
+    /// combinator modules, e.g. `prop::collection::vec`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run one property: evaluate the strategies and the body for `cases` iterations.
+///
+/// This is the engine behind the [`proptest!`] macro; it is public so the macro
+/// expansion can reach it from other crates.
+pub fn run_property<F: FnMut(&mut test_runner::TestRng)>(
+    config: &test_runner::ProptestConfig,
+    name: &str,
+    mut case: F,
+) {
+    let mut rng = test_runner::TestRng::for_property(name);
+    for _ in 0..config.cases {
+        case(&mut rng);
+    }
+}
+
+/// Assert a boolean condition inside a property (panics like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert equality inside a property (panics like `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Assert inequality inside a property (panics like `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Define property tests.
+///
+/// Supports the two forms the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn prop(x in 0u64..10, ys in prop::collection::vec(0..3, 1..9)) { ... }
+/// }
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        #[test]
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::run_property(&config, stringify!($name), |prop_rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), prop_rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}

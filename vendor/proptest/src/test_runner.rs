@@ -1,0 +1,94 @@
+//! Configuration and the deterministic RNG driving case generation.
+
+/// How many cases each property runs, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream's default.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Kept for API familiarity: upstream drives properties through a `TestRunner`.
+/// The vendored engine is [`crate::run_property`]; this alias documents the mapping.
+pub type TestRunner = ProptestConfig;
+
+/// The deterministic generator behind every strategy (SplitMix64).
+///
+/// Seeded from the property's name so distinct properties draw decorrelated
+/// streams while every run of the same property replays the same cases.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seed the stream for a named property.
+    pub fn for_property(name: &str) -> Self {
+        let mut state = 0xA076_1D64_78BD_642F_u64;
+        for b in name.bytes() {
+            state = (state ^ b as u64).wrapping_mul(0x100_0000_01B3);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_same_stream() {
+        let mut a = TestRng::for_property("p");
+        let mut b = TestRng::for_property("p");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_names_differ() {
+        let mut a = TestRng::for_property("p1");
+        let mut b = TestRng::for_property("p2");
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn default_config_is_256_cases() {
+        assert_eq!(ProptestConfig::default().cases, 256);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+}
