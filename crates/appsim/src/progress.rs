@@ -109,7 +109,7 @@ impl Application for StragglerApp {
         let mut path = vec![v.start(), v.main(), "timestep_loop"];
         if self.stragglers.contains(&rank) {
             path.push("compute_interior");
-            if sample % 2 == 0 {
+            if sample.is_multiple_of(2) {
                 path.push("cache_miss_storm");
             }
         } else {

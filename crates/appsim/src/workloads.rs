@@ -136,7 +136,7 @@ impl Application for DeadlockPairApp {
         } else {
             path.push(v.barrier());
             path.extend_from_slice(v.barrier_impl());
-            if sample % 2 == 0 {
+            if sample.is_multiple_of(2) {
                 path.extend_from_slice(v.progress_impl());
             }
         }

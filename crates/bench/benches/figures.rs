@@ -54,9 +54,10 @@ fn bench_sampling_models(c: &mut Criterion) {
 fn bench_real_session(c: &mut Criterion) {
     c.bench_function("real_session_ring_hang_512_tasks", |b| {
         let app = appsim::RingHangApp::new(512, appsim::FrameVocabulary::BlueGeneL);
-        let mut config = SessionConfig::new(Cluster::test_cluster(64, 8));
-        config.samples_per_task = 3;
-        b.iter(|| run_session(&config, &app))
+        let session = Session::builder(Cluster::test_cluster(64, 8))
+            .samples_per_task(3)
+            .build();
+        b.iter(|| session.attach(&app).expect("the session merges cleanly"))
     });
 }
 

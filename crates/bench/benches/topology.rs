@@ -41,7 +41,7 @@ fn bench_reduction(c: &mut Criterion) {
                         Packet::new(PacketTag::Custom(0), ep, SumFilter::encode(i as u64))
                     })
                     .collect();
-                net.reduce(leaves, &SumFilter)
+                net.reduce(leaves, &SumFilter).expect("leaf counts match")
             })
         });
     }

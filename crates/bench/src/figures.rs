@@ -16,13 +16,12 @@ use tbon::topology::{TopologyKind, TopologySpec};
 /// behaviour classes it contains.
 pub fn fig01_prefix_tree(tasks: u64) -> (String, String) {
     let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
-    let config = SessionConfig {
-        cluster: Cluster::bluegene_l(BglMode::CoProcessor),
-        topology: TopologyKind::TwoDeep,
-        representation: Representation::HierarchicalTaskList,
-        samples_per_task: 3,
-    };
-    let result = run_session(&config, &app);
+    let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
+        .topology_kind(TopologyKind::TwoDeep)
+        .representation(Representation::HierarchicalTaskList)
+        .samples_per_task(3)
+        .build();
+    let result = session.attach(&app).expect("the session merges cleanly");
     let dot = result.gather.to_dot();
     let mut summary = String::new();
     summary.push_str(&format!(
@@ -303,8 +302,10 @@ pub fn fig08_sampling_atlas() -> SeriesTable {
         "tasks",
         "seconds",
     );
-    let mut cfg = SamplingConfig::default();
-    cfg.pre_os_update = true;
+    let cfg = SamplingConfig {
+        pre_os_update: true,
+        ..SamplingConfig::default()
+    };
     let model = SamplingCostModel::new(Cluster::atlas()).with_config(cfg);
     for tasks in [64u64, 128, 256, 512, 1_024, 2_048, 4_096] {
         let est = model.estimate(tasks, BinaryPlacement::NfsHome, 42 + tasks);

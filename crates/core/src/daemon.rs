@@ -37,6 +37,10 @@ pub struct DaemonContribution {
     pub rank_map: Packet,
     /// Number of traces gathered from local tasks.
     pub traces_gathered: u64,
+    /// Wall-clock time this daemon spent gathering stack traces.
+    pub sample_wall: std::time::Duration,
+    /// Wall-clock time this daemon spent building and serialising its local trees.
+    pub local_merge_wall: std::time::Duration,
 }
 
 impl StatDaemon {
@@ -112,6 +116,10 @@ impl StatDaemon {
     }
 
     /// Run one full gather-and-merge cycle and package the results for the TBON.
+    ///
+    /// The two daemon-local phases — sampling the application and building the local
+    /// trees — are timed separately so the session can report the pipeline breakdown
+    /// the paper measures.
     pub fn contribute<S: WireTaskSet>(
         &self,
         app: &dyn Application,
@@ -119,8 +127,11 @@ impl StatDaemon {
         leaf_endpoint: EndpointId,
     ) -> DaemonContribution {
         let mut table = FrameTable::new();
+        let sample_start = std::time::Instant::now();
         let gathered = self.gather(app, samples, &mut table);
+        let sample_wall = sample_start.elapsed();
         let traces: u64 = gathered.iter().map(|t| t.sample_count() as u64).sum();
+        let merge_start = std::time::Instant::now();
         let (tree_2d, tree_3d) = self.build_trees::<S>(&gathered);
         DaemonContribution {
             daemon_id: self.id,
@@ -140,6 +151,8 @@ impl StatDaemon {
                 encode_rank_map(&self.ranks),
             ),
             traces_gathered: traces,
+            sample_wall,
+            local_merge_wall: merge_start.elapsed(),
         }
     }
 }

@@ -1,27 +1,21 @@
-//! The STAT front end.
+//! Front-end artifacts: the representation choice, merge metrics and final result.
 //!
 //! The front end drives the session: it owns the overlay network, broadcasts control
-//! requests downward, and receives exactly one merged tree back regardless of how
-//! many daemons exist.  For the hierarchical representation it performs one extra
-//! step the paper calls out explicitly (and prices at 0.66 s for 208K tasks): the
-//! *remap*, which converts the merged tree's daemon-order positions back into MPI
-//! rank order using the concatenated rank map collected at setup time.
+//! requests downward, and receives exactly one merged tree back per channel
+//! regardless of how many daemons exist.  The *machinery* that does this lives in
+//! [`crate::session::Session`] (the pipeline) and [`crate::strategy`] (the
+//! per-representation dispatch); this module defines what the front end produces —
+//! [`GatherResult`] — and the byte-flow accounting — [`MergeMetrics`] — that the
+//! paper's Section V figures are built from.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use stackwalk::FrameTable;
-use tbon::filter::Filter;
-use tbon::network::{InProcessTbon, ReductionOutcome};
-use tbon::packet::Packet;
-use tbon::topology::Topology;
+use tbon::network::ReductionOutcome;
 
-use crate::daemon::DaemonContribution;
 use crate::dot::{to_dot, DotOptions};
-use crate::equivalence::{equivalence_classes, EquivalenceClass};
-use crate::filter::{RankMapFilter, StatMergeFilter};
-use crate::graph::{GlobalPrefixTree, SubtreePrefixTree};
-use crate::serialize::{decode_rank_map, decode_tree};
-use crate::taskset::{DenseBitVector, SubtreeTaskList};
+use crate::equivalence::EquivalenceClass;
+use crate::graph::GlobalPrefixTree;
 
 /// Which task-set representation a session uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -42,31 +36,51 @@ impl Representation {
     }
 }
 
-/// Byte-flow and timing metrics of one merge, combining the 2D and 3D reductions.
+/// Byte-flow and timing metrics of one merge, combining every channel (2D tree,
+/// 3D tree and — for the hierarchical representation — the rank map) that rode the
+/// overlay.
 #[derive(Clone, Debug, Default)]
 pub struct MergeMetrics {
-    /// Wall-clock time spent executing the reductions in this process.
+    /// Elapsed wall-clock time of the overlay reduction walk(s).
     pub merge_wall: Duration,
+    /// Cumulative time spent inside reduction filters, summed across channels and
+    /// tree nodes.  Filter invocations run concurrently under the default
+    /// level-parallel execution, so this CPU-style total can exceed `merge_wall`.
+    pub filter_wall: Duration,
     /// Wall-clock time of the front-end remap step (zero for the global
     /// representation, which needs none).
     pub remap_wall: Duration,
-    /// Bytes received by the front end across both reductions.
+    /// Bytes received by the front end across all channels.
     pub frontend_bytes_in: u64,
-    /// Largest number of bytes any single tree node received.
+    /// Largest number of bytes any single tree node received on one channel.
     pub max_node_bytes_in: u64,
     /// Total bytes that crossed overlay links.
     pub total_link_bytes: u64,
-    /// Filter invocations executed.
+    /// Filter invocations executed across all channels.
     pub filter_invocations: usize,
+    /// Bottom-up level walks of the overlay that were executed, counted once per
+    /// [`MergeMetrics::absorb_walk`] call.  The single-pass session pipeline invokes
+    /// the network once per gather however many channels it merges, so this reads 1;
+    /// a pipeline that fell back to per-channel reductions would accumulate one per
+    /// channel.
+    pub tree_walks: usize,
 }
 
 impl MergeMetrics {
-    fn absorb(&mut self, outcome: &ReductionOutcome) {
-        self.merge_wall += outcome.wall_time;
-        self.frontend_bytes_in += outcome.frontend_bytes_in;
-        self.max_node_bytes_in = self.max_node_bytes_in.max(outcome.max_node_bytes_in);
-        self.total_link_bytes += outcome.total_link_bytes;
-        self.filter_invocations += outcome.filter_invocations;
+    /// Fold one overlay walk's per-channel reduction accounting into the totals.
+    ///
+    /// `elapsed` is the measured wall-clock time of the walk.  Each call counts as
+    /// one walk of the overlay — the session calls this exactly once per gather.
+    pub fn absorb_walk(&mut self, outcomes: &[ReductionOutcome], elapsed: Duration) {
+        self.tree_walks += 1;
+        self.merge_wall += elapsed;
+        for outcome in outcomes {
+            self.filter_wall += outcome.filter_time;
+            self.frontend_bytes_in += outcome.frontend_bytes_in;
+            self.max_node_bytes_in = self.max_node_bytes_in.max(outcome.max_node_bytes_in);
+            self.total_link_bytes += outcome.total_link_bytes;
+            self.filter_invocations += outcome.filter_invocations;
+        }
     }
 }
 
@@ -97,184 +111,5 @@ impl GatherResult {
             .iter()
             .filter_map(EquivalenceClass::representative)
             .collect()
-    }
-}
-
-/// The STAT front end, bound to a topology and a representation choice.
-#[derive(Clone, Debug)]
-pub struct StatFrontEnd {
-    topology: Topology,
-    representation: Representation,
-}
-
-impl StatFrontEnd {
-    /// A front end over a concrete overlay topology.
-    pub fn new(topology: Topology, representation: Representation) -> Self {
-        StatFrontEnd {
-            topology,
-            representation,
-        }
-    }
-
-    /// The topology in use.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
-    }
-
-    /// The representation in use.
-    pub fn representation(&self) -> Representation {
-        self.representation
-    }
-
-    fn reduce_with(&self, leaves: Vec<Packet>, filter: &dyn Filter) -> ReductionOutcome {
-        let net = InProcessTbon::new(self.topology.clone());
-        net.reduce(leaves, filter)
-    }
-
-    /// Merge the daemons' contributions into the final result.
-    ///
-    /// `contributions` must be in backend (leaf) order — the same order
-    /// [`crate::daemon::StatDaemon::partition`] produces — and there must be exactly
-    /// one per topology leaf.
-    pub fn gather(&self, contributions: &[DaemonContribution], total_tasks: u64) -> GatherResult {
-        let packets_2d: Vec<Packet> = contributions.iter().map(|c| c.tree_2d.clone()).collect();
-        let packets_3d: Vec<Packet> = contributions.iter().map(|c| c.tree_3d.clone()).collect();
-        let rank_maps: Vec<Packet> = contributions.iter().map(|c| c.rank_map.clone()).collect();
-
-        let mut metrics = MergeMetrics::default();
-        let mut frames = FrameTable::new();
-
-        let (tree_2d, tree_3d, remap_wall) = match self.representation {
-            Representation::GlobalBitVector => {
-                let filter = StatMergeFilter::<DenseBitVector>::new();
-                let out_2d = self.reduce_with(packets_2d, &filter);
-                let out_3d = self.reduce_with(packets_3d, &filter);
-                metrics.absorb(&out_2d);
-                metrics.absorb(&out_3d);
-                let tree_2d: GlobalPrefixTree = decode_tree(&out_2d.result.payload, &mut frames)
-                    .expect("front end received a well-formed 2D tree");
-                let tree_3d: GlobalPrefixTree = decode_tree(&out_3d.result.payload, &mut frames)
-                    .expect("front end received a well-formed 3D tree");
-                (tree_2d, tree_3d, Duration::ZERO)
-            }
-            Representation::HierarchicalTaskList => {
-                let filter = StatMergeFilter::<SubtreeTaskList>::new();
-                let out_2d = self.reduce_with(packets_2d, &filter);
-                let out_3d = self.reduce_with(packets_3d, &filter);
-                let map_out = self.reduce_with(rank_maps, &RankMapFilter);
-                metrics.absorb(&out_2d);
-                metrics.absorb(&out_3d);
-                metrics.absorb(&map_out);
-                let sub_2d: SubtreePrefixTree = decode_tree(&out_2d.result.payload, &mut frames)
-                    .expect("front end received a well-formed 2D tree");
-                let sub_3d: SubtreePrefixTree = decode_tree(&out_3d.result.payload, &mut frames)
-                    .expect("front end received a well-formed 3D tree");
-                let position_to_rank = decode_rank_map(&map_out.result.payload)
-                    .expect("front end received a well-formed rank map");
-                // The remap step the paper prices at 0.66 s for 208K tasks.
-                let start = Instant::now();
-                let tree_2d = sub_2d.remap(&position_to_rank, total_tasks);
-                let tree_3d = sub_3d.remap(&position_to_rank, total_tasks);
-                (tree_2d, tree_3d, start.elapsed())
-            }
-        };
-        metrics.remap_wall = remap_wall;
-
-        let classes = equivalence_classes(&tree_3d);
-        GatherResult {
-            tree_2d,
-            tree_3d,
-            frames,
-            classes,
-            metrics,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::daemon::StatDaemon;
-    use crate::taskset::TaskSetOps;
-    use appsim::{Application, FrameVocabulary, RingHangApp};
-    use tbon::topology::{Topology, TopologySpec};
-
-    fn contributions<SER: crate::serialize::WireTaskSet>(
-        app: &RingHangApp,
-        daemons: &[StatDaemon],
-        topology: &Topology,
-    ) -> Vec<DaemonContribution> {
-        daemons
-            .iter()
-            .zip(topology.backends())
-            .map(|(d, &ep)| d.contribute::<SER>(app, 3, ep))
-            .collect()
-    }
-
-    fn run(representation: Representation, tasks: u64, daemons: u32) -> GatherResult {
-        let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
-        let daemons = StatDaemon::partition(app.num_tasks(), daemons);
-        let topology = Topology::build(TopologySpec::two_deep(daemons.len() as u32, 4));
-        let frontend = StatFrontEnd::new(topology.clone(), representation);
-        let contribs = match representation {
-            Representation::GlobalBitVector => {
-                contributions::<DenseBitVector>(&app, &daemons, &topology)
-            }
-            Representation::HierarchicalTaskList => {
-                contributions::<SubtreeTaskList>(&app, &daemons, &topology)
-            }
-        };
-        frontend.gather(&contribs, app.num_tasks())
-    }
-
-    #[test]
-    fn global_representation_recovers_the_three_classes() {
-        let result = run(Representation::GlobalBitVector, 256, 16);
-        assert_eq!(result.classes.len(), 3);
-        assert_eq!(result.tree_2d.tasks(result.tree_2d.root()).count(), 256);
-        let mut attach = result.attach_set();
-        attach.sort_unstable();
-        assert_eq!(attach, vec![0, 1, 2]);
-        assert_eq!(result.metrics.remap_wall, Duration::ZERO);
-    }
-
-    #[test]
-    fn hierarchical_representation_gives_identical_answers() {
-        // 2,048 tasks over 16 daemons: wide enough for the job-wide bit vectors to
-        // visibly dominate the hierarchical lists.
-        let global = run(Representation::GlobalBitVector, 2_048, 16);
-        let hier = run(Representation::HierarchicalTaskList, 2_048, 16);
-        assert_eq!(global.classes.len(), hier.classes.len());
-        for (g, h) in global.classes.iter().zip(hier.classes.iter()) {
-            assert_eq!(
-                g.tasks, h.tasks,
-                "class membership must not depend on representation"
-            );
-        }
-        // ...but moves far fewer bytes through the overlay.
-        assert!(
-            global.metrics.total_link_bytes > 2 * hier.metrics.total_link_bytes,
-            "global {} vs hierarchical {}",
-            global.metrics.total_link_bytes,
-            hier.metrics.total_link_bytes
-        );
-    }
-
-    #[test]
-    fn dot_output_of_the_final_result_names_the_culprit() {
-        let result = run(Representation::HierarchicalTaskList, 128, 8);
-        let dot = result.to_dot();
-        assert!(dot.contains("do_SendOrStall"));
-        assert!(dot.contains("1:[1]"));
-    }
-
-    #[test]
-    fn metrics_account_for_every_reduction() {
-        let result = run(Representation::HierarchicalTaskList, 64, 8);
-        // 2 tree reductions + 1 rank-map reduction over a 2-deep tree with 4 comm
-        // processes: (4 + 1) filter invocations each.
-        assert_eq!(result.metrics.filter_invocations, 3 * 5);
-        assert!(result.metrics.frontend_bytes_in > 0);
-        assert!(result.metrics.total_link_bytes >= result.metrics.frontend_bytes_in);
     }
 }

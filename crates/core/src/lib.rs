@@ -13,10 +13,15 @@
 //!    the BG/L system software); [`session::PhaseEstimator`] exposes it as a phase.
 //! 2. **Hierarchical data structures**: [`taskset`] implements both the original
 //!    job-wide bit vectors and the optimised subtree task lists, [`graph`] implements
-//!    the prefix tree generically over them, and [`frontend`] performs the remap that
-//!    the optimised representation requires.
+//!    the prefix tree generically over them, and [`strategy`] folds everything that
+//!    varies with the representation into one sealed dispatch point.
 //! 3. **Scalable access to static data** is delegated to the `sbrs` crate; the
 //!    sampling phase of [`session::PhaseEstimator`] prices its effect.
+//!
+//! The tool is driven through one front door: [`session::Session`], a builder-style
+//! API whose [`session::Session::attach`] runs sampling → local merge → single-pass
+//! multi-channel TBON reduction → remap → classification as one pipeline and reports
+//! per-phase metrics.
 //!
 //! ## Quick start
 //!
@@ -27,13 +32,13 @@
 //!
 //! // A 256-task MPI ring test in which rank 1 hangs before its send.
 //! let app = RingHangApp::new(256, FrameVocabulary::Linux);
-//! let config = SessionConfig::new(Cluster::test_cluster(32, 8));
-//! let result = run_session(&config, &app);
+//! let session = Session::builder(Cluster::test_cluster(32, 8)).build();
+//! let report = session.attach(&app).expect("the session merges cleanly");
 //!
 //! // The 256 tasks collapse into three behaviour classes...
-//! assert_eq!(result.gather.classes.len(), 3);
+//! assert_eq!(report.gather.classes.len(), 3);
 //! // ...so a heavyweight debugger only needs to attach to three ranks.
-//! assert_eq!(result.gather.attach_set().len(), 3);
+//! assert_eq!(report.gather.attach_set().len(), 3);
 //! ```
 
 #![warn(missing_docs)]
@@ -42,12 +47,14 @@
 pub mod daemon;
 pub mod dot;
 pub mod equivalence;
+pub mod error;
 pub mod filter;
 pub mod frontend;
 pub mod graph;
 pub mod report;
 pub mod serialize;
 pub mod session;
+pub mod strategy;
 pub mod taskset;
 pub mod threads;
 
@@ -58,16 +65,18 @@ pub mod prelude {
     pub use crate::equivalence::{
         debugger_attach_set, equivalence_classes, ClassSummary, EquivalenceClass,
     };
+    pub use crate::error::{MergeChannel, StatError};
     pub use crate::filter::{RankMapFilter, StatMergeFilter};
-    pub use crate::frontend::{GatherResult, MergeMetrics, Representation, StatFrontEnd};
+    pub use crate::frontend::{GatherResult, MergeMetrics, Representation};
     pub use crate::graph::{GlobalPrefixTree, PrefixTree, SubtreePrefixTree};
     pub use crate::report::{
         classes_above, focus_on_path, prune_by_population, render_text_tree, session_summary,
     };
     pub use crate::serialize::{decode_tree, encode_tree};
     pub use crate::session::{
-        run_session, MergeEstimate, PhaseEstimator, SessionConfig, SessionResult,
+        MergeEstimate, PhaseEstimator, PhaseTimings, Session, SessionBuilder, SessionReport,
     };
+    pub use crate::strategy::{MergedTrees, RepresentationStrategy};
     pub use crate::taskset::{format_rank_ranges, DenseBitVector, SubtreeTaskList, TaskSetOps};
     pub use crate::threads::{measure_thread_scaling, project_thread_counts};
 }

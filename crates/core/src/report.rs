@@ -220,8 +220,9 @@ mod tests {
     #[test]
     fn session_summary_names_the_culprit() {
         let app = RingHangApp::new(128, FrameVocabulary::BlueGeneL);
-        let config = crate::session::SessionConfig::new(machine::Cluster::test_cluster(16, 8));
-        let result = crate::session::run_session(&config, &app);
+        let session =
+            crate::session::Session::builder(machine::Cluster::test_cluster(16, 8)).build();
+        let result = session.attach(&app).unwrap();
         let summary = session_summary(&result.gather, 128);
         assert!(summary.contains("3 behaviour classes"));
         assert!(summary.contains("do_SendOrStall"));

@@ -64,10 +64,17 @@ impl WireTaskSet for SubtreeTaskList {
 }
 
 /// Errors that can occur while decoding a packet.
+///
+/// Every variant that corresponds to a malformed buffer carries the byte offset at
+/// which decoding failed, so a front end looking at a bad packet from one of 208K
+/// endpoints can report *where* the stream went wrong, not just that it did.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
     /// The buffer is shorter than the structure it claims to contain.
-    Truncated,
+    Truncated {
+        /// Byte offset at which more data was expected.
+        offset: usize,
+    },
     /// The magic number did not match.
     BadMagic,
     /// The representation tag did not match the expected task-set type.
@@ -78,10 +85,40 @@ pub enum DecodeError {
         expected: u8,
     },
     /// A frame name was not valid UTF-8.
-    BadFrameName,
+    BadFrameName {
+        /// Byte offset of the offending name.
+        offset: usize,
+    },
     /// A node referenced a parent or frame index outside the packet.
-    BadIndex,
+    BadIndex {
+        /// Byte offset of the offending node record.
+        offset: usize,
+    },
 }
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "buffer truncated at byte offset {offset}")
+            }
+            DecodeError::BadMagic => write!(f, "bad magic number (not a STAT packet)"),
+            DecodeError::WrongRepresentation { found, expected } => write!(
+                f,
+                "representation tag {found} does not match the expected tag {expected}"
+            ),
+            DecodeError::BadFrameName { offset } => {
+                write!(f, "frame name at byte offset {offset} is not valid UTF-8")
+            }
+            DecodeError::BadIndex { offset } => write!(
+                f,
+                "node record at byte offset {offset} references an out-of-range index"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
 
 struct Reader<'a> {
     buf: &'a [u8],
@@ -94,7 +131,7 @@ impl<'a> Reader<'a> {
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
-            return Err(DecodeError::Truncated);
+            return Err(DecodeError::Truncated { offset: self.pos });
         }
         let s = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -175,13 +212,19 @@ pub fn decode_tree<S: WireTaskSet>(
     let mut frames: Vec<FrameId> = Vec::with_capacity(nframes);
     for _ in 0..nframes {
         let len = r.u16()? as usize;
+        let name_offset = r.pos;
         let bytes = r.take(len)?;
-        let name = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadFrameName)?;
+        let name = std::str::from_utf8(bytes).map_err(|_| DecodeError::BadFrameName {
+            offset: name_offset,
+        })?;
         frames.push(table.intern(name));
     }
+    let count_offset = r.pos;
     let nnodes = r.u32()? as usize;
     if nnodes == 0 {
-        return Err(DecodeError::BadIndex);
+        return Err(DecodeError::BadIndex {
+            offset: count_offset,
+        });
     }
     let words_per_set = width.div_ceil(64) as usize;
     let read_set = |r: &mut Reader<'_>| -> Result<S, DecodeError> {
@@ -194,19 +237,25 @@ pub fn decode_tree<S: WireTaskSet>(
 
     let mut tree = PrefixTree::<S>::new(width, S::TAG == 1);
     // Root.
+    let root_offset = r.pos;
     let root_parent = r.u32()?;
     let root_frame = r.u32()?;
     if root_parent != u32::MAX || root_frame != u32::MAX {
-        return Err(DecodeError::BadIndex);
+        return Err(DecodeError::BadIndex {
+            offset: root_offset,
+        });
     }
     let root_set = read_set(&mut r)?;
     tree.replace_tasks(0, root_set);
     // Children arrive in index order, so parents always precede their children.
     for idx in 1..nnodes {
+        let node_offset = r.pos;
         let parent = r.u32()? as usize;
         let frame_local = r.u32()? as usize;
         if parent >= idx || frame_local >= frames.len() {
-            return Err(DecodeError::BadIndex);
+            return Err(DecodeError::BadIndex {
+                offset: node_offset,
+            });
         }
         let set = read_set(&mut r)?;
         let node = tree.append_node(parent, frames[frame_local]);
@@ -315,9 +364,11 @@ mod tests {
         let bytes = encode_tree(&tree, &table);
 
         let mut t2 = FrameTable::new();
+        // A 3-byte buffer cannot even hold the magic number; the failure offset is
+        // where the reader stood when it ran out (the start of the magic field).
         assert_eq!(
             decode_tree::<DenseBitVector>(&bytes[..3], &mut t2).unwrap_err(),
-            DecodeError::Truncated
+            DecodeError::Truncated { offset: 0 }
         );
         let mut bad_magic = bytes.clone();
         bad_magic[0] ^= 0xFF;
@@ -326,10 +377,11 @@ mod tests {
             DecodeError::BadMagic
         );
         let truncated = &bytes[..bytes.len() - 5];
-        assert_eq!(
-            decode_tree::<DenseBitVector>(truncated, &mut t2).unwrap_err(),
-            DecodeError::Truncated
-        );
+        let err = decode_tree::<DenseBitVector>(truncated, &mut t2).unwrap_err();
+        match err {
+            DecodeError::Truncated { offset } => assert!(offset > 0 && offset < bytes.len()),
+            other => panic!("expected Truncated, got {other:?}"),
+        }
     }
 
     #[test]
@@ -358,7 +410,7 @@ mod tests {
         assert_eq!(decode_rank_map(&bytes).unwrap(), ranks);
         assert_eq!(
             decode_rank_map(&bytes[..4]).unwrap_err(),
-            DecodeError::Truncated
+            DecodeError::Truncated { offset: 0 }
         );
     }
 }

@@ -3,11 +3,13 @@
 //! Two ways of "running STAT" coexist in the reproduction, mirroring the split the
 //! rest of the code base makes between real algorithms and modelled environment:
 //!
-//! * [`run_session`] actually runs the tool: it partitions the job over daemons,
-//!   gathers stack traces from the (simulated) application with the real walker,
-//!   builds the real local trees, pushes the real serialised packets through the real
-//!   in-process TBON with the real merge filter, and returns the merged trees,
-//!   behaviour classes and byte-flow metrics.  The examples, integration tests and
+//! * [`Session`] actually runs the tool: it partitions the job over daemons, gathers
+//!   stack traces from the (simulated) application with the real walker, builds the
+//!   real local trees, and pushes the real serialised packets — 2D tree, 3D tree and
+//!   rank map together, as channels of **one** overlay walk — through the real
+//!   in-process TBON with the real merge filters.  [`Session::attach`] returns a
+//!   [`SessionReport`] with the merged trees, behaviour classes, byte-flow metrics
+//!   and a per-phase timing breakdown.  The examples, integration tests and
 //!   real-execution benchmarks use this path.
 //!
 //! * [`PhaseEstimator`] prices the three phases the paper measures — startup,
@@ -15,48 +17,55 @@
 //!   using the launcher, sampling and reduction cost models.  The figure generators
 //!   use this path, with the real path cross-checking the small-scale points.
 
+use std::time::{Duration, Instant};
+
 use appsim::Application;
 use machine::cluster::Cluster;
 use machine::placement::PlacementPlan;
 use simkit::time::SimDuration;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel, SamplingEstimate};
 use tbon::cost::ReductionCostModel;
+use tbon::filter::Filter;
+use tbon::network::{ChannelInput, InProcessTbon};
 use tbon::topology::{Topology, TopologyKind, TopologySpec};
 
 use crate::daemon::{DaemonContribution, StatDaemon};
-use crate::frontend::{GatherResult, Representation, StatFrontEnd};
-use crate::taskset::{DenseBitVector, SubtreeTaskList};
+use crate::equivalence::equivalence_classes;
+use crate::error::{MergeChannel, StatError};
+use crate::filter::RankMapFilter;
+use crate::frontend::{GatherResult, MergeMetrics, Representation};
 
-/// Configuration of a real (in-process) session.
-#[derive(Clone, Debug)]
-pub struct SessionConfig {
-    /// The machine the session is modelled on (controls daemon fan-in and topology
-    /// placement rules).
-    pub cluster: Cluster,
-    /// Which tree family to use.
-    pub topology: TopologyKind,
-    /// Which task-set representation to use.
-    pub representation: Representation,
-    /// Stack-trace samples gathered per task.
-    pub samples_per_task: u32,
+/// Wall-clock time of each phase of a real session, in pipeline order.
+///
+/// The paper's central observation is that sampling → local merge → reduction →
+/// remap is *one* pipeline whose phases must be measured together; this struct is
+/// how a [`SessionReport`] exposes that.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimings {
+    /// Gathering stack traces from the application tasks (summed over daemons, all
+    /// executed in this process).
+    pub sample: Duration,
+    /// Building and serialising the daemon-local prefix trees (summed over daemons).
+    pub local_merge: Duration,
+    /// The single multi-channel TBON reduction walk.
+    pub reduce: Duration,
+    /// The front-end remap into MPI rank order (zero for the global representation).
+    pub remap: Duration,
+    /// Extracting behaviour classes from the merged 3D tree.
+    pub classify: Duration,
 }
 
-impl SessionConfig {
-    /// A sensible default: 2-deep tree, hierarchical representation, 10 samples.
-    pub fn new(cluster: Cluster) -> Self {
-        SessionConfig {
-            cluster,
-            topology: TopologyKind::TwoDeep,
-            representation: Representation::HierarchicalTaskList,
-            samples_per_task: 10,
-        }
+impl PhaseTimings {
+    /// Total wall-clock time across every phase.
+    pub fn total(&self) -> Duration {
+        self.sample + self.local_merge + self.reduce + self.remap + self.classify
     }
 }
 
-/// The result of a real session.
+/// The result of a real session: what the user sees plus how the pipeline behaved.
 #[derive(Clone, Debug)]
-pub struct SessionResult {
-    /// The merged trees, classes and metrics.
+pub struct SessionReport {
+    /// The merged trees, classes and byte-flow metrics.
     pub gather: GatherResult,
     /// Number of daemons that participated.
     pub daemons: u32,
@@ -64,37 +73,269 @@ pub struct SessionResult {
     pub topology: TopologySpec,
     /// Total traces gathered across all daemons.
     pub traces_gathered: u64,
+    /// Per-phase wall-clock breakdown.
+    pub phases: PhaseTimings,
+    /// Largest serialised contribution (2D + 3D trees) any single daemon produced.
+    pub max_daemon_packet_bytes: u64,
+    /// Mean serialised contribution (2D + 3D trees) across daemons.
+    pub mean_daemon_packet_bytes: u64,
 }
 
-/// Run a full STAT session against a (simulated) application, for real.
-pub fn run_session(config: &SessionConfig, app: &dyn Application) -> SessionResult {
-    let tasks = app.num_tasks();
-    let plan = PlacementPlan::for_job(&config.cluster, tasks);
-    let spec = TopologySpec::for_placement(config.topology, &plan);
-    let topology = Topology::build(spec.clone());
+/// Builder for a real (in-process) STAT session.
+///
+/// Obtained from [`Session::builder`]; every knob has the defaults the paper's
+/// experiments use (2-deep tree, hierarchical representation, 10 samples per task).
+#[derive(Clone, Debug)]
+pub struct SessionBuilder {
+    cluster: Cluster,
+    representation: Representation,
+    topology_kind: TopologyKind,
+    samples_per_task: u32,
+    topology_spec: Option<TopologySpec>,
+}
 
-    let daemons = StatDaemon::partition(tasks, spec.backends());
-    let contributions: Vec<DaemonContribution> = daemons
-        .iter()
-        .zip(topology.backends())
-        .map(|(daemon, &leaf)| match config.representation {
-            Representation::GlobalBitVector => {
-                daemon.contribute::<DenseBitVector>(app, config.samples_per_task, leaf)
+impl SessionBuilder {
+    /// Select the task-set representation.
+    pub fn representation(mut self, representation: Representation) -> Self {
+        self.representation = representation;
+        self
+    }
+
+    /// Select the tree family for the overlay network.
+    pub fn topology_kind(mut self, kind: TopologyKind) -> Self {
+        self.topology_kind = kind;
+        self
+    }
+
+    /// Set how many stack-trace samples to gather per task.
+    pub fn samples_per_task(mut self, samples: u32) -> Self {
+        self.samples_per_task = samples;
+        self
+    }
+
+    /// Pin an explicit topology instead of deriving one from the machine's placement
+    /// rules — used by degraded gathers over a pruned overlay and by tests that need
+    /// an exact tree shape.
+    pub fn topology_spec(mut self, spec: TopologySpec) -> Self {
+        self.topology_spec = Some(spec);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Session {
+        Session {
+            cluster: self.cluster,
+            representation: self.representation,
+            topology_kind: self.topology_kind,
+            samples_per_task: self.samples_per_task,
+            topology_spec: self.topology_spec,
+        }
+    }
+}
+
+/// A configured STAT session over a (simulated) machine.
+///
+/// ```
+/// use appsim::{FrameVocabulary, RingHangApp};
+/// use machine::Cluster;
+/// use stat_core::prelude::*;
+///
+/// // A 256-task MPI ring test in which rank 1 hangs before its send.
+/// let app = RingHangApp::new(256, FrameVocabulary::Linux);
+/// let session = Session::builder(Cluster::test_cluster(32, 8))
+///     .representation(Representation::HierarchicalTaskList)
+///     .samples_per_task(3)
+///     .build();
+/// let report = session.attach(&app).expect("the session merges cleanly");
+///
+/// // The 256 tasks collapse into three behaviour classes...
+/// assert_eq!(report.gather.classes.len(), 3);
+/// // ...and the whole merge took exactly one walk of the overlay.
+/// assert_eq!(report.gather.metrics.tree_walks, 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Session {
+    cluster: Cluster,
+    representation: Representation,
+    topology_kind: TopologyKind,
+    samples_per_task: u32,
+    topology_spec: Option<TopologySpec>,
+}
+
+impl Session {
+    /// Start configuring a session on the given machine.
+    pub fn builder(cluster: Cluster) -> SessionBuilder {
+        SessionBuilder {
+            cluster,
+            representation: Representation::HierarchicalTaskList,
+            topology_kind: TopologyKind::TwoDeep,
+            samples_per_task: 10,
+            topology_spec: None,
+        }
+    }
+
+    /// The machine the session is modelled on.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The task-set representation in use.
+    pub fn representation(&self) -> Representation {
+        self.representation
+    }
+
+    /// The tree family in use.
+    pub fn topology_kind(&self) -> TopologyKind {
+        self.topology_kind
+    }
+
+    /// Samples gathered per task.
+    pub fn samples_per_task(&self) -> u32 {
+        self.samples_per_task
+    }
+
+    /// The topology the session will use for a job of `tasks` tasks.
+    pub fn topology_for(&self, tasks: u64) -> TopologySpec {
+        match &self.topology_spec {
+            Some(spec) => spec.clone(),
+            None => {
+                let plan = PlacementPlan::for_job(&self.cluster, tasks);
+                TopologySpec::for_placement(self.topology_kind, &plan)
             }
-            Representation::HierarchicalTaskList => {
-                daemon.contribute::<SubtreeTaskList>(app, config.samples_per_task, leaf)
-            }
+        }
+    }
+
+    /// Attach to an application and run the full pipeline: sample every task, build
+    /// the daemon-local trees, carry all channels up the overlay in one reduction
+    /// walk, remap (if the representation needs it) and classify.
+    pub fn attach(&self, app: &dyn Application) -> Result<SessionReport, StatError> {
+        let tasks = app.num_tasks();
+        let spec = self.topology_for(tasks);
+        let topology = Topology::build(spec.clone());
+        let strategy = self.representation.strategy();
+
+        let daemons = StatDaemon::partition(tasks, spec.backends());
+        let contributions: Vec<DaemonContribution> = daemons
+            .iter()
+            .zip(topology.backends())
+            .map(|(daemon, &leaf)| strategy.contribute(daemon, app, self.samples_per_task, leaf))
+            .collect();
+
+        let traces_gathered = contributions.iter().map(|c| c.traces_gathered).sum();
+        let sample: Duration = contributions.iter().map(|c| c.sample_wall).sum();
+        let local_merge: Duration = contributions.iter().map(|c| c.local_merge_wall).sum();
+        let packet_bytes: Vec<u64> = contributions
+            .iter()
+            .map(|c| (c.tree_2d.size_bytes() + c.tree_3d.size_bytes()) as u64)
+            .collect();
+        let max_daemon_packet_bytes = packet_bytes.iter().copied().max().unwrap_or(0);
+        let mean_daemon_packet_bytes = if packet_bytes.is_empty() {
+            0
+        } else {
+            packet_bytes.iter().sum::<u64>() / packet_bytes.len() as u64
+        };
+
+        let (gather, mut phases) = self.merge_through(&topology, contributions, tasks)?;
+        phases.sample = sample;
+        phases.local_merge = local_merge;
+
+        Ok(SessionReport {
+            gather,
+            daemons: spec.backends(),
+            topology: spec,
+            traces_gathered,
+            phases,
+            max_daemon_packet_bytes,
+            mean_daemon_packet_bytes,
         })
-        .collect();
-    let traces_gathered = contributions.iter().map(|c| c.traces_gathered).sum();
+    }
 
-    let frontend = StatFrontEnd::new(topology, config.representation);
-    let gather = frontend.gather(&contributions, tasks);
-    SessionResult {
-        gather,
-        daemons: spec.backends(),
-        topology: spec,
-        traces_gathered,
+    /// Merge already-gathered daemon contributions (one per topology leaf, in
+    /// backend order) without re-sampling.
+    ///
+    /// This is the path for degraded gathers: after overlay faults prune daemons,
+    /// the survivors' contributions can be merged over a pinned replacement topology
+    /// (see [`SessionBuilder::topology_spec`]).
+    pub fn merge(
+        &self,
+        contributions: Vec<DaemonContribution>,
+        total_tasks: u64,
+    ) -> Result<GatherResult, StatError> {
+        let spec = self.topology_for(total_tasks);
+        let topology = Topology::build(spec);
+        let (gather, _) = self.merge_through(&topology, contributions, total_tasks)?;
+        Ok(gather)
+    }
+
+    /// The single-pass reduce → remap → classify tail of the pipeline.
+    fn merge_through(
+        &self,
+        topology: &Topology,
+        contributions: Vec<DaemonContribution>,
+        total_tasks: u64,
+    ) -> Result<(GatherResult, PhaseTimings), StatError> {
+        let strategy = self.representation.strategy();
+
+        // Split the contributions into channel streams, moving the packets — the
+        // daemons' serialised trees are never copied on their way into the overlay.
+        let mut leaves_2d = Vec::with_capacity(contributions.len());
+        let mut leaves_3d = Vec::with_capacity(contributions.len());
+        let mut leaves_map = Vec::with_capacity(if strategy.needs_rank_map() {
+            contributions.len()
+        } else {
+            0
+        });
+        for contribution in contributions {
+            leaves_2d.push(contribution.tree_2d);
+            leaves_3d.push(contribution.tree_3d);
+            if strategy.needs_rank_map() {
+                leaves_map.push(contribution.rank_map);
+            }
+        }
+
+        let merge_filter = strategy.merge_filter();
+        let rank_map_filter = RankMapFilter;
+        let mut channels = vec![
+            ChannelInput::new(MergeChannel::Tree2d.label(), leaves_2d),
+            ChannelInput::new(MergeChannel::Tree3d.label(), leaves_3d),
+        ];
+        let mut filters: Vec<&dyn Filter> = vec![merge_filter.as_ref(), merge_filter.as_ref()];
+        if strategy.needs_rank_map() {
+            channels.push(ChannelInput::new(MergeChannel::RankMap.label(), leaves_map));
+            filters.push(&rank_map_filter);
+        }
+
+        // The one bottom-up level walk that carries every channel.
+        let net = InProcessTbon::new(topology.clone());
+        let reduce_start = Instant::now();
+        let outcomes = net.reduce_channels(channels, &filters)?;
+        let reduce = reduce_start.elapsed();
+
+        let mut metrics = MergeMetrics::default();
+        metrics.absorb_walk(&outcomes, reduce);
+
+        let merged = strategy.finish(&outcomes[0], &outcomes[1], outcomes.get(2), total_tasks)?;
+        metrics.remap_wall = merged.remap_wall;
+
+        let classify_start = Instant::now();
+        let classes = equivalence_classes(&merged.tree_3d);
+        let classify = classify_start.elapsed();
+
+        let gather = GatherResult {
+            tree_2d: merged.tree_2d,
+            tree_3d: merged.tree_3d,
+            frames: merged.frames,
+            classes,
+            metrics,
+        };
+        let phases = PhaseTimings {
+            sample: Duration::ZERO,
+            local_merge: Duration::ZERO,
+            reduce,
+            remap: merged.remap_wall,
+            classify,
+        };
+        Ok((gather, phases))
     }
 }
 
@@ -234,36 +475,228 @@ impl PhaseEstimator {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::MergeChannel;
+    use crate::taskset::TaskSetOps;
     use appsim::{FrameVocabulary, RingHangApp};
     use machine::cluster::BglMode;
+    use tbon::network::TbonError;
+    use tbon::packet::{Packet, PacketTag};
+
+    fn small_session(representation: Representation, nodes: u32) -> Session {
+        Session::builder(Cluster::test_cluster(nodes, 8))
+            .representation(representation)
+            .samples_per_task(3)
+            .build()
+    }
 
     #[test]
     fn real_session_end_to_end_on_atlas_shape() {
         let app = RingHangApp::new(256, FrameVocabulary::Linux);
-        let config = SessionConfig::new(Cluster::test_cluster(64, 8));
-        let result = run_session(&config, &app);
-        assert_eq!(result.daemons, 32); // 256 tasks / 8 per node
-        assert_eq!(result.gather.classes.len(), 3);
-        assert_eq!(result.traces_gathered, 256 * 10);
-        let mut attach = result.gather.attach_set();
+        let session = Session::builder(Cluster::test_cluster(64, 8)).build();
+        let report = session.attach(&app).unwrap();
+        assert_eq!(report.daemons, 32); // 256 tasks / 8 per node
+        assert_eq!(report.gather.classes.len(), 3);
+        assert_eq!(report.traces_gathered, 256 * 10);
+        let mut attach = report.gather.attach_set();
         attach.sort_unstable();
         assert_eq!(attach, vec![0, 1, 2]);
+        // The pipeline phases are all visible.
+        assert!(report.phases.total() >= report.phases.reduce);
+        assert!(report.max_daemon_packet_bytes >= report.mean_daemon_packet_bytes);
     }
 
     #[test]
     fn both_representations_agree_end_to_end() {
         let app = RingHangApp::new(128, FrameVocabulary::BlueGeneL);
-        let mut config = SessionConfig::new(Cluster::test_cluster(32, 8));
-        config.samples_per_task = 3;
-        config.representation = Representation::GlobalBitVector;
-        let global = run_session(&config, &app);
-        config.representation = Representation::HierarchicalTaskList;
-        let hier = run_session(&config, &app);
+        let global = small_session(Representation::GlobalBitVector, 32)
+            .attach(&app)
+            .unwrap();
+        let hier = small_session(Representation::HierarchicalTaskList, 32)
+            .attach(&app)
+            .unwrap();
         assert_eq!(global.gather.classes.len(), hier.gather.classes.len());
         for (g, h) in global.gather.classes.iter().zip(hier.gather.classes.iter()) {
             assert_eq!(g.tasks, h.tasks);
         }
         assert!(global.gather.metrics.total_link_bytes > hier.gather.metrics.total_link_bytes);
+    }
+
+    #[test]
+    fn hierarchical_representation_moves_far_fewer_bytes() {
+        // 2,048 tasks over 16 daemons: wide enough for the job-wide bit vectors to
+        // visibly dominate the hierarchical lists.
+        let app = RingHangApp::new(2_048, FrameVocabulary::BlueGeneL);
+        let global = small_session(Representation::GlobalBitVector, 16)
+            .attach(&app)
+            .unwrap();
+        let hier = small_session(Representation::HierarchicalTaskList, 16)
+            .attach(&app)
+            .unwrap();
+        assert!(
+            global.gather.metrics.total_link_bytes > 2 * hier.gather.metrics.total_link_bytes,
+            "global {} vs hierarchical {}",
+            global.gather.metrics.total_link_bytes,
+            hier.gather.metrics.total_link_bytes
+        );
+        assert_eq!(global.gather.metrics.remap_wall, Duration::ZERO);
+    }
+
+    #[test]
+    fn dot_output_of_the_final_result_names_the_culprit() {
+        let app = RingHangApp::new(128, FrameVocabulary::BlueGeneL);
+        let report = small_session(Representation::HierarchicalTaskList, 16)
+            .attach(&app)
+            .unwrap();
+        let dot = report.gather.to_dot();
+        assert!(dot.contains("do_SendOrStall"));
+        assert!(dot.contains("1:[1]"));
+    }
+
+    #[test]
+    fn single_pass_merge_accounts_every_channel_in_one_walk() {
+        let app = RingHangApp::new(64, FrameVocabulary::BlueGeneL);
+        let session = Session::builder(Cluster::test_cluster(8, 8))
+            .representation(Representation::HierarchicalTaskList)
+            .samples_per_task(3)
+            .topology_spec(TopologySpec::two_deep(8, 4))
+            .build();
+        let report = session.attach(&app).unwrap();
+        // 3 channels (2D, 3D, rank map) over a 2-deep tree with 4 comm processes:
+        // (4 + 1) filter invocations each — but exactly ONE walk of the overlay.
+        assert_eq!(report.gather.metrics.tree_walks, 1);
+        assert_eq!(report.gather.metrics.filter_invocations, 3 * 5);
+        assert!(report.gather.metrics.frontend_bytes_in > 0);
+        assert!(report.gather.metrics.total_link_bytes >= report.gather.metrics.frontend_bytes_in);
+    }
+
+    #[test]
+    fn leaf_count_mismatch_is_reported_with_channel_context() {
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        let session = Session::builder(Cluster::test_cluster(8, 8))
+            .topology_spec(TopologySpec::two_deep(8, 4))
+            .samples_per_task(1)
+            .build();
+        let report = session.attach(&app).unwrap();
+        assert_eq!(report.daemons, 8);
+
+        // Re-merge with one contribution missing: the overlay reports which channel
+        // came up short instead of asserting.
+        let daemons = StatDaemon::partition(64, 8);
+        let topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let mut contributions: Vec<DaemonContribution> = daemons
+            .iter()
+            .zip(topology.backends())
+            .map(|(d, &leaf)| {
+                Representation::HierarchicalTaskList
+                    .strategy()
+                    .contribute(d, &app, 1, leaf)
+            })
+            .collect();
+        contributions.pop();
+        let err = session.merge(contributions, 64).unwrap_err();
+        assert_eq!(
+            err,
+            StatError::Reduce(TbonError::LeafCountMismatch {
+                channel: "2d-tree",
+                expected: 8,
+                actual: 7,
+            })
+        );
+    }
+
+    fn corrupted_contributions(
+        app: &RingHangApp,
+        corrupt: impl Fn(&mut DaemonContribution),
+    ) -> (Session, Vec<DaemonContribution>) {
+        let session = Session::builder(Cluster::test_cluster(8, 8))
+            .topology_spec(TopologySpec::two_deep(8, 4))
+            .samples_per_task(1)
+            .build();
+        let daemons = StatDaemon::partition(app.num_tasks(), 8);
+        let topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let contributions = daemons
+            .iter()
+            .zip(topology.backends())
+            .map(|(d, &leaf)| {
+                let mut c = Representation::HierarchicalTaskList
+                    .strategy()
+                    .contribute(d, app, 1, leaf);
+                corrupt(&mut c);
+                c
+            })
+            .collect();
+        (session, contributions)
+    }
+
+    #[test]
+    fn malformed_tree_channel_fails_with_decode_context() {
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        // Corrupt every daemon's 2D packet: the merge filter skips them all, so the
+        // front end receives an empty control packet and reports the decode failure
+        // with its channel.
+        let (session, contributions) = corrupted_contributions(&app, |c| {
+            c.tree_2d = Packet::new(PacketTag::Merged2d, c.tree_2d.source, vec![9, 9, 9]);
+        });
+        let err = session.merge(contributions, 64).unwrap_err();
+        match err {
+            StatError::Decode { channel, .. } => assert_eq!(channel, MergeChannel::Tree2d),
+            other => panic!("expected a 2d-tree decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_3d_channel_reports_its_own_channel() {
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        let (session, contributions) = corrupted_contributions(&app, |c| {
+            c.tree_3d = Packet::new(PacketTag::Merged3d, c.tree_3d.source, vec![0]);
+        });
+        let err = session.merge(contributions, 64).unwrap_err();
+        match err {
+            StatError::Decode { channel, .. } => assert_eq!(channel, MergeChannel::Tree3d),
+            other => panic!("expected a 3d-tree decode error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_rank_map_fails_the_remap_instead_of_panicking() {
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        // Corrupt every daemon's rank map: the rank-map filter skips them all, the
+        // concatenated map is empty, and the remap refuses to invent ranks.
+        let (session, contributions) = corrupted_contributions(&app, |c| {
+            c.rank_map = Packet::new(PacketTag::RankMap, c.rank_map.source, vec![1, 2, 3]);
+        });
+        let err = session.merge(contributions, 64).unwrap_err();
+        assert_eq!(
+            err,
+            StatError::RankMapMismatch {
+                positions: 64,
+                mapped: 0,
+            }
+        );
+    }
+
+    #[test]
+    fn degraded_merge_over_a_pinned_topology() {
+        // The fault-handling path: merge only 4 of 8 daemons' contributions over a
+        // pruned replacement topology.
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        let daemons = StatDaemon::partition(64, 8);
+        let full_topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let contributions: Vec<DaemonContribution> = daemons
+            .iter()
+            .zip(full_topology.backends())
+            .take(4)
+            .map(|(d, &leaf)| {
+                Representation::HierarchicalTaskList
+                    .strategy()
+                    .contribute(d, &app, 2, leaf)
+            })
+            .collect();
+        let session = Session::builder(Cluster::test_cluster(8, 8))
+            .topology_spec(TopologySpec::two_deep(4, 2))
+            .build();
+        let gather = session.merge(contributions, 64).unwrap();
+        assert_eq!(gather.tree_3d.tasks(gather.tree_3d.root()).count(), 32);
     }
 
     #[test]

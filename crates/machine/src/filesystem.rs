@@ -228,7 +228,8 @@ impl MountTable {
     pub fn add(&mut self, prefix: impl Into<String>, kind: FileSystemKind) {
         self.mounts.push((prefix.into(), kind));
         // Keep longest prefixes first so lookup can take the first match.
-        self.mounts.sort_by(|a, b| b.0.len().cmp(&a.0.len()));
+        self.mounts
+            .sort_by_key(|(prefix, _)| std::cmp::Reverse(prefix.len()));
     }
 
     /// The file system a path resides on (node-local disk if no mount matches).

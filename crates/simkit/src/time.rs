@@ -285,7 +285,7 @@ mod tests {
 
     #[test]
     fn duration_sum_and_ordering() {
-        let parts = vec![
+        let parts = [
             SimDuration::from_millis(1.0),
             SimDuration::from_millis(2.0),
             SimDuration::from_millis(3.0),

@@ -379,8 +379,10 @@ mod tests {
     fn pre_os_update_runs_are_slower() {
         let cluster = Cluster::atlas();
         let recent = SamplingCostModel::new(cluster.clone());
-        let mut cfg = SamplingConfig::default();
-        cfg.pre_os_update = true;
+        let cfg = SamplingConfig {
+            pre_os_update: true,
+            ..SamplingConfig::default()
+        };
         let old = SamplingCostModel::new(cluster).with_config(cfg);
         let new_t = recent.estimate(1_024, BinaryPlacement::NfsHome, 11);
         let old_t = old.estimate(1_024, BinaryPlacement::NfsHome, 11);

@@ -6,13 +6,16 @@
 //! the emulation is that the measured quantities — packet sizes, filter work, tree
 //! shapes, wall time — come from the real implementation, not a model, while the
 //! "application" can be dialled to any size and shape.
+//!
+//! The emulation goes through [`Session`] — the same builder-style front end the real
+//! tool uses — so the emulator and the tool *cannot* drift apart: there is no
+//! emulator-local copy of the representation dispatch or the merge pipeline.
 
 use std::time::Duration;
 
 use machine::cluster::Cluster;
-use machine::placement::PlacementPlan;
 use stat_core::prelude::*;
-use tbon::topology::{Topology, TopologyKind, TopologySpec};
+use tbon::topology::TopologyKind;
 
 use crate::generator::{SyntheticApp, TraceShape};
 
@@ -65,52 +68,33 @@ impl EmulatedJob {
     }
 
     /// Run the emulation and collect the report.
+    ///
+    /// The synthetic application is handed to the *real* session pipeline — daemon
+    /// partitioning, representation dispatch, the single-pass multi-channel TBON
+    /// reduction and the front-end remap are all the production code paths.
     pub fn run(&self) -> EmulationReport {
         let app = SyntheticApp::new(self.tasks, self.shape);
-        let plan = PlacementPlan::for_job(&self.cluster, self.tasks);
-        let spec = TopologySpec::for_placement(self.topology, &plan);
-        let topology = Topology::build(spec.clone());
-
-        let start = std::time::Instant::now();
-        let daemons = StatDaemon::partition(self.tasks, spec.backends());
-        let contributions: Vec<DaemonContribution> = daemons
-            .iter()
-            .zip(topology.backends())
-            .map(|(daemon, &leaf)| match self.representation {
-                Representation::GlobalBitVector => {
-                    daemon.contribute::<DenseBitVector>(&app, self.samples_per_task, leaf)
-                }
-                Representation::HierarchicalTaskList => {
-                    daemon.contribute::<SubtreeTaskList>(&app, self.samples_per_task, leaf)
-                }
-            })
-            .collect();
-        let local_phase = start.elapsed();
-
-        let daemon_packet_bytes: Vec<u64> = contributions
-            .iter()
-            .map(|c| (c.tree_2d.size_bytes() + c.tree_3d.size_bytes()) as u64)
-            .collect();
-
-        let frontend = StatFrontEnd::new(topology, self.representation);
-        let gather = frontend.gather(&contributions, self.tasks);
+        let session = Session::builder(self.cluster.clone())
+            .representation(self.representation)
+            .topology_kind(self.topology)
+            .samples_per_task(self.samples_per_task)
+            .build();
+        let report = session
+            .attach(&app)
+            .expect("emulated contributions are well-formed by construction");
 
         EmulationReport {
             tasks: self.tasks,
-            daemons: spec.backends(),
-            classes: gather.classes.len(),
-            merged_tree_nodes: gather.tree_3d.node_count(),
-            local_phase,
-            merge_wall: gather.metrics.merge_wall,
-            remap_wall: gather.metrics.remap_wall,
-            frontend_bytes_in: gather.metrics.frontend_bytes_in,
-            total_link_bytes: gather.metrics.total_link_bytes,
-            max_daemon_packet_bytes: daemon_packet_bytes.iter().copied().max().unwrap_or(0),
-            mean_daemon_packet_bytes: if daemon_packet_bytes.is_empty() {
-                0
-            } else {
-                daemon_packet_bytes.iter().sum::<u64>() / daemon_packet_bytes.len() as u64
-            },
+            daemons: report.daemons,
+            classes: report.gather.classes.len(),
+            merged_tree_nodes: report.gather.tree_3d.node_count(),
+            local_phase: report.phases.sample + report.phases.local_merge,
+            merge_wall: report.gather.metrics.merge_wall,
+            remap_wall: report.gather.metrics.remap_wall,
+            frontend_bytes_in: report.gather.metrics.frontend_bytes_in,
+            total_link_bytes: report.gather.metrics.total_link_bytes,
+            max_daemon_packet_bytes: report.max_daemon_packet_bytes,
+            mean_daemon_packet_bytes: report.mean_daemon_packet_bytes,
         }
     }
 }

@@ -106,7 +106,8 @@ impl SyntheticApp {
         // shape (depth × classes), so the leak is bounded and shared across apps.
         use std::collections::HashMap;
         use std::sync::{Mutex, OnceLock};
-        static NAMES: OnceLock<Mutex<HashMap<(String, u32, u32), &'static str>>> = OnceLock::new();
+        type NameTable = Mutex<HashMap<(String, u32, u32), &'static str>>;
+        static NAMES: OnceLock<NameTable> = OnceLock::new();
         let table = NAMES.get_or_init(|| Mutex::new(HashMap::new()));
         let mut table = table.lock().expect("frame-name table lock");
         let key = (kind.to_string(), a, b);

@@ -33,7 +33,7 @@ pub mod topology;
 pub use cost::{ReductionCost, ReductionCostModel};
 pub use fault::{FaultTracker, PruneReport};
 pub use filter::{Filter, IdentityFilter, SumFilter};
-pub use network::{InProcessTbon, ReductionOutcome};
+pub use network::{ChannelInput, ExecutionMode, InProcessTbon, ReductionOutcome, TbonError};
 pub use packet::{EndpointId, Packet, PacketTag};
 pub use stream::{BroadcastRoute, Stream, StreamManager};
 pub use topology::{Topology, TopologyKind, TopologySpec, TreeNode, TreeNodeRole};

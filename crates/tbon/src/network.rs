@@ -8,24 +8,109 @@
 //! and nodes at the same tree level run concurrently on a thread pool, mirroring how
 //! the real MRNet processes run concurrently on different hosts.
 //!
+//! The paper's front end does not run its reductions one at a time: the 2D tree, the
+//! 3D tree and the rank map all flow up the same physical tree in the same session.
+//! [`InProcessTbon::reduce_channels`] models that directly — one bottom-up level walk
+//! carries any number of tagged channels, each with its own filter, so a session pays
+//! for exactly one traversal of the overlay however many data streams it merges.
+//! [`InProcessTbon::reduce`] is the single-channel special case.
+//!
 //! The output includes the byte-flow accounting (bytes into the front end, the
 //! heaviest node, total bytes crossing links) because those quantities, not wall-clock
 //! time on a single workstation, are what distinguish the original global-bit-vector
 //! representation from the hierarchical one at scale.
 
+use std::fmt;
 use std::time::{Duration, Instant};
 
 use crate::filter::Filter;
 use crate::packet::{EndpointId, Packet};
 use crate::topology::{Topology, TreeNodeRole};
 
-/// The result of one upward reduction.
+/// Errors the in-process network reports instead of panicking.
+///
+/// A mismatch between the caller's view of the job and the topology used to be an
+/// `assert_eq!`; at 208K cores "the tool crashed" and "one daemon dropped out" are
+/// very different diagnoses, so the network now returns the context instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TbonError {
+    /// A channel supplied a different number of leaf packets than the topology has
+    /// back-end daemons.
+    LeafCountMismatch {
+        /// Label of the offending channel.
+        channel: &'static str,
+        /// Back-end daemons the topology expects one packet from.
+        expected: usize,
+        /// Leaf packets the channel actually supplied.
+        actual: usize,
+    },
+    /// `reduce_channels` was called with no channels at all.
+    NoChannels,
+    /// The number of filters does not match the number of channels.
+    FilterCountMismatch {
+        /// Channels supplied.
+        channels: usize,
+        /// Filters supplied.
+        filters: usize,
+    },
+}
+
+impl fmt::Display for TbonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbonError::LeafCountMismatch {
+                channel,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "channel `{channel}` supplied {actual} leaf packets but the topology \
+                 has {expected} back-end daemons"
+            ),
+            TbonError::NoChannels => write!(f, "reduce_channels requires at least one channel"),
+            TbonError::FilterCountMismatch { channels, filters } => write!(
+                f,
+                "{channels} channels were given {filters} filters; each channel needs \
+                 exactly one"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TbonError {}
+
+/// One tagged data stream entering the overlay at the leaves.
+///
+/// A channel owns its leaf packets — the network consumes them rather than cloning
+/// them, so handing three channels to [`InProcessTbon::reduce_channels`] moves the
+/// daemons' serialised trees into the reduction instead of copying them per pass.
+#[derive(Clone, Debug)]
+pub struct ChannelInput {
+    /// Human-readable channel label, carried into error context.
+    pub label: &'static str,
+    /// One packet per back-end daemon, in [`Topology::backends`] order.
+    pub leaves: Vec<Packet>,
+}
+
+impl ChannelInput {
+    /// A channel from owned leaf packets.
+    pub fn new(label: &'static str, leaves: Vec<Packet>) -> Self {
+        ChannelInput { label, leaves }
+    }
+}
+
+/// The result of one upward reduction (of one channel).
 #[derive(Clone, Debug)]
 pub struct ReductionOutcome {
+    /// The channel this outcome belongs to.
+    pub channel: &'static str,
     /// The packet that arrived at the front end.
     pub result: Packet,
-    /// Real wall-clock time spent executing the reduction in this process.
-    pub wall_time: Duration,
+    /// Cumulative time spent inside this channel's filter invocations, summed
+    /// across tree nodes.  Under [`ExecutionMode::LevelParallel`] invocations run
+    /// concurrently, so this is CPU-style accounting and can exceed the elapsed
+    /// wall time of the walk — time the walk itself for wall-clock numbers.
+    pub filter_time: Duration,
     /// Number of filter invocations performed (one per internal node, including the
     /// front end).
     pub filter_invocations: usize,
@@ -48,6 +133,23 @@ pub enum ExecutionMode {
     /// the machine's available parallelism.
     LevelParallel,
 }
+
+/// Per-channel running totals while a level walk is in flight.
+#[derive(Clone, Default)]
+struct ChannelAccounting {
+    filter_invocations: usize,
+    max_node_bytes_in: u64,
+    total_link_bytes: u64,
+    frontend_bytes_in: u64,
+    filter_wall: Duration,
+}
+
+/// What one node produced for one channel: the output packet, the bytes it received
+/// from its children on that channel, and the time its filter invocation took.
+type NodeChannelResult = (Packet, u64, Duration);
+
+/// One unit of level work: a node, a channel, and the owned child packets to reduce.
+type InputWave = (EndpointId, usize, Vec<Packet>);
 
 /// An in-process TBON bound to a concrete topology.
 #[derive(Clone, Debug)]
@@ -76,33 +178,79 @@ impl InProcessTbon {
         &self.topology
     }
 
-    /// Perform one upward reduction.
+    /// Perform one upward reduction of a single channel.
     ///
     /// `leaf_payloads` supplies one packet per back-end daemon, in the same order as
-    /// [`Topology::backends`].  Panics if the count does not match — a mismatch means
-    /// the caller's view of the job does not match the topology, which is a
-    /// programming error rather than a runtime condition.
-    pub fn reduce(&self, leaf_payloads: Vec<Packet>, filter: &dyn Filter) -> ReductionOutcome {
-        let backends = self.topology.backends();
-        assert_eq!(
-            leaf_payloads.len(),
-            backends.len(),
-            "one leaf payload per backend daemon is required"
-        );
+    /// [`Topology::backends`].  A count mismatch returns
+    /// [`TbonError::LeafCountMismatch`] — the caller's view of the job does not match
+    /// the topology, which at scale is a diagnosis, not a programming error to die on.
+    pub fn reduce(
+        &self,
+        leaf_payloads: Vec<Packet>,
+        filter: &dyn Filter,
+    ) -> Result<ReductionOutcome, TbonError> {
+        let mut outcomes =
+            self.reduce_channels(vec![ChannelInput::new("default", leaf_payloads)], &[filter])?;
+        Ok(outcomes.pop().expect("one channel in, one outcome out"))
+    }
 
-        let start = Instant::now();
-        // Current packet produced by each endpoint, indexed by endpoint id.
-        let mut produced: Vec<Option<Packet>> = vec![None; self.topology.len()];
-        for (&backend, packet) in backends.iter().zip(leaf_payloads) {
-            produced[backend.0 as usize] = Some(packet);
+    /// Carry several tagged channels up the tree in **one** bottom-up level walk.
+    ///
+    /// Every internal node is visited exactly once; at each visit it runs each
+    /// channel's filter over that channel's child packets.  This is how the session
+    /// front end merges the 2D tree, the 3D tree and the rank map without paying for
+    /// three traversals of the overlay, and the per-channel accounting in the returned
+    /// [`ReductionOutcome`]s is what the byte-flow figures are built from.
+    ///
+    /// The channels are consumed: leaf packets move into the reduction, they are not
+    /// cloned per channel or per pass.
+    pub fn reduce_channels(
+        &self,
+        channels: Vec<ChannelInput>,
+        filters: &[&dyn Filter],
+    ) -> Result<Vec<ReductionOutcome>, TbonError> {
+        if channels.is_empty() {
+            return Err(TbonError::NoChannels);
+        }
+        if channels.len() != filters.len() {
+            return Err(TbonError::FilterCountMismatch {
+                channels: channels.len(),
+                filters: filters.len(),
+            });
+        }
+        let backends = self.topology.backends();
+        for channel in &channels {
+            if channel.leaves.len() != backends.len() {
+                return Err(TbonError::LeafCountMismatch {
+                    channel: channel.label,
+                    expected: backends.len(),
+                    actual: channel.leaves.len(),
+                });
+            }
         }
 
-        let mut filter_invocations = 0usize;
-        let mut max_node_bytes_in = 0u64;
-        let mut total_link_bytes = 0u64;
-        let mut frontend_bytes_in = 0u64;
+        let labels: Vec<&'static str> = channels.iter().map(|c| c.label).collect();
+        // Current packet produced by each endpoint, per channel, indexed by
+        // endpoint id.
+        let mut produced: Vec<Vec<Option<Packet>>> = channels
+            .into_iter()
+            .map(|channel| {
+                let mut slots: Vec<Option<Packet>> = vec![None; self.topology.len()];
+                for (&backend, packet) in backends.iter().zip(channel.leaves) {
+                    slots[backend.0 as usize] = Some(packet);
+                }
+                slots
+            })
+            .collect();
 
-        // Walk levels bottom-up, skipping the leaf level.
+        let mut accounting = vec![ChannelAccounting::default(); filters.len()];
+
+        // The single bottom-up level walk, skipping the leaf level.  Work items are
+        // (node, channel) waves so that, at narrow levels — ultimately the single
+        // front-end node — the channels themselves still run concurrently.  Each
+        // wave *moves* its child packets out of the slot table (every child has
+        // exactly one parent), so no packet is ever cloned on its way up the tree
+        // and peak memory stays proportional to one level.
         let levels = self.topology.levels();
         for level in (0..levels.len().saturating_sub(1)).rev() {
             let node_ids: Vec<EndpointId> = levels[level]
@@ -110,87 +258,116 @@ impl InProcessTbon {
                 .copied()
                 .filter(|&id| self.topology.node(id).role != TreeNodeRole::BackEnd)
                 .collect();
+            // Node-major order: every channel fires at a node before the next node.
+            let items: Vec<InputWave> = node_ids
+                .iter()
+                .flat_map(|&id| (0..filters.len()).map(move |channel| (id, channel)))
+                .map(|(id, channel)| {
+                    let inputs: Vec<Packet> = self
+                        .topology
+                        .node(id)
+                        .children
+                        .iter()
+                        .map(|&c| {
+                            produced[channel][c.0 as usize]
+                                .take()
+                                .expect("child must have produced a packet before its parent runs")
+                        })
+                        .collect();
+                    (id, channel, inputs)
+                })
+                .collect();
 
-            let results: Vec<(EndpointId, Packet, u64)> = match self.mode {
-                ExecutionMode::Sequential => node_ids
-                    .iter()
-                    .map(|&id| self.reduce_node(id, &produced, filter))
+            let results: Vec<(EndpointId, usize, NodeChannelResult)> = match self.mode {
+                ExecutionMode::Sequential => items
+                    .into_iter()
+                    .map(|(id, channel, inputs)| {
+                        let r = Self::reduce_one(id, inputs, filters[channel]);
+                        (id, channel, r)
+                    })
                     .collect(),
-                ExecutionMode::LevelParallel => {
-                    self.reduce_level_parallel(&node_ids, &produced, filter)
-                }
+                ExecutionMode::LevelParallel => Self::reduce_level_parallel(items, filters),
             };
 
-            for (id, packet, bytes_in) in results {
-                filter_invocations += 1;
-                max_node_bytes_in = max_node_bytes_in.max(bytes_in);
-                total_link_bytes += bytes_in;
+            for (id, channel, (packet, bytes_in, wall)) in results {
+                let acc = &mut accounting[channel];
+                acc.filter_invocations += 1;
+                acc.max_node_bytes_in = acc.max_node_bytes_in.max(bytes_in);
+                acc.total_link_bytes += bytes_in;
+                acc.filter_wall += wall;
                 if id == self.topology.frontend() {
-                    frontend_bytes_in = bytes_in;
+                    acc.frontend_bytes_in = bytes_in;
                 }
-                produced[id.0 as usize] = Some(packet);
+                produced[channel][id.0 as usize] = Some(packet);
             }
         }
 
-        let result = produced[self.topology.frontend().0 as usize]
-            .take()
-            .expect("front end must have produced a result");
-
-        ReductionOutcome {
-            result,
-            wall_time: start.elapsed(),
-            filter_invocations,
-            frontend_bytes_in,
-            max_node_bytes_in,
-            total_link_bytes,
-        }
+        let frontend = self.topology.frontend().0 as usize;
+        Ok(accounting
+            .into_iter()
+            .zip(labels)
+            .enumerate()
+            .map(|(channel, (acc, label))| ReductionOutcome {
+                channel: label,
+                result: produced[channel][frontend]
+                    .take()
+                    .expect("front end must have produced a result"),
+                filter_time: acc.filter_wall,
+                filter_invocations: acc.filter_invocations,
+                frontend_bytes_in: acc.frontend_bytes_in,
+                max_node_bytes_in: acc.max_node_bytes_in,
+                total_link_bytes: acc.total_link_bytes,
+            })
+            .collect())
     }
 
-    fn reduce_node(
-        &self,
-        id: EndpointId,
-        produced: &[Option<Packet>],
-        filter: &dyn Filter,
-    ) -> (EndpointId, Packet, u64) {
-        let node = self.topology.node(id);
-        let inputs: Vec<Packet> = node
-            .children
-            .iter()
-            .map(|&c| {
-                produced[c.0 as usize]
-                    .clone()
-                    .expect("child must have produced a packet before its parent runs")
-            })
-            .collect();
+    /// Run one channel's filter at one node over its owned input wave.
+    fn reduce_one(id: EndpointId, inputs: Vec<Packet>, filter: &dyn Filter) -> NodeChannelResult {
         let bytes_in: u64 = inputs.iter().map(|p| p.size_bytes() as u64).sum();
+        let start = Instant::now();
         let packet = filter.reduce(id, &inputs);
-        (id, packet, bytes_in)
+        (packet, bytes_in, start.elapsed())
     }
 
     fn reduce_level_parallel(
-        &self,
-        node_ids: &[EndpointId],
-        produced: &[Option<Packet>],
-        filter: &dyn Filter,
-    ) -> Vec<(EndpointId, Packet, u64)> {
+        items: Vec<InputWave>,
+        filters: &[&dyn Filter],
+    ) -> Vec<(EndpointId, usize, NodeChannelResult)> {
         let workers = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4)
-            .min(node_ids.len().max(1));
-        if workers <= 1 || node_ids.len() <= 1 {
-            return node_ids
-                .iter()
-                .map(|&id| self.reduce_node(id, produced, filter))
+            .min(items.len().max(1));
+        if workers <= 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .map(|(id, channel, inputs)| {
+                    let r = Self::reduce_one(id, inputs, filters[channel]);
+                    (id, channel, r)
+                })
                 .collect();
         }
-        let chunk = node_ids.len().div_ceil(workers);
-        let mut results: Vec<(EndpointId, Packet, u64)> = Vec::with_capacity(node_ids.len());
+        // Split the owned waves into one work list per worker.
+        let chunk_size = items.len().div_ceil(workers);
+        let mut chunks: Vec<Vec<InputWave>> = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        loop {
+            let chunk: Vec<InputWave> = iter.by_ref().take(chunk_size).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mut results: Vec<(EndpointId, usize, NodeChannelResult)> = Vec::new();
         std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for ids in node_ids.chunks(chunk) {
+            let mut handles = Vec::with_capacity(chunks.len());
+            for chunk in chunks {
                 handles.push(scope.spawn(move || {
-                    ids.iter()
-                        .map(|&id| self.reduce_node(id, produced, filter))
+                    chunk
+                        .into_iter()
+                        .map(|(id, channel, inputs)| {
+                            let r = Self::reduce_one(id, inputs, filters[channel]);
+                            (id, channel, r)
+                        })
                         .collect::<Vec<_>>()
                 }));
             }
@@ -208,6 +385,7 @@ mod tests {
     use crate::filter::{IdentityFilter, SumFilter};
     use crate::packet::PacketTag;
     use crate::topology::TopologySpec;
+    use std::sync::Mutex;
 
     fn leaf_packets(topology: &Topology, value_of: impl Fn(usize) -> u64) -> Vec<Packet> {
         topology
@@ -223,7 +401,7 @@ mod tests {
         let topo = Topology::build(TopologySpec::flat(32));
         let net = InProcessTbon::new(topo);
         let leaves = leaf_packets(net.topology(), |i| i as u64);
-        let out = net.reduce(leaves, &SumFilter);
+        let out = net.reduce(leaves, &SumFilter).unwrap();
         assert_eq!(SumFilter::decode(&out.result), (0..32).sum::<u64>());
         assert_eq!(out.filter_invocations, 1);
         assert_eq!(out.frontend_bytes_in, 32 * 8);
@@ -239,7 +417,7 @@ mod tests {
         ] {
             let net = InProcessTbon::new(Topology::build(spec));
             let leaves = leaf_packets(net.topology(), |i| i as u64 * 3 + 1);
-            let out = net.reduce(leaves, &SumFilter);
+            let out = net.reduce(leaves, &SumFilter).unwrap();
             assert_eq!(SumFilter::decode(&out.result), expected);
         }
     }
@@ -251,8 +429,8 @@ mod tests {
         let par = InProcessTbon::new(topo).with_mode(ExecutionMode::LevelParallel);
         let leaves_a = leaf_packets(seq.topology(), |i| (i * i) as u64);
         let leaves_b = leaf_packets(par.topology(), |i| (i * i) as u64);
-        let a = seq.reduce(leaves_a, &SumFilter);
-        let b = par.reduce(leaves_b, &SumFilter);
+        let a = seq.reduce(leaves_a, &SumFilter).unwrap();
+        let b = par.reduce(leaves_b, &SumFilter).unwrap();
         assert_eq!(SumFilter::decode(&a.result), SumFilter::decode(&b.result));
         assert_eq!(a.filter_invocations, b.filter_invocations);
         assert_eq!(a.total_link_bytes, b.total_link_bytes);
@@ -266,22 +444,26 @@ mod tests {
         let payload = vec![7u8; 1024];
         let flat = InProcessTbon::new(Topology::build(TopologySpec::flat(64)));
         let deep = InProcessTbon::new(Topology::build(TopologySpec::two_deep(64, 8)));
-        let flat_out = flat.reduce(
-            flat.topology()
-                .backends()
-                .iter()
-                .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
-                .collect(),
-            &IdentityFilter,
-        );
-        let deep_out = deep.reduce(
-            deep.topology()
-                .backends()
-                .iter()
-                .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
-                .collect(),
-            &IdentityFilter,
-        );
+        let flat_out = flat
+            .reduce(
+                flat.topology()
+                    .backends()
+                    .iter()
+                    .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
+                    .collect(),
+                &IdentityFilter,
+            )
+            .unwrap();
+        let deep_out = deep
+            .reduce(
+                deep.topology()
+                    .backends()
+                    .iter()
+                    .map(|&id| Packet::new(PacketTag::Custom(0), id, payload.clone()))
+                    .collect(),
+                &IdentityFilter,
+            )
+            .unwrap();
         assert_eq!(flat_out.result.size_bytes(), 64 * 1024);
         assert_eq!(deep_out.result.size_bytes(), 64 * 1024);
         assert_eq!(flat_out.max_node_bytes_in, 64 * 1024);
@@ -293,17 +475,144 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "one leaf payload per backend")]
-    fn mismatched_leaf_count_panics() {
+    fn mismatched_leaf_count_is_an_error_with_context() {
         let net = InProcessTbon::new(Topology::build(TopologySpec::flat(4)));
-        net.reduce(vec![], &SumFilter);
+        let err = net.reduce(vec![], &SumFilter).unwrap_err();
+        assert_eq!(
+            err,
+            TbonError::LeafCountMismatch {
+                channel: "default",
+                expected: 4,
+                actual: 0,
+            }
+        );
+        assert!(err.to_string().contains("4 back-end daemons"));
+    }
+
+    #[test]
+    fn channel_and_filter_counts_must_agree() {
+        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(2)));
+        assert_eq!(
+            net.reduce_channels(vec![], &[]).unwrap_err(),
+            TbonError::NoChannels
+        );
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let err = net
+            .reduce_channels(vec![ChannelInput::new("only", leaves)], &[])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TbonError::FilterCountMismatch {
+                channels: 1,
+                filters: 0,
+            }
+        );
     }
 
     #[test]
     fn single_backend_tree_works() {
         let net = InProcessTbon::new(Topology::build(TopologySpec::flat(1)));
         let leaves = leaf_packets(net.topology(), |_| 41);
-        let out = net.reduce(leaves, &SumFilter);
+        let out = net.reduce(leaves, &SumFilter).unwrap();
         assert_eq!(SumFilter::decode(&out.result), 41);
+    }
+
+    #[test]
+    fn multi_channel_reduction_matches_independent_reductions() {
+        let topo = Topology::build(TopologySpec::two_deep(48, 6));
+        let net = InProcessTbon::new(topo);
+        let a = leaf_packets(net.topology(), |i| i as u64);
+        let b = leaf_packets(net.topology(), |i| i as u64 * 10);
+        let c = leaf_packets(net.topology(), |i| 1 + (i as u64 % 3));
+
+        let separate: Vec<u64> = [a.clone(), b.clone(), c.clone()]
+            .into_iter()
+            .map(|leaves| SumFilter::decode(&net.reduce(leaves, &SumFilter).unwrap().result))
+            .collect();
+
+        let outcomes = net
+            .reduce_channels(
+                vec![
+                    ChannelInput::new("a", a),
+                    ChannelInput::new("b", b),
+                    ChannelInput::new("c", c),
+                ],
+                &[&SumFilter, &SumFilter, &SumFilter],
+            )
+            .unwrap();
+        let combined: Vec<u64> = outcomes
+            .iter()
+            .map(|o| SumFilter::decode(&o.result))
+            .collect();
+        assert_eq!(separate, combined);
+        assert_eq!(outcomes[0].channel, "a");
+        assert_eq!(outcomes[2].channel, "c");
+        // Per-channel accounting matches a standalone reduction: 6 comm processes
+        // plus the front end.
+        for outcome in &outcomes {
+            assert_eq!(outcome.filter_invocations, 7);
+            assert!(outcome.total_link_bytes > 0);
+        }
+    }
+
+    /// A filter that records the (node, channel) order of its invocations.
+    struct TracingFilter {
+        channel: &'static str,
+        log: &'static Mutex<Vec<(&'static str, u32)>>,
+    }
+
+    impl Filter for TracingFilter {
+        fn reduce(&self, node: EndpointId, inputs: &[Packet]) -> Packet {
+            self.log.lock().unwrap().push((self.channel, node.0));
+            IdentityFilter.reduce(node, inputs)
+        }
+    }
+
+    #[test]
+    fn reduce_channels_performs_one_level_walk_for_all_channels() {
+        // Sequential mode gives a deterministic invocation order.  A single-pass walk
+        // is node-major: every channel fires at a node before the walk moves to the
+        // next node.  Three sequential `reduce` calls would instead be channel-major
+        // (all of channel 0's nodes, then all of channel 1's...).
+        static LOG: Mutex<Vec<(&'static str, u32)>> = Mutex::new(Vec::new());
+        LOG.lock().unwrap().clear();
+
+        let topo = Topology::build(TopologySpec::two_deep(8, 2));
+        let net = InProcessTbon::new(topo).with_mode(ExecutionMode::Sequential);
+        let make = || {
+            net.topology()
+                .backends()
+                .iter()
+                .map(|&id| Packet::new(PacketTag::Custom(0), id, vec![1u8]))
+                .collect::<Vec<_>>()
+        };
+        let first = TracingFilter {
+            channel: "first",
+            log: &LOG,
+        };
+        let second = TracingFilter {
+            channel: "second",
+            log: &LOG,
+        };
+        net.reduce_channels(
+            vec![
+                ChannelInput::new("first", make()),
+                ChannelInput::new("second", make()),
+            ],
+            &[&first, &second],
+        )
+        .unwrap();
+
+        let log = LOG.lock().unwrap();
+        // 3 internal nodes (2 comm processes + front end) × 2 channels.
+        assert_eq!(log.len(), 6);
+        for pair in log.chunks(2) {
+            assert_eq!(
+                pair[0].1, pair[1].1,
+                "both channels must fire at a node before the walk moves on: {log:?}"
+            );
+            assert_eq!(pair[0].0, "first");
+            assert_eq!(pair[1].0, "second");
+        }
     }
 }

@@ -100,9 +100,10 @@ fn main() {
     // equivalence classes a user would see; the classes are scale-invariant.
     println!("\n== result (real run at 4,096 tasks; classes are the same at 208K) ==");
     let app = appsim::RingHangApp::new(4_096, appsim::FrameVocabulary::BlueGeneL);
-    let mut config = SessionConfig::new(Cluster::bluegene_l(BglMode::CoProcessor));
-    config.samples_per_task = 3;
-    let result = run_session(&config, &app);
+    let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
+        .samples_per_task(3)
+        .build();
+    let result = session.attach(&app).expect("the session merges cleanly");
     for class in &result.gather.classes {
         println!(
             "  {:>18}  {}",

@@ -21,13 +21,10 @@ fn main() {
     // A 512-task job on an Atlas-like Linux cluster (8 tasks per node, one STAT
     // daemon per node).
     let app = RingHangApp::new(512, FrameVocabulary::Linux);
-    let config = SessionConfig::new(Cluster::test_cluster(64, 8));
+    let session = Session::builder(Cluster::test_cluster(64, 8)).build();
 
-    println!(
-        "Attaching STAT to `{}` ({} MPI tasks)...",
-        "mpi_ring_hang", 512
-    );
-    let result = run_session(&config, &app);
+    println!("Attaching STAT to `mpi_ring_hang` ({} MPI tasks)...", 512);
+    let result = session.attach(&app).expect("the session merges cleanly");
 
     println!(
         "gathered {} stack traces through {} daemons over a {}-deep tree\n",
@@ -58,5 +55,12 @@ fn main() {
         result.gather.metrics.total_link_bytes,
         result.gather.metrics.frontend_bytes_in,
         result.gather.metrics.merge_wall
+    );
+    println!(
+        "pipeline: sample {:?}, local merge {:?}, reduce {:?} (one overlay walk), classify {:?}",
+        result.phases.sample,
+        result.phases.local_merge,
+        result.phases.reduce,
+        result.phases.classify
     );
 }

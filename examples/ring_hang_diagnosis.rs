@@ -26,13 +26,12 @@ fn main() {
         .unwrap_or(1_024);
 
     let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
-    let config = SessionConfig {
-        cluster: Cluster::bluegene_l(BglMode::CoProcessor),
-        topology: TopologyKind::TwoDeep,
-        representation: Representation::HierarchicalTaskList,
-        samples_per_task: 3,
-    };
-    let result = run_session(&config, &app);
+    let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
+        .topology_kind(TopologyKind::TwoDeep)
+        .representation(Representation::HierarchicalTaskList)
+        .samples_per_task(3)
+        .build();
+    let result = session.attach(&app).expect("the session merges cleanly");
 
     eprintln!(
         "# {} tasks, {} daemons, {} behaviour classes:",

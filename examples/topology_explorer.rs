@@ -74,13 +74,12 @@ fn main() {
             Representation::GlobalBitVector,
             Representation::HierarchicalTaskList,
         ] {
-            let config = SessionConfig {
-                cluster: Cluster::bluegene_l(BglMode::CoProcessor),
-                topology: kind,
-                representation,
-                samples_per_task: 3,
-            };
-            let result = run_session(&config, &app);
+            let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
+                .topology_kind(kind)
+                .representation(representation)
+                .samples_per_task(3)
+                .build();
+            let result = session.attach(&app).expect("the session merges cleanly");
             println!(
                 "{:<12} {:<28} {:>14} {:>14}",
                 kind.label(),

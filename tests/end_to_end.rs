@@ -20,8 +20,8 @@ fn umbrella_reexports_resolve_and_run_a_minimal_pipeline() {
     // Every `pub use` in `stat_repro`'s root is exercised by name.
     let app = stat_repro::appsim::RingHangApp::new(64, stat_repro::appsim::FrameVocabulary::Linux);
     let cluster = stat_repro::machine::Cluster::test_cluster(8, 8);
-    let config = stat_repro::stat_core::prelude::SessionConfig::new(cluster);
-    let result = stat_repro::stat_core::prelude::run_session(&config, &app);
+    let session = stat_repro::stat_core::prelude::Session::builder(cluster).build();
+    let result = session.attach(&app).unwrap();
     assert_eq!(result.gather.classes.len(), 3);
     assert_eq!(result.gather.attach_set().len(), 3);
 
@@ -36,13 +36,12 @@ fn umbrella_reexports_resolve_and_run_a_minimal_pipeline() {
     let _interpose: sbrs::OpenInterposition = stat_repro::sbrs::OpenInterposition::new();
 }
 
-fn session(cluster: Cluster, kind: TopologyKind, representation: Representation) -> SessionConfig {
-    SessionConfig {
-        cluster,
-        topology: kind,
-        representation,
-        samples_per_task: 3,
-    }
+fn session(cluster: Cluster, kind: TopologyKind, representation: Representation) -> Session {
+    Session::builder(cluster)
+        .topology_kind(kind)
+        .representation(representation)
+        .samples_per_task(3)
+        .build()
 }
 
 #[test]
@@ -54,8 +53,8 @@ fn ring_hang_diagnosis_is_invariant_across_topology_and_representation() {
             Representation::GlobalBitVector,
             Representation::HierarchicalTaskList,
         ] {
-            let config = session(Cluster::test_cluster(64, 8), kind, representation);
-            let result = run_session(&config, &app);
+            let session = session(Cluster::test_cluster(64, 8), kind, representation);
+            let result = session.attach(&app).unwrap();
             let mut class_members: Vec<Vec<u64>> = result
                 .gather
                 .classes
@@ -78,12 +77,12 @@ fn ring_hang_diagnosis_is_invariant_across_topology_and_representation() {
 fn moving_the_injected_bug_moves_the_diagnosis() {
     for hung in [0u64, 17, 63] {
         let app = RingHangApp::new(64, FrameVocabulary::Linux).with_hung_rank(hung);
-        let config = session(
+        let session = session(
             Cluster::test_cluster(8, 8),
             TopologyKind::TwoDeep,
             Representation::HierarchicalTaskList,
         );
-        let result = run_session(&config, &app);
+        let result = session.attach(&app).unwrap();
         let singleton_classes: Vec<&EquivalenceClass> = result
             .gather
             .classes
@@ -104,12 +103,12 @@ fn moving_the_injected_bug_moves_the_diagnosis() {
 #[test]
 fn all_equivalent_jobs_collapse_to_one_class() {
     let app = AllEquivalentApp::new(1_024, FrameVocabulary::Linux);
-    let config = session(
+    let session = session(
         Cluster::test_cluster(128, 8),
         TopologyKind::ThreeDeep,
         Representation::HierarchicalTaskList,
     );
-    let result = run_session(&config, &app);
+    let result = session.attach(&app).unwrap();
     assert_eq!(result.gather.classes.len(), 1);
     assert_eq!(result.gather.classes[0].size(), 1_024);
     assert_eq!(result.gather.attach_set(), vec![0]);
@@ -118,12 +117,12 @@ fn all_equivalent_jobs_collapse_to_one_class() {
 #[test]
 fn compute_spread_produces_the_requested_number_of_classes() {
     let app = ComputeSpreadApp::new(640, 5, FrameVocabulary::Linux);
-    let config = session(
+    let session = session(
         Cluster::test_cluster(80, 8),
         TopologyKind::TwoDeep,
         Representation::GlobalBitVector,
     );
-    let result = run_session(&config, &app);
+    let result = session.attach(&app).unwrap();
     assert_eq!(result.gather.classes.len(), 5);
     let total: usize = result
         .gather
@@ -137,12 +136,12 @@ fn compute_spread_produces_the_requested_number_of_classes() {
 #[test]
 fn deadlocked_pair_is_isolated_from_the_barrier_crowd() {
     let app = DeadlockPairApp::new(256, FrameVocabulary::Linux);
-    let config = session(
+    let session = session(
         Cluster::test_cluster(32, 8),
         TopologyKind::TwoDeep,
         Representation::HierarchicalTaskList,
     );
-    let result = run_session(&config, &app);
+    let result = session.attach(&app).unwrap();
     let recv_class = result
         .gather
         .classes
@@ -157,12 +156,12 @@ fn bgl_daemon_fanin_matches_the_machine() {
     // On BG/L in CO mode a daemon serves 64 tasks, so a 1,024-task job uses 16
     // daemons; the resulting topology must agree with the machine model.
     let app = RingHangApp::new(1_024, FrameVocabulary::BlueGeneL);
-    let config = session(
+    let session = session(
         Cluster::bluegene_l(BglMode::CoProcessor),
         TopologyKind::TwoDeep,
         Representation::HierarchicalTaskList,
     );
-    let result = run_session(&config, &app);
+    let result = session.attach(&app).unwrap();
     assert_eq!(result.daemons, 16);
     assert_eq!(result.gather.classes.len(), 3);
 }

@@ -108,6 +108,54 @@ proptest! {
         let count: usize = label.split(':').next().unwrap().parse().unwrap();
         prop_assert_eq!(count, ranks.len());
     }
+
+    #[test]
+    fn hierarchical_union_remap_round_trips_to_the_dense_representation(
+        // Up to 6 daemons, each owning 1..32 local positions with an arbitrary
+        // subset of them set.
+        daemons in prop::collection::vec(
+            (1u64..32).prop_flat_map(|local| {
+                (Just(local), prop::collection::btree_set(0..local, 0..local as usize + 1))
+            }),
+            1..6,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        // Assign every (daemon, local position) pair a distinct MPI rank via a
+        // seeded permutation — the concatenated rank map the front end would see.
+        let total: u64 = daemons.iter().map(|(local, _)| local).sum();
+        let mut rank_map: Vec<u64> = (0..total).collect();
+        for i in (1..rank_map.len()).rev() {
+            rank_map.swap(i, ((seed.wrapping_mul(i as u64 + 7)) % (i as u64 + 1)) as usize);
+        }
+
+        // The hierarchical path: per-daemon subtree lists concatenated by
+        // rebase + union (exactly what the in-network merge filter does)...
+        let mut merged = SubtreeTaskList::empty(0);
+        let mut dense_expected = DenseBitVector::empty(total);
+        let mut offset = 0u64;
+        for (local, members) in &daemons {
+            let mut list = SubtreeTaskList::empty(*local);
+            for &m in members {
+                list.insert(m);
+                dense_expected.insert(rank_map[(offset + m) as usize]);
+            }
+            merged.rebase(0, offset + local);
+            list.rebase(offset, offset + local);
+            merged.union_in_place(&list);
+            offset += local;
+        }
+        // ...then the front-end remap through the rank map.
+        let remapped = merged.remap_to_dense(&rank_map, total);
+
+        // The round trip must agree with the dense representation built directly
+        // from global ranks, member for member and lookup for lookup.
+        prop_assert_eq!(remapped.members(), dense_expected.members());
+        prop_assert_eq!(remapped.count(), dense_expected.count());
+        for rank in 0..total {
+            prop_assert_eq!(remapped.contains(rank), dense_expected.contains(rank));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -256,7 +304,7 @@ proptest! {
         let topo = Topology::build(TopologySpec::balanced(backends, depth));
         prop_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
         prop_assert_eq!(topo.backends().len() as u32, backends.max(1));
-        prop_assert_eq!(topo.subtree_backends(topo.frontend()) as u32, backends.max(1));
+        prop_assert_eq!(topo.subtree_backends(topo.frontend()), backends.max(1));
     }
 
     #[test]

@@ -8,14 +8,14 @@ use stat_core::prelude::*;
 use statbench::{EmulatedJob, TraceShape};
 use tbon::topology::TopologyKind;
 
-fn run(app: &dyn Application, samples: u32) -> SessionResult {
-    let config = SessionConfig {
-        cluster: Cluster::test_cluster(64, 8),
-        topology: TopologyKind::TwoDeep,
-        representation: Representation::HierarchicalTaskList,
-        samples_per_task: samples,
-    };
-    run_session(&config, app)
+fn run(app: &dyn Application, samples: u32) -> SessionReport {
+    Session::builder(Cluster::test_cluster(64, 8))
+        .topology_kind(TopologyKind::TwoDeep)
+        .representation(Representation::HierarchicalTaskList)
+        .samples_per_task(samples)
+        .build()
+        .attach(app)
+        .expect("the session merges cleanly")
 }
 
 #[test]
@@ -147,10 +147,13 @@ fn overlay_fault_handling_degrades_gracefully() {
         .collect();
     let surviving = tracker.filter_leaf_payloads(&contributions);
     assert_eq!(surviving.len(), 24);
-    // Rebuild a pruned topology over the survivors and merge what remains.
-    let pruned_topology = Topology::build(TopologySpec::two_deep(24, 4));
-    let frontend = StatFrontEnd::new(pruned_topology, Representation::HierarchicalTaskList);
-    let gather = frontend.gather(&surviving, 256);
+    // Re-merge the survivors through the session API over a pruned replacement
+    // topology pinned via the builder.
+    let degraded = Session::builder(Cluster::test_cluster(64, 8))
+        .representation(Representation::HierarchicalTaskList)
+        .topology_spec(TopologySpec::two_deep(24, 4))
+        .build();
+    let gather = degraded.merge(surviving, 256).unwrap();
     let covered = gather.tree_3d.tasks(gather.tree_3d.root()).count();
     assert_eq!(
         covered,
