@@ -9,19 +9,19 @@ use machine::cluster::{BglMode, Cluster};
 use machine::placement::PlacementPlan;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel};
 use stat_core::prelude::*;
-use tbon::topology::{TopologyKind, TopologySpec};
+use tbon::topology::TreeShape;
 
 fn bench_startup_models(c: &mut Criterion) {
     let atlas = Cluster::atlas();
     let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
     c.bench_function("fig02_point_launchmon_512_daemons", |b| {
         let launcher = LaunchMonLauncher::new();
-        b.iter(|| launcher.startup(&atlas, 4_096, &TopologySpec::flat(512)))
+        b.iter(|| launcher.startup(&atlas, 4_096, &TreeShape::flat(512)))
     });
     c.bench_function("fig03_point_bgl_208k_patched", |b| {
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
         let plan = PlacementPlan::for_job(&bgl, 212_992);
-        let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
+        let spec = TreeShape::for_placement(&plan, 2);
         b.iter(|| launcher.startup(&bgl, 212_992, &spec))
     });
 }
@@ -30,11 +30,11 @@ fn bench_merge_models(c: &mut Criterion) {
     let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
     c.bench_function("fig05_point_original_208k", |b| {
         let est = PhaseEstimator::new(bgl.clone(), Representation::GlobalBitVector);
-        b.iter(|| est.merge_estimate(212_992, TopologyKind::TwoDeep))
+        b.iter(|| est.merge_estimate(212_992, 2))
     });
     c.bench_function("fig07_point_optimized_208k", |b| {
         let est = PhaseEstimator::new(bgl.clone(), Representation::HierarchicalTaskList);
-        b.iter(|| est.merge_estimate(212_992, TopologyKind::TwoDeep))
+        b.iter(|| est.merge_estimate(212_992, 2))
     });
 }
 

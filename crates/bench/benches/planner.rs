@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks of cost-model-driven topology planning.
+//!
+//! `TopologyPlanner::plan` enumerates the full fan-in × depth candidate grid,
+//! builds each candidate tree, prices it with the reduction cost model and ranks
+//! the results — all of which must stay cheap enough to run inside a session's
+//! attach path.  Timed at the paper's scales and beyond: 64K tasks, the 208K
+//! headline point, and the extrapolated million-core machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use machine::cluster::{BglMode, Cluster};
+use tbon::planner::TopologyPlanner;
+
+fn bench_plan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_plan");
+    let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+    for tasks in [65_536u64, 212_992, 1_048_576] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| {
+                let pick = planner.plan(tasks);
+                assert!(pick.feasible);
+                pick
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("planner_rank_full_grid");
+    let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+    for tasks in [212_992u64, 1_048_576] {
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
+            b.iter(|| planner.rank(tasks))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_plan, bench_rank);
+criterion_main!(benches);

@@ -17,7 +17,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use tbon::filter::{Filter, IdentityFilter};
 use tbon::network::{ChannelInput, InProcessTbon};
 use tbon::packet::{Packet, PacketTag};
-use tbon::topology::{Topology, TopologySpec};
+use tbon::topology::{Topology, TreeShape};
 
 const ENDPOINTS: u32 = 65_536;
 
@@ -31,7 +31,7 @@ fn channel_leaves(net: &InProcessTbon, bytes: usize) -> Vec<Packet> {
         .collect()
 }
 
-fn bench_shape(c: &mut Criterion, label: &str, spec: TopologySpec) {
+fn bench_shape(c: &mut Criterion, label: &str, spec: TreeShape) {
     let net = InProcessTbon::new(Topology::build(spec));
     // Three channels with distinct payload sizes, shaped like a hierarchical
     // session's streams: a small 2D tree, a larger 3D tree, and an 8-byte-per-task
@@ -89,12 +89,12 @@ fn bench_single_pass_vs_sequential(c: &mut Criterion) {
     bench_shape(
         c,
         "reduce_64k_endpoints_2deep",
-        TopologySpec::two_deep(ENDPOINTS, 256),
+        TreeShape::two_deep(ENDPOINTS, 256),
     );
     bench_shape(
         c,
         "reduce_64k_endpoints_3deep",
-        TopologySpec::three_deep(ENDPOINTS, 16, 1_024),
+        TreeShape::three_deep(ENDPOINTS, 16, 1_024),
     );
 }
 

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tbon::filter::SumFilter;
 use tbon::network::InProcessTbon;
 use tbon::packet::{Packet, PacketTag};
-use tbon::topology::{Topology, TopologySpec};
+use tbon::topology::{Topology, TreeShape};
 
 fn bench_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("topology_build");
@@ -15,7 +15,7 @@ fn bench_build(c: &mut Criterion) {
             &daemons,
             |b, &daemons| {
                 b.iter(|| {
-                    let t = Topology::build(TopologySpec::balanced(daemons, 3));
+                    let t = Topology::build(TreeShape::balanced(daemons, 3));
                     assert!(t.validate().is_ok());
                     t
                 })
@@ -28,7 +28,7 @@ fn bench_build(c: &mut Criterion) {
 fn bench_reduction(c: &mut Criterion) {
     let mut group = c.benchmark_group("tbon_sum_reduction");
     for daemons in [64u32, 1_664] {
-        let topo = Topology::build(TopologySpec::two_deep(daemons, 28));
+        let topo = Topology::build(TreeShape::two_deep(daemons, 28));
         let net = InProcessTbon::new(topo);
         group.bench_with_input(BenchmarkId::from_parameter(daemons), &daemons, |b, _| {
             b.iter(|| {

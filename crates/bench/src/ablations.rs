@@ -10,9 +10,9 @@ use launch::{pack_indexed, pack_naive, ProcessTable};
 use machine::cluster::{BglMode, Cluster};
 use simkit::stats::SeriesTable;
 use stat_core::prelude::*;
-use tbon::topology::{TopologyKind, TopologySpec};
+use tbon::topology::TreeShape;
 
-/// Sweep tree depth (1–4 levels of balanced fan-out) at a fixed job size and report
+/// Sweep tree depth (1–6 levels of balanced fan-out) at a fixed job size and report
 /// the estimated merge time and front-end byte load for each.
 pub fn ablation_topology(tasks: u64) -> SeriesTable {
     let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
@@ -23,8 +23,8 @@ pub fn ablation_topology(tasks: u64) -> SeriesTable {
         "tree depth",
         "seconds / bytes",
     );
-    for depth in 1..=4u32 {
-        let spec = TopologySpec::balanced(shape.daemons, depth);
+    for depth in 1..=6u32 {
+        let spec = TreeShape::balanced(shape.daemons, depth);
         let topo = tbon::topology::Topology::build(spec);
         let model = tbon::cost::ReductionCostModel::standard(
             &topo,
@@ -44,8 +44,8 @@ pub fn ablation_topology(tasks: u64) -> SeriesTable {
         table.push(
             "max fan-out",
             depth as u64,
-            tbon::topology::Topology::build(TopologySpec::balanced(shape.daemons, depth))
-                .max_fanout() as f64,
+            tbon::topology::Topology::build(TreeShape::balanced(shape.daemons, depth)).max_fanout()
+                as f64,
         );
     }
     table.note(format!(
@@ -70,7 +70,7 @@ pub fn ablation_bitvector() -> SeriesTable {
     ] {
         let estimator = PhaseEstimator::new(cluster.clone(), representation);
         for tasks in [8_192u64, 32_768, 131_072, 212_992] {
-            let est = estimator.merge_estimate(tasks, TopologyKind::TwoDeep);
+            let est = estimator.merge_estimate(tasks, 2);
             table.push(
                 format!("{} merge seconds", representation.label()),
                 tasks,

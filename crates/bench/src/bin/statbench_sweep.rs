@@ -1,7 +1,9 @@
 //! STATBench-style emulation sweeps: scaling over daemon counts and stress over
-//! equivalence-class counts, with real merges behind synthetic traces.
+//! equivalence-class counts, with real merges behind synthetic traces — plus the
+//! fan-in × depth tree-shape sweep the planner runs out past a million cores.
+use machine::cluster::BglMode;
 use machine::Cluster;
-use statbench::{sweep_daemon_counts, sweep_equivalence_classes, SweepConfig};
+use statbench::{sweep_daemon_counts, sweep_equivalence_classes, sweep_tree_shapes, SweepConfig};
 
 fn main() {
     let config = SweepConfig::new(Cluster::test_cluster(1_024, 8));
@@ -12,5 +14,14 @@ fn main() {
     println!(
         "{}",
         sweep_equivalence_classes(&config, 4_096, &[1, 4, 16, 64, 256])
+    );
+    // The cost-model sweep: the paper's measured scales, the 208K headline point,
+    // and the extrapolated machine out to 16M simulated cores.
+    println!(
+        "{}",
+        sweep_tree_shapes(
+            &Cluster::bluegene_l(BglMode::VirtualNode),
+            &[65_536, 212_992, 1_048_576, 4_194_304, 16_777_216],
+        )
     );
 }

@@ -9,7 +9,7 @@ use machine::placement::PlacementPlan;
 use simkit::stats::SeriesTable;
 use stackwalk::sampler::{BinaryPlacement, SamplingConfig, SamplingCostModel};
 use stat_core::prelude::*;
-use tbon::topology::{TopologyKind, TopologySpec};
+use tbon::topology::TreeShape;
 
 /// Figure 1: the 3D trace/space/time call-graph prefix tree of the 1,024-task ring
 /// hang, rendered as DOT.  Returns the DOT text plus a one-paragraph summary of the
@@ -17,7 +17,6 @@ use tbon::topology::{TopologyKind, TopologySpec};
 pub fn fig01_prefix_tree(tasks: u64) -> (String, String) {
     let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
     let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
-        .topology_kind(TopologyKind::TwoDeep)
         .representation(Representation::HierarchicalTaskList)
         .samples_per_task(3)
         .build();
@@ -53,7 +52,7 @@ pub fn fig02_startup_atlas() -> SeriesTable {
     let launchmon = LaunchMonLauncher::new();
     for daemons in [4u32, 8, 16, 32, 64, 128, 256, 512] {
         let tasks = daemons as u64 * atlas.tasks_per_daemon() as u64;
-        let spec = TopologySpec::flat(daemons);
+        let spec = TreeShape::flat(daemons);
         let rsh_est = rsh.startup(&atlas, tasks, &spec);
         // The rsh spawner stops working at 512 daemons; the paper extrapolates its
         // linear trend, so we plot the projected time but note the failure.
@@ -82,14 +81,14 @@ pub fn fig03_startup_bgl() -> SeriesTable {
     let node_counts: [u64; 8] = [1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536, 106_496];
     for &mode in &[BglMode::CoProcessor, BglMode::VirtualNode] {
         let cluster = Cluster::bluegene_l(mode);
-        for &kind in &[TopologyKind::TwoDeep, TopologyKind::ThreeDeep] {
+        for &depth in &[2u32, 3] {
             for &patch in &[CiodPatchLevel::Unpatched, CiodPatchLevel::Patched] {
                 let launcher = BglCiodLauncher::new(patch);
-                let series = format!("{} {} {}", kind.label(), mode.label(), patch.label());
+                let series = format!("{depth}-deep {} {}", mode.label(), patch.label());
                 for &nodes in &node_counts {
                     let tasks = nodes * mode.tasks_per_compute_node() as u64;
                     let plan = PlacementPlan::for_job(&cluster, tasks);
-                    let spec = TopologySpec::for_placement(kind, &plan);
+                    let spec = TreeShape::for_placement(&plan, depth);
                     let est = launcher.startup(&cluster, tasks, &spec);
                     if est.succeeded() {
                         table.push(series.clone(), tasks, est.total().as_secs());
@@ -121,19 +120,19 @@ fn merge_figure(
     cluster_modes: &[(Cluster, &str)],
     scales_of: &dyn Fn(&Cluster) -> Vec<u64>,
     representation: Representation,
-    kinds: &[TopologyKind],
+    depths: &[u32],
 ) -> SeriesTable {
     let mut table = SeriesTable::new(title, "tasks", "seconds");
     for (cluster, mode_label) in cluster_modes {
         let estimator = PhaseEstimator::new(cluster.clone(), representation);
-        for &kind in kinds {
+        for &depth in depths {
             let series = if mode_label.is_empty() {
-                kind.label().to_string()
+                format!("{depth}-deep")
             } else {
-                format!("{} {}", kind.label(), mode_label)
+                format!("{depth}-deep {}", mode_label)
             };
             for tasks in scales_of(cluster) {
-                let est = estimator.merge_estimate(tasks, kind);
+                let est = estimator.merge_estimate(tasks, depth);
                 match est.failed {
                     None => table.push(series.clone(), tasks, est.time.as_secs()),
                     Some(reason) => table.note(format!("{series} at {tasks} tasks: {reason}")),
@@ -157,7 +156,7 @@ pub fn fig04_merge_atlas() -> SeriesTable {
                 .collect()
         },
         Representation::GlobalBitVector,
-        &TopologyKind::all(),
+        &[1, 2, 3],
     )
 }
 
@@ -173,7 +172,7 @@ pub fn fig05_merge_bgl() -> SeriesTable {
         ],
         &|c| c.figure_scales(),
         Representation::GlobalBitVector,
-        &TopologyKind::all(),
+        &[1, 2, 3],
     );
     for kind in ["2-deep CO", "2-deep VN"] {
         if let Some(slope) = table.loglog_slope(kind) {
@@ -243,7 +242,7 @@ pub fn fig07_merge_optimized() -> SeriesTable {
             let estimator = PhaseEstimator::new(cluster.clone(), representation);
             let series = format!("{label} {}", mode.label());
             for tasks in cluster.figure_scales() {
-                let est = estimator.merge_estimate(tasks, TopologyKind::TwoDeep);
+                let est = estimator.merge_estimate(tasks, 2);
                 if est.failed.is_none() {
                     table.push(series.clone(), tasks, est.time.as_secs());
                 }
@@ -330,11 +329,8 @@ pub fn fig09_sampling_bgl() -> SeriesTable {
         // what the daemons do locally, but each run sees different file-server load,
         // which is where the >20% (occasionally 2x) spread comes from.  Different
         // seeds per series model exactly that.
-        for (kind, seed) in [
-            (TopologyKind::TwoDeep, 11u64),
-            (TopologyKind::ThreeDeep, 1215),
-        ] {
-            let series = format!("{} {}", kind.label(), mode.label());
+        for (depth, seed) in [(2u32, 11u64), (3, 1215)] {
+            let series = format!("{depth}-deep {}", mode.label());
             for tasks in cluster.figure_scales() {
                 let est = model.estimate(tasks, BinaryPlacement::NfsHome, seed ^ tasks);
                 table.push(series.clone(), tasks, est.total.as_secs());

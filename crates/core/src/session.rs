@@ -27,7 +27,8 @@ use stackwalk::sampler::{BinaryPlacement, SamplingCostModel, SamplingEstimate};
 use tbon::cost::ReductionCostModel;
 use tbon::filter::Filter;
 use tbon::network::{ChannelInput, InProcessTbon};
-use tbon::topology::{Topology, TopologyKind, TopologySpec};
+use tbon::planner::TopologyPlanner;
+use tbon::topology::{Topology, TreeShape};
 
 use crate::daemon::{DaemonContribution, StatDaemon};
 use crate::equivalence::equivalence_classes;
@@ -69,8 +70,8 @@ pub struct SessionReport {
     pub gather: GatherResult,
     /// Number of daemons that participated.
     pub daemons: u32,
-    /// The topology that was used.
-    pub topology: TopologySpec,
+    /// The tree shape that was used.
+    pub topology: TreeShape,
     /// Total traces gathered across all daemons.
     pub traces_gathered: u64,
     /// Per-phase wall-clock breakdown.
@@ -81,6 +82,20 @@ pub struct SessionReport {
     pub mean_daemon_packet_bytes: u64,
 }
 
+/// How a session decides its overlay tree shape.
+#[derive(Clone, Debug)]
+enum TopologyChoice {
+    /// The paper's default: the placement-rule 2-deep shape for the job size,
+    /// resolved when the job size is known.
+    PaperDefault,
+    /// A caller-pinned shape — degraded gathers over a pruned overlay and tests
+    /// that need an exact tree.
+    Pinned(TreeShape),
+    /// Let [`TopologyPlanner`] search candidate shapes with the cost model and use
+    /// its cheapest feasible pick.
+    Planned,
+}
+
 /// Builder for a real (in-process) STAT session.
 ///
 /// Obtained from [`Session::builder`]; every knob has the defaults the paper's
@@ -89,9 +104,8 @@ pub struct SessionReport {
 pub struct SessionBuilder {
     cluster: Cluster,
     representation: Representation,
-    topology_kind: TopologyKind,
     samples_per_task: u32,
-    topology_spec: Option<TopologySpec>,
+    topology: TopologyChoice,
 }
 
 impl SessionBuilder {
@@ -101,23 +115,33 @@ impl SessionBuilder {
         self
     }
 
-    /// Select the tree family for the overlay network.
-    pub fn topology_kind(mut self, kind: TopologyKind) -> Self {
-        self.topology_kind = kind;
-        self
-    }
-
     /// Set how many stack-trace samples to gather per task.
     pub fn samples_per_task(mut self, samples: u32) -> Self {
         self.samples_per_task = samples;
         self
     }
 
-    /// Pin an explicit topology instead of deriving one from the machine's placement
-    /// rules — used by degraded gathers over a pruned overlay and by tests that need
-    /// an exact tree shape.
-    pub fn topology_spec(mut self, spec: TopologySpec) -> Self {
-        self.topology_spec = Some(spec);
+    /// Pin an explicit tree shape instead of deriving one from the machine's
+    /// placement rules — used by degraded gathers over a pruned overlay and by
+    /// tests that need an exact tree.
+    ///
+    /// Migration note: callers that used to select a family with
+    /// `topology_kind(TopologyKind::ThreeDeep)` now pass the placement-rule shape
+    /// at that depth explicitly:
+    /// `topology(TreeShape::for_placement(&PlacementPlan::for_job(&cluster, tasks), 3))`
+    /// — or call [`plan_topology`](SessionBuilder::plan_topology) and let the cost
+    /// model pick the depth.
+    pub fn topology(mut self, shape: TreeShape) -> Self {
+        self.topology = TopologyChoice::Pinned(shape);
+        self
+    }
+
+    /// Let the [`TopologyPlanner`] pick the tree shape: when the job size is known
+    /// (at [`Session::attach`] / [`Session::merge`] time), candidate shapes are
+    /// priced with the reduction cost model under the machine's placement
+    /// constraints, and the cheapest feasible one is used.
+    pub fn plan_topology(mut self) -> Self {
+        self.topology = TopologyChoice::Planned;
         self
     }
 
@@ -126,9 +150,8 @@ impl SessionBuilder {
         Session {
             cluster: self.cluster,
             representation: self.representation,
-            topology_kind: self.topology_kind,
             samples_per_task: self.samples_per_task,
-            topology_spec: self.topology_spec,
+            topology: self.topology,
         }
     }
 }
@@ -157,9 +180,8 @@ impl SessionBuilder {
 pub struct Session {
     cluster: Cluster,
     representation: Representation,
-    topology_kind: TopologyKind,
     samples_per_task: u32,
-    topology_spec: Option<TopologySpec>,
+    topology: TopologyChoice,
 }
 
 impl Session {
@@ -168,9 +190,8 @@ impl Session {
         SessionBuilder {
             cluster,
             representation: Representation::HierarchicalTaskList,
-            topology_kind: TopologyKind::TwoDeep,
             samples_per_task: 10,
-            topology_spec: None,
+            topology: TopologyChoice::PaperDefault,
         }
     }
 
@@ -184,23 +205,19 @@ impl Session {
         self.representation
     }
 
-    /// The tree family in use.
-    pub fn topology_kind(&self) -> TopologyKind {
-        self.topology_kind
-    }
-
     /// Samples gathered per task.
     pub fn samples_per_task(&self) -> u32 {
         self.samples_per_task
     }
 
-    /// The topology the session will use for a job of `tasks` tasks.
-    pub fn topology_for(&self, tasks: u64) -> TopologySpec {
-        match &self.topology_spec {
-            Some(spec) => spec.clone(),
-            None => {
+    /// The tree shape the session will use for a job of `tasks` tasks.
+    pub fn topology_for(&self, tasks: u64) -> TreeShape {
+        match &self.topology {
+            TopologyChoice::Pinned(shape) => shape.clone(),
+            TopologyChoice::Planned => TopologyPlanner::new(self.cluster.clone()).plan(tasks).shape,
+            TopologyChoice::PaperDefault => {
                 let plan = PlacementPlan::for_job(&self.cluster, tasks);
-                TopologySpec::for_placement(self.topology_kind, &plan)
+                TreeShape::for_placement(&plan, 2)
             }
         }
     }
@@ -255,7 +272,7 @@ impl Session {
     ///
     /// This is the path for degraded gathers: after overlay faults prune daemons,
     /// the survivors' contributions can be merged over a pinned replacement topology
-    /// (see [`SessionBuilder::topology_spec`]).
+    /// (see [`SessionBuilder::topology`]).
     pub fn merge(
         &self,
         contributions: Vec<DaemonContribution>,
@@ -389,16 +406,23 @@ impl PhaseEstimator {
         }
     }
 
-    /// The topology spec the paper would use for this machine, job size and family.
-    pub fn topology_for(&self, tasks: u64, kind: TopologyKind) -> TopologySpec {
+    /// The placement-rule tree shape for this machine, job size and depth (1 =
+    /// flat, 2/3 = the paper's families, deeper = the generalised budget-fitted
+    /// rule).
+    pub fn topology_for(&self, tasks: u64, depth: u32) -> TreeShape {
         let plan = PlacementPlan::for_job(&self.cluster, tasks);
-        TopologySpec::for_placement(kind, &plan)
+        TreeShape::for_placement(&plan, depth)
     }
 
-    /// Estimate the merge phase (Figures 4, 5 and 7).
-    pub fn merge_estimate(&self, tasks: u64, kind: TopologyKind) -> MergeEstimate {
+    /// Estimate the merge phase (Figures 4, 5 and 7) over the placement-rule shape
+    /// of the given depth.
+    pub fn merge_estimate(&self, tasks: u64, depth: u32) -> MergeEstimate {
+        self.merge_estimate_shape(tasks, &self.topology_for(tasks, depth))
+    }
+
+    /// Estimate the merge phase over an explicit tree shape.
+    pub fn merge_estimate_shape(&self, tasks: u64, spec: &TreeShape) -> MergeEstimate {
         let shape = self.cluster.job(tasks);
-        let spec = self.topology_for(tasks, kind);
         let topology = Topology::build(spec.clone());
         let model = ReductionCostModel::standard(
             &topology,
@@ -426,19 +450,19 @@ impl PhaseEstimator {
 
         // The paper's 1-deep tree on BG/L failed outright at 256 I/O-node daemons:
         // the front end cannot sustain that many direct connections each carrying
-        // job-wide bit vectors.
-        let failed = if kind == TopologyKind::Flat
-            && self.cluster.daemons_on_io_nodes()
-            && spec.backends() >= 256
-        {
-            Some(format!(
-                "1-deep topology failed: the front end cannot absorb {} direct daemon \
-                 connections (the paper observed this failure at 256 I/O nodes)",
-                spec.backends()
-            ))
-        } else {
-            None
-        };
+        // job-wide bit vectors.  The rule is shared with the planner's feasibility
+        // check so the estimator and the planner cannot drift.
+        let failed =
+            if tbon::planner::flat_frontend_overloaded(spec, self.cluster.daemons_on_io_nodes()) {
+                Some(format!(
+                    "1-deep topology failed: the front end cannot absorb {} direct daemon \
+                 connections (the paper observed this failure at {} I/O nodes)",
+                    spec.backends(),
+                    tbon::planner::FLAT_FRONTEND_LIMIT
+                ))
+            } else {
+                None
+            };
 
         MergeEstimate {
             time: cost.critical_path,
@@ -558,7 +582,7 @@ mod tests {
         let session = Session::builder(Cluster::test_cluster(8, 8))
             .representation(Representation::HierarchicalTaskList)
             .samples_per_task(3)
-            .topology_spec(TopologySpec::two_deep(8, 4))
+            .topology(TreeShape::two_deep(8, 4))
             .build();
         let report = session.attach(&app).unwrap();
         // 3 channels (2D, 3D, rank map) over a 2-deep tree with 4 comm processes:
@@ -573,7 +597,7 @@ mod tests {
     fn leaf_count_mismatch_is_reported_with_channel_context() {
         let app = RingHangApp::new(64, FrameVocabulary::Linux);
         let session = Session::builder(Cluster::test_cluster(8, 8))
-            .topology_spec(TopologySpec::two_deep(8, 4))
+            .topology(TreeShape::two_deep(8, 4))
             .samples_per_task(1)
             .build();
         let report = session.attach(&app).unwrap();
@@ -582,7 +606,7 @@ mod tests {
         // Re-merge with one contribution missing: the overlay reports which channel
         // came up short instead of asserting.
         let daemons = StatDaemon::partition(64, 8);
-        let topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let topology = Topology::build(TreeShape::two_deep(8, 4));
         let mut contributions: Vec<DaemonContribution> = daemons
             .iter()
             .zip(topology.backends())
@@ -609,11 +633,11 @@ mod tests {
         corrupt: impl Fn(&mut DaemonContribution),
     ) -> (Session, Vec<DaemonContribution>) {
         let session = Session::builder(Cluster::test_cluster(8, 8))
-            .topology_spec(TopologySpec::two_deep(8, 4))
+            .topology(TreeShape::two_deep(8, 4))
             .samples_per_task(1)
             .build();
         let daemons = StatDaemon::partition(app.num_tasks(), 8);
-        let topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let topology = Topology::build(TreeShape::two_deep(8, 4));
         let contributions = daemons
             .iter()
             .zip(topology.backends())
@@ -681,7 +705,7 @@ mod tests {
         // pruned replacement topology.
         let app = RingHangApp::new(64, FrameVocabulary::Linux);
         let daemons = StatDaemon::partition(64, 8);
-        let full_topology = Topology::build(TopologySpec::two_deep(8, 4));
+        let full_topology = Topology::build(TreeShape::two_deep(8, 4));
         let contributions: Vec<DaemonContribution> = daemons
             .iter()
             .zip(full_topology.backends())
@@ -693,7 +717,7 @@ mod tests {
             })
             .collect();
         let session = Session::builder(Cluster::test_cluster(8, 8))
-            .topology_spec(TopologySpec::two_deep(4, 2))
+            .topology(TreeShape::two_deep(4, 2))
             .build();
         let gather = session.merge(contributions, 64).unwrap();
         assert_eq!(gather.tree_3d.tasks(gather.tree_3d.root()).count(), 32);
@@ -706,14 +730,8 @@ mod tests {
         let hier = PhaseEstimator::new(bgl, Representation::HierarchicalTaskList);
 
         let growth = |est: &PhaseEstimator| {
-            let small = est
-                .merge_estimate(16_384, TopologyKind::TwoDeep)
-                .time
-                .as_secs();
-            let large = est
-                .merge_estimate(212_992, TopologyKind::TwoDeep)
-                .time
-                .as_secs();
+            let small = est.merge_estimate(16_384, 2).time.as_secs();
+            let large = est.merge_estimate(212_992, 2).time.as_secs();
             large / small
         };
         let g_growth = growth(&global);
@@ -733,11 +751,11 @@ mod tests {
         let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
         let est = PhaseEstimator::new(bgl, Representation::GlobalBitVector);
         // 16,384 compute nodes in CO mode = 256 I/O-node daemons.
-        let flat = est.merge_estimate(16_384, TopologyKind::Flat);
+        let flat = est.merge_estimate(16_384, 1);
         assert!(flat.failed.is_some());
-        let smaller = est.merge_estimate(8_192, TopologyKind::Flat);
+        let smaller = est.merge_estimate(8_192, 1);
         assert!(smaller.failed.is_none());
-        let two_deep = est.merge_estimate(16_384, TopologyKind::TwoDeep);
+        let two_deep = est.merge_estimate(16_384, 2);
         assert!(two_deep.failed.is_none());
     }
 
@@ -755,7 +773,51 @@ mod tests {
     fn estimator_uses_the_paper_topology_rules() {
         let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
         let est = PhaseEstimator::new(bgl, Representation::GlobalBitVector);
-        let spec = est.topology_for(212_992, TopologyKind::TwoDeep);
+        let spec = est.topology_for(212_992, 2);
         assert_eq!(spec.level_widths, vec![1, 28, 1_664]);
+    }
+
+    #[test]
+    fn planned_topology_runs_a_real_session() {
+        let app = RingHangApp::new(512, FrameVocabulary::Linux);
+        let session = Session::builder(Cluster::test_cluster(64, 8))
+            .plan_topology()
+            .samples_per_task(2)
+            .build();
+        // The planner resolves the shape from the job size at attach time; the
+        // chosen shape is feasible for the machine and is reported back.
+        let report = session.attach(&app).unwrap();
+        assert_eq!(report.daemons, 64);
+        assert_eq!(report.gather.classes.len(), 3);
+        assert_eq!(report.topology, session.topology_for(512));
+        let budget =
+            machine::placement::CommProcessBudget::for_cluster(session.cluster()).max_processes;
+        assert!(report.topology.comm_processes() <= budget);
+    }
+
+    #[test]
+    fn pinned_deep_shapes_merge_identically_to_the_paper_shapes() {
+        // A 4-deep tree — inexpressible under the old closed enum — must produce
+        // byte-identical analysis results to the default 2-deep tree.
+        let app = RingHangApp::new(256, FrameVocabulary::Linux);
+        let deep = Session::builder(Cluster::test_cluster(32, 8))
+            .topology(TreeShape::uniform_with_depth(32, 2, 4))
+            .samples_per_task(3)
+            .build()
+            .attach(&app)
+            .unwrap();
+        assert_eq!(deep.topology.depth(), 4);
+        let default = small_session(Representation::HierarchicalTaskList, 32)
+            .attach(&app)
+            .unwrap();
+        assert_eq!(deep.gather.classes.len(), default.gather.classes.len());
+        for (d, f) in deep
+            .gather
+            .classes
+            .iter()
+            .zip(default.gather.classes.iter())
+        {
+            assert_eq!(d.tasks, f.tasks);
+        }
     }
 }

@@ -17,7 +17,6 @@ use appsim::{Application, FrameVocabulary, ThreadedApp};
 use machine::cluster::Cluster;
 use simkit::time::SimDuration;
 use stackwalk::sampler::{BinaryPlacement, SamplingConfig, SamplingCostModel};
-use tbon::topology::TopologyKind;
 
 use crate::daemon::StatDaemon;
 use crate::frontend::Representation;
@@ -105,7 +104,7 @@ pub fn project_thread_counts(
             // merged data volume grows with the thread count.
             estimator.tree_edges_2d *= threads as u64;
             estimator.tree_edges_3d *= threads as u64;
-            let merge = estimator.merge_estimate(tasks, TopologyKind::TwoDeep).time;
+            let merge = estimator.merge_estimate(tasks, 2).time;
             ThreadProjection {
                 threads_per_task: threads,
                 sampling,

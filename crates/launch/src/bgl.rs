@@ -18,7 +18,7 @@ use machine::cluster::{Cluster, ClusterKind};
 use machine::placement::CommProcessBudget;
 use simkit::model::{CostModel, LinearCost, QuadraticCost};
 use simkit::time::SimDuration;
-use tbon::topology::TopologySpec;
+use tbon::topology::TreeShape;
 
 use crate::launcher::{Launcher, StartupEstimate, StartupFailure, StartupPhase};
 use crate::rsh::RshLauncher;
@@ -112,7 +112,7 @@ impl Launcher for BglCiodLauncher {
         }
     }
 
-    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate {
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TreeShape) -> StartupEstimate {
         let shape = cluster.job(tasks);
         let daemons = shape.daemons.min(topology.backends());
         let comm = topology.comm_processes();
@@ -185,18 +185,17 @@ mod tests {
     use super::*;
     use machine::cluster::BglMode;
     use machine::placement::PlacementPlan;
-    use tbon::topology::TopologyKind;
 
-    fn bgl_spec(cluster: &Cluster, tasks: u64, kind: TopologyKind) -> TopologySpec {
+    fn bgl_spec(cluster: &Cluster, tasks: u64, depth: u32) -> TreeShape {
         let plan = PlacementPlan::for_job(cluster, tasks);
-        TopologySpec::for_placement(kind, &plan)
+        TreeShape::for_placement(&plan, depth)
     }
 
     #[test]
     fn startup_exceeds_100_seconds_even_at_1024_nodes() {
         let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Unpatched);
-        let spec = bgl_spec(&cluster, 1_024, TopologyKind::TwoDeep);
+        let spec = bgl_spec(&cluster, 1_024, 2);
         let est = launcher.startup(&cluster, 1_024, &spec);
         assert!(est.succeeded());
         assert!(
@@ -213,7 +212,7 @@ mod tests {
         let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Unpatched);
         let tasks = 65_536 * 2;
-        let spec = bgl_spec(&cluster, tasks, TopologyKind::TwoDeep);
+        let spec = bgl_spec(&cluster, tasks, 2);
         let est = launcher.startup(&cluster, tasks, &spec);
         let system = est.phase_fraction(StartupPhase::SystemSoftware)
             + est.phase_fraction(StartupPhase::ApplicationLaunch);
@@ -228,7 +227,7 @@ mod tests {
         let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
         let unpatched = BglCiodLauncher::new(CiodPatchLevel::Unpatched);
         let patched = BglCiodLauncher::new(CiodPatchLevel::Patched);
-        let spec = bgl_spec(&cluster, 212_992, TopologyKind::TwoDeep);
+        let spec = bgl_spec(&cluster, 212_992, 2);
         let bad = unpatched.startup(&cluster, 212_992, &spec);
         assert!(matches!(
             bad.failure,
@@ -244,7 +243,7 @@ mod tests {
         // than a two fold speedup at 104K processes in the 2-deep CO case."
         let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
         let tasks = 106_496;
-        let spec = bgl_spec(&cluster, tasks, TopologyKind::TwoDeep);
+        let spec = bgl_spec(&cluster, tasks, 2);
         let before = BglCiodLauncher::new(CiodPatchLevel::Unpatched)
             .startup(&cluster, tasks, &spec)
             .total()
@@ -264,19 +263,11 @@ mod tests {
         let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
         let t8k = launcher
-            .startup(
-                &cluster,
-                8_192,
-                &bgl_spec(&cluster, 8_192, TopologyKind::TwoDeep),
-            )
+            .startup(&cluster, 8_192, &bgl_spec(&cluster, 8_192, 2))
             .total()
             .as_secs();
         let t64k = launcher
-            .startup(
-                &cluster,
-                65_536,
-                &bgl_spec(&cluster, 65_536, TopologyKind::TwoDeep),
-            )
+            .startup(&cluster, 65_536, &bgl_spec(&cluster, 65_536, 2))
             .total()
             .as_secs();
         assert!(t64k > t8k, "bigger jobs take longer");
@@ -290,7 +281,7 @@ mod tests {
     fn rejects_non_bgl_clusters() {
         let atlas = Cluster::atlas();
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
-        let est = launcher.startup(&atlas, 1_024, &TopologySpec::flat(128));
+        let est = launcher.startup(&atlas, 1_024, &TreeShape::flat(128));
         assert!(!est.succeeded());
     }
 

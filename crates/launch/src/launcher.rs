@@ -8,7 +8,7 @@
 
 use machine::cluster::Cluster;
 use simkit::time::SimDuration;
-use tbon::topology::TopologySpec;
+use tbon::topology::TreeShape;
 
 /// The phases of tool startup, in the order they appear in the breakdown.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -144,7 +144,7 @@ pub trait Launcher {
     fn name(&self) -> &'static str;
 
     /// Estimate a startup of STAT over `topology` for a job of `tasks` MPI tasks.
-    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate;
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TreeShape) -> StartupEstimate;
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 use machine::cluster::Cluster;
 use machine::placement::CommProcessBudget;
 use simkit::time::SimDuration;
-use tbon::topology::TopologySpec;
+use tbon::topology::TreeShape;
 
 use crate::launcher::{Launcher, StartupEstimate, StartupFailure, StartupPhase};
 use crate::rsh::RshLauncher;
@@ -60,7 +60,7 @@ impl Launcher for LaunchMonLauncher {
         "LaunchMON"
     }
 
-    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate {
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TreeShape) -> StartupEstimate {
         let shape = cluster.job(tasks);
         let daemons = shape.daemons.min(topology.backends());
         let comm = topology.comm_processes();
@@ -111,7 +111,7 @@ mod tests {
         // "STAT starts 512 daemons in 5.6 seconds."
         let atlas = Cluster::atlas();
         let launcher = LaunchMonLauncher::new();
-        let est = launcher.startup(&atlas, 4_096, &TopologySpec::flat(512));
+        let est = launcher.startup(&atlas, 4_096, &TreeShape::flat(512));
         let total = est.total().as_secs();
         assert!(
             (4.5..7.0).contains(&total),
@@ -125,7 +125,7 @@ mod tests {
         let atlas = Cluster::atlas();
         let lm = LaunchMonLauncher::new();
         let rsh = crate::rsh::RshLauncher::new(crate::rsh::RemoteShell::Rsh);
-        let spec = TopologySpec::flat(256);
+        let spec = TreeShape::flat(256);
         let lm_t = lm.startup(&atlas, 2_048, &spec).total();
         let rsh_t = rsh.startup(&atlas, 2_048, &spec).total();
         assert!(rsh_t.as_secs() / lm_t.as_secs() > 5.0);
@@ -136,11 +136,11 @@ mod tests {
         let atlas = Cluster::atlas();
         let lm = LaunchMonLauncher::new();
         let t128 = lm
-            .startup(&atlas, 1_024, &TopologySpec::flat(128))
+            .startup(&atlas, 1_024, &TreeShape::flat(128))
             .total()
             .as_secs();
         let t1024 = lm
-            .startup(&atlas, 8_192, &TopologySpec::flat(1_024))
+            .startup(&atlas, 8_192, &TreeShape::flat(1_024))
             .total()
             .as_secs();
         assert!(
@@ -155,7 +155,7 @@ mod tests {
         let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
         let lm = LaunchMonLauncher::new();
         // 64 comm processes cannot be hosted on 14 login nodes × 2 cores.
-        let est = lm.startup(&bgl, 65_536, &TopologySpec::two_deep(1_024, 64));
+        let est = lm.startup(&bgl, 65_536, &TreeShape::two_deep(1_024, 64));
         assert!(!est.succeeded());
     }
 }

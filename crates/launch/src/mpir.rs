@@ -11,7 +11,7 @@
 
 use machine::cluster::Cluster;
 use simkit::time::SimDuration;
-use tbon::topology::TopologySpec;
+use tbon::topology::TreeShape;
 
 use crate::launcher::{Launcher, StartupEstimate, StartupPhase};
 use crate::proctable::ProcessTable;
@@ -104,7 +104,7 @@ pub fn establish_session(cluster: &Cluster, tasks: u64, mode: AttachMode) -> Mpi
 pub fn session_startup(
     cluster: &Cluster,
     tasks: u64,
-    topology: &TopologySpec,
+    topology: &TreeShape,
     launcher: &dyn Launcher,
     mode: AttachMode,
 ) -> StartupEstimate {
@@ -149,7 +149,7 @@ mod tests {
         let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
         let tasks = 65_536;
         let plan = machine::placement::PlacementPlan::for_job(&bgl, tasks);
-        let spec = TopologySpec::for_placement(tbon::topology::TopologyKind::TwoDeep, &plan);
+        let spec = TreeShape::for_placement(&plan, 2);
         let launcher = BglCiodLauncher::new(CiodPatchLevel::Patched);
         let launch = session_startup(&bgl, tasks, &spec, &launcher, AttachMode::LaunchUnderTool);
         let attach = session_startup(&bgl, tasks, &spec, &launcher, AttachMode::AttachToRunning);
@@ -181,7 +181,7 @@ mod tests {
         // LaunchMON + attach on Atlas at full scale stays well inside interactive
         // bounds — the point of Section IV.
         let atlas = Cluster::atlas();
-        let spec = TopologySpec::two_deep(1_152, 34);
+        let spec = TreeShape::two_deep(1_152, 34);
         let est = session_startup(
             &atlas,
             atlas.max_tasks(),

@@ -10,7 +10,7 @@
 
 use machine::cluster::Cluster;
 use simkit::time::SimDuration;
-use tbon::topology::TopologySpec;
+use tbon::topology::TreeShape;
 
 use crate::launcher::{Launcher, StartupEstimate, StartupFailure, StartupPhase};
 
@@ -78,7 +78,7 @@ impl RshLauncher {
 
     /// Time to connect all tool processes into the overlay network once they exist:
     /// each parent accepts its children's connections one after another.
-    pub(crate) fn connect_time(spec: &TopologySpec, per_connect: SimDuration) -> SimDuration {
+    pub(crate) fn connect_time(spec: &TreeShape, per_connect: SimDuration) -> SimDuration {
         let mut total = SimDuration::ZERO;
         for w in spec.level_widths.windows(2) {
             let fanout = w[1].div_ceil(w[0].max(1));
@@ -96,7 +96,7 @@ impl Launcher for RshLauncher {
         }
     }
 
-    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TopologySpec) -> StartupEstimate {
+    fn startup(&self, cluster: &Cluster, tasks: u64, topology: &TreeShape) -> StartupEstimate {
         let shape = cluster.job(tasks);
         let daemons = shape.daemons.min(topology.backends());
         let comm = topology.comm_processes();
@@ -144,11 +144,11 @@ mod tests {
         let atlas = Cluster::atlas();
         let launcher = RshLauncher::new(RemoteShell::Rsh);
         let t64 = launcher
-            .startup(&atlas, 64 * 8, &TopologySpec::flat(64))
+            .startup(&atlas, 64 * 8, &TreeShape::flat(64))
             .total()
             .as_secs();
         let t256 = launcher
-            .startup(&atlas, 256 * 8, &TopologySpec::flat(256))
+            .startup(&atlas, 256 * 8, &TreeShape::flat(256))
             .total()
             .as_secs();
         let ratio = t256 / t64;
@@ -159,7 +159,7 @@ mod tests {
     fn rsh_fails_at_512_daemons_like_the_paper() {
         let atlas = Cluster::atlas();
         let launcher = RshLauncher::new(RemoteShell::Rsh);
-        let est = launcher.startup(&atlas, 512 * 8, &TopologySpec::flat(512));
+        let est = launcher.startup(&atlas, 512 * 8, &TreeShape::flat(512));
         assert!(!est.succeeded());
         assert!(matches!(
             est.failure,
@@ -174,11 +174,11 @@ mod tests {
     fn ssh_scales_past_512_but_is_slower_per_daemon() {
         let atlas = Cluster::atlas();
         let ssh = RshLauncher::new(RemoteShell::Ssh);
-        let est = ssh.startup(&atlas, 512 * 8, &TopologySpec::flat(512));
+        let est = ssh.startup(&atlas, 512 * 8, &TreeShape::flat(512));
         assert!(est.succeeded());
         let rsh = RshLauncher::new(RemoteShell::Rsh);
-        let rsh_256 = rsh.startup(&atlas, 256 * 8, &TopologySpec::flat(256));
-        let ssh_256 = ssh.startup(&atlas, 256 * 8, &TopologySpec::flat(256));
+        let rsh_256 = rsh.startup(&atlas, 256 * 8, &TreeShape::flat(256));
+        let ssh_256 = ssh.startup(&atlas, 256 * 8, &TreeShape::flat(256));
         assert!(ssh_256.total() > rsh_256.total());
     }
 
@@ -186,7 +186,7 @@ mod tests {
     fn unsupported_shell_fails_immediately() {
         let atlas = Cluster::atlas();
         let launcher = RshLauncher::new(RemoteShell::Ssh).unsupported();
-        let est = launcher.startup(&atlas, 64, &TopologySpec::flat(8));
+        let est = launcher.startup(&atlas, 64, &TreeShape::flat(8));
         assert!(!est.succeeded());
         assert_eq!(est.total(), SimDuration::ZERO);
     }
@@ -195,8 +195,8 @@ mod tests {
     fn comm_processes_add_to_the_serial_cost() {
         let atlas = Cluster::atlas();
         let launcher = RshLauncher::new(RemoteShell::Rsh);
-        let flat = launcher.startup(&atlas, 128 * 8, &TopologySpec::flat(128));
-        let deep = launcher.startup(&atlas, 128 * 8, &TopologySpec::two_deep(128, 12));
+        let flat = launcher.startup(&atlas, 128 * 8, &TreeShape::flat(128));
+        let deep = launcher.startup(&atlas, 128 * 8, &TreeShape::two_deep(128, 12));
         assert!(deep.total() > flat.total());
         assert_eq!(deep.comm_processes, 12);
     }

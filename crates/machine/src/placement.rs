@@ -56,6 +56,19 @@ impl CommProcessBudget {
     pub fn can_host(&self, requested: u32) -> bool {
         requested <= self.max_processes
     }
+
+    /// The budget of a machine of the same family grown by `factor` — used when
+    /// planning topologies for job sizes beyond what the physical machine holds
+    /// (the paper's "towards millions of cores" extrapolation): hosting nodes and
+    /// the process ceiling scale together, the per-node density does not.
+    pub fn scaled(&self, factor: u32) -> Self {
+        let factor = factor.max(1);
+        CommProcessBudget {
+            max_processes: self.max_processes.saturating_mul(factor),
+            per_node: self.per_node,
+            nodes: self.nodes.saturating_mul(factor),
+        }
+    }
 }
 
 /// A resolved placement of tool processes for one job: which hosts run daemons, how
@@ -99,6 +112,92 @@ impl PlacementPlan {
         let first = 4u32;
         let second = if self.daemons >= 1_024 { 24 } else { 16 };
         (first, second.min(self.comm_budget.max_processes))
+    }
+
+    /// Like [`PlacementPlan::for_job`] but extrapolating the machine family beyond
+    /// its physical size: the daemon count is *not* clamped to the installed I/O or
+    /// compute nodes, and the communication-process budget grows by the same factor
+    /// the machine would have to grow to hold the job.  For jobs that fit the real
+    /// machine this is identical to `for_job`.  This is the placement the topology
+    /// planner sweeps out to millions of simulated cores.
+    pub fn for_scaled_job(cluster: &Cluster, tasks: u64) -> Self {
+        if tasks <= cluster.max_tasks() {
+            return PlacementPlan::for_job(cluster, tasks);
+        }
+        let tasks = tasks.max(1);
+        let per_daemon = cluster.tasks_per_daemon().max(1) as u64;
+        let daemons = tasks.div_ceil(per_daemon).min(u32::MAX as u64) as u32;
+        let growth = tasks
+            .div_ceil(cluster.max_tasks().max(1))
+            .min(u32::MAX as u64) as u32;
+        PlacementPlan {
+            daemons,
+            tasks_per_daemon: per_daemon as u32,
+            comm_budget: CommProcessBudget::for_cluster(cluster).scaled(growth),
+            daemons_on_io_nodes: cluster.daemons_on_io_nodes(),
+        }
+    }
+
+    /// The full list of level widths — `[1, ..., daemons]` — the paper's placement
+    /// rules produce for a tree of `depth` edges, generalising
+    /// [`two_deep_fanout`](PlacementPlan::two_deep_fanout) and
+    /// [`three_deep_level_widths`](PlacementPlan::three_deep_level_widths) to any
+    /// depth.  Depths 1–3 reproduce the paper's Section III rules exactly; deeper
+    /// trees use the largest uniform fan-out whose communication levels all fit the
+    /// machine's [`CommProcessBudget`], with any leftover budget given to the level
+    /// closest to the daemons (matching the paper's 4-then-24 bias toward wide lower
+    /// levels).
+    pub fn level_widths(&self, depth: u32) -> Vec<u32> {
+        let depth = depth.max(1);
+        match depth {
+            1 => vec![1, self.daemons.max(1)],
+            2 => vec![1, self.two_deep_fanout(), self.daemons.max(1)],
+            3 => {
+                // The paper's fixed 4 / 16-or-24 widths assume jobs with at least
+                // that many daemons; smaller jobs clamp interior levels down so no
+                // level is wider than the daemon population.
+                let daemons = self.daemons.max(1);
+                let (first, second) = self.three_deep_level_widths();
+                let first = first.clamp(1, daemons);
+                let second = second.clamp(first, daemons);
+                vec![1, first, second, daemons]
+            }
+            d => {
+                let budget = self.comm_budget.max_processes.max(1);
+                let comm_levels = d - 1;
+                // Largest uniform fan-out f with f + f^2 + ... + f^(d-1) <= budget.
+                let mut fanout = 1u32;
+                loop {
+                    let next = fanout + 1;
+                    let mut total = 0u64;
+                    let mut width = 1u64;
+                    for _ in 0..comm_levels {
+                        width = width.saturating_mul(next as u64);
+                        total += width;
+                    }
+                    if total > budget as u64 {
+                        break;
+                    }
+                    fanout = next;
+                }
+                let mut widths = vec![1u32];
+                let mut width = 1u64;
+                let mut used = 0u64;
+                for _ in 0..comm_levels {
+                    width = width.saturating_mul(fanout as u64).min(self.daemons as u64);
+                    widths.push(width as u32);
+                    used += width;
+                }
+                // Hand leftover budget to the deepest comm level, where the paper
+                // concentrates processes; keep it at or below the daemon count.
+                let leftover = (budget as u64).saturating_sub(used);
+                if let Some(last) = widths.last_mut() {
+                    *last = (*last as u64 + leftover).min(self.daemons as u64).max(1) as u32;
+                }
+                widths.push(self.daemons.max(1));
+                widths
+            }
+        }
     }
 }
 
@@ -148,6 +247,52 @@ mod tests {
         assert_eq!(small.three_deep_level_widths(), (4, 16));
         let large = PlacementPlan::for_job(&bgl, 106_496);
         assert_eq!(large.three_deep_level_widths(), (4, 24));
+    }
+
+    #[test]
+    fn level_widths_generalise_the_paper_rules() {
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        let plan = PlacementPlan::for_job(&bgl, 212_992);
+        assert_eq!(plan.level_widths(1), vec![1, 1_664]);
+        assert_eq!(plan.level_widths(2), vec![1, 28, 1_664]);
+        assert_eq!(plan.level_widths(3), vec![1, 4, 24, 1_664]);
+        // Depth 4 on BG/L: fan-out 2 fits (2 + 4 + 8 = 14 <= 28); the leftover 14
+        // processes widen the level next to the daemons.
+        assert_eq!(plan.level_widths(4), vec![1, 2, 4, 22, 1_664]);
+        let comm: u32 = plan.level_widths(5)[1..5].iter().sum();
+        assert!(comm <= plan.comm_budget.max_processes);
+    }
+
+    #[test]
+    fn level_widths_never_exceed_the_daemon_count() {
+        // BG/L CO mode, 512 tasks: only 8 daemons, fewer than the paper's fixed
+        // 3-deep second-level width of 16 — interior levels clamp down instead of
+        // inventing phantom backends.
+        let bgl = Cluster::bluegene_l(BglMode::CoProcessor);
+        let plan = PlacementPlan::for_job(&bgl, 512);
+        assert_eq!(plan.daemons, 8);
+        assert_eq!(plan.level_widths(3), vec![1, 4, 8, 8]);
+        for depth in 1..=6u32 {
+            let widths = plan.level_widths(depth);
+            assert_eq!(*widths.last().unwrap(), 8);
+            assert!(widths.iter().all(|&w| w <= 8), "{widths:?}");
+        }
+    }
+
+    #[test]
+    fn scaled_jobs_extrapolate_the_machine_family() {
+        let bgl = Cluster::bluegene_l(BglMode::VirtualNode);
+        // Within the machine: identical to for_job.
+        let inside = PlacementPlan::for_scaled_job(&bgl, 212_992);
+        assert_eq!(inside.daemons, 1_664);
+        assert_eq!(inside.comm_budget.max_processes, 28);
+        // 1M+ tasks: daemons keep the 128-tasks-per-daemon ratio instead of
+        // clamping at the installed 1,664 I/O nodes, and the login-node budget
+        // grows with the machine.
+        let beyond = PlacementPlan::for_scaled_job(&bgl, 1_048_576);
+        assert_eq!(beyond.daemons, 8_192);
+        assert_eq!(beyond.comm_budget.max_processes, 28 * 5);
+        assert_eq!(beyond.comm_budget.per_node, 2);
     }
 
     #[test]

@@ -14,8 +14,9 @@
 use std::time::Duration;
 
 use machine::cluster::Cluster;
+use machine::placement::PlacementPlan;
 use stat_core::prelude::*;
-use tbon::topology::TopologyKind;
+use tbon::topology::TreeShape;
 
 use crate::generator::{SyntheticApp, TraceShape};
 
@@ -28,8 +29,11 @@ pub struct EmulatedJob {
     pub tasks: u64,
     /// Shape of the synthetic traces.
     pub shape: TraceShape,
-    /// Topology family for the overlay network.
-    pub topology: TopologyKind,
+    /// Depth (in edges) of the placement-rule overlay tree; ignored when a shape
+    /// is pinned via [`EmulatedJob::with_topology`].
+    pub tree_depth: u32,
+    /// An explicit overlay tree shape, overriding `tree_depth`.
+    pub pinned_topology: Option<TreeShape>,
     /// Task-set representation to exercise.
     pub representation: Representation,
     /// Samples per task.
@@ -43,7 +47,8 @@ impl EmulatedJob {
             cluster,
             tasks,
             shape: TraceShape::typical(),
-            topology: TopologyKind::TwoDeep,
+            tree_depth: 2,
+            pinned_topology: None,
             representation: Representation::HierarchicalTaskList,
             samples_per_task: 10,
         }
@@ -61,10 +66,28 @@ impl EmulatedJob {
         self
     }
 
-    /// Override the topology family.
-    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
-        self.topology = topology;
+    /// Use the placement-rule tree of the given depth for the overlay network.
+    pub fn with_tree_depth(mut self, depth: u32) -> Self {
+        self.tree_depth = depth.max(1);
+        self.pinned_topology = None;
         self
+    }
+
+    /// Pin an explicit overlay tree shape.
+    pub fn with_topology(mut self, shape: TreeShape) -> Self {
+        self.pinned_topology = Some(shape);
+        self
+    }
+
+    /// The overlay tree shape this job will emulate.
+    pub fn topology(&self) -> TreeShape {
+        match &self.pinned_topology {
+            Some(shape) => shape.clone(),
+            None => TreeShape::for_placement(
+                &PlacementPlan::for_job(&self.cluster, self.tasks),
+                self.tree_depth,
+            ),
+        }
     }
 
     /// Run the emulation and collect the report.
@@ -76,7 +99,7 @@ impl EmulatedJob {
         let app = SyntheticApp::new(self.tasks, self.shape);
         let session = Session::builder(self.cluster.clone())
             .representation(self.representation)
-            .topology_kind(self.topology)
+            .topology(self.topology())
             .samples_per_task(self.samples_per_task)
             .build();
         let report = session
@@ -188,7 +211,7 @@ mod tests {
     fn worst_case_merged_tree_grows_with_tasks() {
         let job = EmulatedJob::new(small_cluster(), 128)
             .with_shape(TraceShape::worst_case(10, 128))
-            .with_topology(TopologyKind::ThreeDeep);
+            .with_tree_depth(3);
         let report = job.run();
         assert_eq!(report.classes, 128);
         assert!(report.merged_tree_nodes > 128);

@@ -32,4 +32,4 @@ pub mod sweep;
 
 pub use emulator::{EmulatedJob, EmulationReport};
 pub use generator::{SyntheticApp, TraceShape};
-pub use sweep::{sweep_daemon_counts, sweep_equivalence_classes, SweepConfig};
+pub use sweep::{sweep_daemon_counts, sweep_equivalence_classes, sweep_tree_shapes, SweepConfig};

@@ -1,15 +1,19 @@
-//! Scalability sweeps over the emulation.
+//! Scalability sweeps over the emulation and the topology-planning cost model.
 //!
 //! The STATBench paper's experiments are sweeps: hold the trace shape fixed and grow
 //! the daemon count (scaling sweep), or hold the job size fixed and grow the number
 //! of equivalence classes (stress sweep).  Both produce the usual
 //! [`simkit::stats::SeriesTable`]s so they slot into the same reporting pipeline as
 //! the paper's figures.
+//!
+//! [`sweep_tree_shapes`] is the sweep the paper could not run: a fan-in × depth grid
+//! of overlay tree shapes priced by the reduction cost model out past a million
+//! simulated cores, with the [`TopologyPlanner`]'s pick recorded at every scale.
 
 use machine::cluster::Cluster;
 use simkit::stats::SeriesTable;
 use stat_core::prelude::Representation;
-use tbon::topology::TopologyKind;
+use tbon::planner::TopologyPlanner;
 
 use crate::emulator::EmulatedJob;
 use crate::generator::TraceShape;
@@ -19,8 +23,8 @@ use crate::generator::TraceShape;
 pub struct SweepConfig {
     /// Machine whose placement rules shape the emulation.
     pub cluster: Cluster,
-    /// Topology family.
-    pub topology: TopologyKind,
+    /// Depth (in edges) of the placement-rule overlay tree.
+    pub tree_depth: u32,
     /// Samples per task.
     pub samples_per_task: u32,
     /// Trace shape (the class count is overridden by the class sweep).
@@ -32,7 +36,7 @@ impl SweepConfig {
     pub fn new(cluster: Cluster) -> Self {
         SweepConfig {
             cluster,
-            topology: TopologyKind::TwoDeep,
+            tree_depth: 2,
             samples_per_task: 5,
             shape: TraceShape::typical(),
         }
@@ -42,7 +46,7 @@ impl SweepConfig {
         let mut job = EmulatedJob::new(self.cluster.clone(), tasks)
             .with_shape(self.shape)
             .with_representation(representation)
-            .with_topology(self.topology);
+            .with_tree_depth(self.tree_depth);
         job.samples_per_task = self.samples_per_task;
         job
     }
@@ -75,11 +79,8 @@ pub fn sweep_daemon_counts(config: &SweepConfig, task_counts: &[u64]) -> SeriesT
         }
     }
     table.note(format!(
-        "topology {}, {} samples/task, shape: depth {}, {} classes",
-        config.topology.label(),
-        config.samples_per_task,
-        config.shape.depth,
-        config.shape.classes
+        "topology {}-deep, {} samples/task, shape: depth {}, {} classes",
+        config.tree_depth, config.samples_per_task, config.shape.depth, config.shape.classes
     ));
     table
 }
@@ -104,7 +105,7 @@ pub fn sweep_equivalence_classes(
         let mut job = EmulatedJob::new(config.cluster.clone(), tasks)
             .with_shape(shape)
             .with_representation(Representation::HierarchicalTaskList)
-            .with_topology(config.topology);
+            .with_tree_depth(config.tree_depth);
         job.samples_per_task = config.samples_per_task;
         let report = job.run();
         table.push(
@@ -122,9 +123,63 @@ pub fn sweep_equivalence_classes(
     table
 }
 
+/// Sweep the overlay tree shape itself: every fan-in × depth candidate the
+/// [`TopologyPlanner`] enumerates, priced by the reduction cost model at each task
+/// count (one series per candidate shape, one column per scale), with the planner's
+/// pick noted per scale.
+///
+/// Task counts beyond the physical machine extrapolate the machine family
+/// (`PlacementPlan::for_scaled_job`), which is how the sweep reaches a million-plus
+/// simulated cores — the regime the paper's title asks about.  Infeasible
+/// candidates (budget-bound shapes, the flat tree past the front end's connection
+/// limit) are priced but reported in the notes rather than as series rows.
+pub fn sweep_tree_shapes(cluster: &Cluster, task_counts: &[u64]) -> SeriesTable {
+    let planner = TopologyPlanner::new(cluster.clone());
+    let mut table = SeriesTable::new(
+        format!(
+            "TBON tree-shape sweep on {} (fan-in × depth, reduction cost model)",
+            cluster.name
+        ),
+        "tasks",
+        "predicted merge seconds",
+    );
+    for &tasks in task_counts {
+        let ranked = planner.rank(tasks);
+        let mut infeasible = 0usize;
+        for candidate in &ranked {
+            if candidate.feasible {
+                table.push(
+                    candidate.origin.label(),
+                    tasks,
+                    candidate.predicted.as_secs(),
+                );
+            } else {
+                infeasible += 1;
+            }
+        }
+        let pick = &ranked[0];
+        table.note(format!(
+            "planner pick at {tasks} tasks ({} daemons): {} {:?} — predicted {:.3} s, \
+             max fan-out {}, {} comm processes{}; {infeasible} candidates infeasible",
+            pick.daemons,
+            pick.origin.label(),
+            pick.shape.level_widths,
+            pick.predicted.as_secs(),
+            pick.max_fanout,
+            pick.comm_processes,
+            match &pick.bound_by {
+                Some(c) => format!(" (bound by {c})"),
+                None => String::new(),
+            },
+        ));
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use machine::cluster::BglMode;
 
     #[test]
     fn scaling_sweep_shows_the_representation_gap() {
@@ -153,5 +208,48 @@ mod tests {
         let small = table.value_at("merged tree nodes", 1).unwrap();
         let large = table.value_at("merged tree nodes", 64).unwrap();
         assert!(large > small);
+    }
+
+    #[test]
+    fn tree_shape_sweep_reaches_a_million_endpoints_and_agrees_with_the_planner() {
+        let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+        // The paper's 208K point plus two extrapolated scales, the last past a
+        // million simulated cores.
+        let table = sweep_tree_shapes(&cluster, &[212_992, 1_048_576, 4_194_304]);
+
+        // At the 208K point the planner's pick must be exactly the minimum-cost
+        // row of the fan-in × depth table (they share the cost model; this pins
+        // the ranking logic to the table the user sees).
+        let pick = TopologyPlanner::new(cluster).plan(212_992);
+        let min_row = table
+            .series_names()
+            .iter()
+            .filter_map(|name| table.value_at(name, 212_992).map(|v| (name.to_string(), v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("the sweep emitted rows at 208K");
+        assert_eq!(min_row.0, pick.origin.label());
+        assert!((min_row.1 - pick.predicted.as_secs()).abs() < 1e-12);
+
+        // The million-core column exists and still has a feasible winner.
+        let million_rows: Vec<f64> = table
+            .series_names()
+            .iter()
+            .filter_map(|name| table.value_at(name, 4_194_304))
+            .collect();
+        assert!(!million_rows.is_empty());
+        assert!(table
+            .notes()
+            .iter()
+            .any(|n| n.contains("planner pick at 4194304 tasks")));
+    }
+
+    #[test]
+    fn flat_rows_disappear_where_the_paper_saw_them_fail() {
+        let cluster = Cluster::bluegene_l(BglMode::CoProcessor);
+        let table = sweep_tree_shapes(&cluster, &[106_496]);
+        // 1,664 I/O-node daemons: the flat tree is infeasible, so it must not be
+        // presented as a priced row.
+        assert_eq!(table.value_at("placement 1-deep", 106_496), None);
+        assert!(table.value_at("placement 2-deep", 106_496).is_some());
     }
 }

@@ -91,6 +91,34 @@ impl<'a> ReductionCostModel<'a> {
 
     /// Evaluate an upward reduction where node `id`, whose subtree contains
     /// `subtree_backends` daemons, emits `packet_bytes(id, subtree_backends)` bytes.
+    ///
+    /// Any [`TreeShape`](crate::topology::TreeShape) can be priced, including
+    /// depths the paper never measured.  Here a depth-4 tree — inexpressible under
+    /// the old closed `Flat`/`TwoDeep`/`ThreeDeep` enum — beats the flat tree at
+    /// 4,096 daemons, because the fan-in serialising at the front end's NIC is 8
+    /// instead of 4,096:
+    ///
+    /// ```
+    /// use machine::network::Interconnect;
+    /// use tbon::cost::ReductionCostModel;
+    /// use tbon::topology::{Topology, TreeShape};
+    ///
+    /// let net = Interconnect::atlas();
+    /// // Four levels of fan-out 8: 1 -> 8 -> 64 -> 512 -> 4,096.
+    /// let deep = Topology::build(TreeShape::uniform_with_depth(4_096, 8, 4));
+    /// assert_eq!(deep.shape().level_widths, vec![1, 8, 64, 512, 4_096]);
+    /// let flat = Topology::build(TreeShape::flat(4_096));
+    ///
+    /// // Merged prefix trees stay roughly constant-size however many daemons fed
+    /// // them, so every node emits one 4 KiB packet regardless of its subtree.
+    /// let payload = |_id, _subtree: u32| 4_096u64;
+    /// let deep_cost = ReductionCostModel::standard(&deep, &net, 1.0, 1.0).reduce(&payload);
+    /// let flat_cost = ReductionCostModel::standard(&flat, &net, 1.0, 1.0).reduce(&payload);
+    ///
+    /// assert!(deep_cost.critical_path < flat_cost.critical_path);
+    /// // One per-level time per internal level of the deep tree.
+    /// assert_eq!(deep_cost.per_level.len(), 4);
+    /// ```
     pub fn reduce(&self, packet_bytes: &dyn Fn(EndpointId, u32) -> u64) -> ReductionCost {
         let topo = self.topology;
         let n = topo.len();
@@ -195,7 +223,7 @@ impl<'a> ReductionCostModel<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::TopologySpec;
+    use crate::topology::TreeShape;
     use machine::cluster::Cluster;
 
     fn model<'a>(topo: &'a Topology, net: &'a Interconnect) -> ReductionCostModel<'a> {
@@ -207,8 +235,8 @@ mod tests {
         let net = Interconnect::atlas();
         let per_leaf = |_: EndpointId, _subtree: u32| 64 * 1024u64;
 
-        let flat = Topology::build(TopologySpec::flat(512));
-        let deep = Topology::build(TopologySpec::two_deep(512, 23));
+        let flat = Topology::build(TreeShape::flat(512));
+        let deep = Topology::build(TreeShape::two_deep(512, 23));
         let flat_cost = model(&flat, &net).reduce(&per_leaf);
         let deep_cost = model(&deep, &net).reduce(&per_leaf);
         // The flat front end absorbs 512 packets serially; the 2-deep tree spreads the
@@ -229,7 +257,7 @@ mod tests {
 
         let time_for = |daemons: u32, global: bool| {
             let plan_tasks = daemons as u64 * 64;
-            let topo = Topology::build(TopologySpec::two_deep(daemons, 28));
+            let topo = Topology::build(TreeShape::two_deep(daemons, 28));
             let m = model(&topo, &net);
             let cost = m.reduce(&|_id, subtree| {
                 if global {
@@ -256,7 +284,7 @@ mod tests {
     #[test]
     fn per_level_times_sum_to_critical_path() {
         let net = Interconnect::atlas();
-        let topo = Topology::build(TopologySpec::three_deep(128, 4, 16));
+        let topo = Topology::build(TreeShape::three_deep(128, 4, 16));
         let cost = model(&topo, &net).reduce(&|_, subtree| subtree as u64 * 100);
         let sum: SimDuration = cost.per_level.iter().copied().sum();
         assert_eq!(sum, cost.critical_path);
@@ -266,7 +294,7 @@ mod tests {
     #[test]
     fn slower_hosts_increase_filter_time() {
         let net = Interconnect::bluegene_l();
-        let topo = Topology::build(TopologySpec::two_deep(256, 16));
+        let topo = Topology::build(TreeShape::two_deep(256, 16));
         let fast =
             ReductionCostModel::standard(&topo, &net, 1.0, 1.0).reduce(&|_, s| s as u64 * 1_000);
         let slow =
@@ -279,8 +307,8 @@ mod tests {
         // Use the BG/L interconnect, whose daemon uplink and inter-process links have
         // comparable bandwidth, so the comparison isolates the fan-out structure.
         let net = Interconnect::bluegene_l();
-        let flat = Topology::build(TopologySpec::flat(128));
-        let deep = Topology::build(TopologySpec::two_deep(128, 12));
+        let flat = Topology::build(TreeShape::flat(128));
+        let deep = Topology::build(TreeShape::two_deep(128, 12));
         let four_mb = 4 << 20;
         let flat_b = model(&flat, &net).broadcast(four_mb);
         let deep_b = model(&deep, &net).broadcast(four_mb);
@@ -292,7 +320,7 @@ mod tests {
     #[test]
     fn standard_model_uses_machine_appropriate_links() {
         let bgl = Cluster::bluegene_l(machine::cluster::BglMode::CoProcessor);
-        let topo = Topology::build(TopologySpec::two_deep(64, 8));
+        let topo = Topology::build(TreeShape::two_deep(64, 8));
         let m = ReductionCostModel::standard(
             &topo,
             &bgl.interconnect,

@@ -135,10 +135,10 @@ impl FaultTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::TopologySpec;
+    use crate::topology::TreeShape;
 
     fn tracker(backends: u32, comm: u32) -> FaultTracker {
-        FaultTracker::new(Topology::build(TopologySpec::two_deep(backends, comm)))
+        FaultTracker::new(Topology::build(TreeShape::two_deep(backends, comm)))
     }
 
     #[test]

@@ -7,8 +7,11 @@
 //! participate.  The original implementation is MRNet (Roth, Arnold & Miller, SC'03);
 //! this crate is a from-scratch Rust workalike with the pieces STAT needs:
 //!
-//! * [`topology`] — topology specifications (the paper's flat/1-deep, 2-deep and
-//!   3-deep trees with their fan-out rules) and balanced-tree construction;
+//! * [`topology`] — arbitrary-depth [`TreeShape`]s (the paper's flat/1-deep,
+//!   2-deep and 3-deep trees are constructors, not an enum) and balanced-tree
+//!   construction with typed structural validation;
+//! * [`planner`] — cost-model-driven topology planning: enumerate candidate shapes
+//!   for a cluster and job size, price them, rank them under placement constraints;
 //! * [`packet`] — tagged, byte-serialised packets;
 //! * [`filter`] — the filter trait plus simple built-in filters; STAT's merge filter
 //!   lives in `stat-core` and plugs in through this trait;
@@ -16,8 +19,8 @@
 //!   upward reductions through user filters (used by the examples, the integration
 //!   tests and the real-execution benchmarks);
 //! * [`cost`] — an analytic cost model of an upward reduction over a given topology,
-//!   interconnect and per-level payload size, used by the figure generators to model
-//!   configurations with hundreds of thousands of endpoints.
+//!   interconnect and per-level payload size, used by the figure generators and the
+//!   planner to model configurations with millions of endpoints.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -27,6 +30,7 @@ pub mod fault;
 pub mod filter;
 pub mod network;
 pub mod packet;
+pub mod planner;
 pub mod stream;
 pub mod topology;
 
@@ -35,5 +39,8 @@ pub use fault::{FaultTracker, PruneReport};
 pub use filter::{Filter, IdentityFilter, SumFilter};
 pub use network::{ChannelInput, ExecutionMode, InProcessTbon, ReductionOutcome, TbonError};
 pub use packet::{EndpointId, Packet, PacketTag};
+pub use planner::{
+    CandidateOrigin, PlanConstraint, PlannedTopology, PlannerConfig, TopologyPlanner,
+};
 pub use stream::{BroadcastRoute, Stream, StreamManager};
-pub use topology::{Topology, TopologyKind, TopologySpec, TreeNode, TreeNodeRole};
+pub use topology::{Topology, TopologyError, TreeNode, TreeNodeRole, TreeShape};

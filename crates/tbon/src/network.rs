@@ -384,7 +384,7 @@ mod tests {
     use super::*;
     use crate::filter::{IdentityFilter, SumFilter};
     use crate::packet::PacketTag;
-    use crate::topology::TopologySpec;
+    use crate::topology::TreeShape;
     use std::sync::Mutex;
 
     fn leaf_packets(topology: &Topology, value_of: impl Fn(usize) -> u64) -> Vec<Packet> {
@@ -398,7 +398,7 @@ mod tests {
 
     #[test]
     fn sum_reduction_over_flat_tree() {
-        let topo = Topology::build(TopologySpec::flat(32));
+        let topo = Topology::build(TreeShape::flat(32));
         let net = InProcessTbon::new(topo);
         let leaves = leaf_packets(net.topology(), |i| i as u64);
         let out = net.reduce(leaves, &SumFilter).unwrap();
@@ -411,9 +411,9 @@ mod tests {
     fn sum_reduction_is_topology_invariant() {
         let expected: u64 = (0..100u64).map(|i| i * 3 + 1).sum();
         for spec in [
-            TopologySpec::flat(100),
-            TopologySpec::two_deep(100, 10),
-            TopologySpec::three_deep(100, 4, 16),
+            TreeShape::flat(100),
+            TreeShape::two_deep(100, 10),
+            TreeShape::three_deep(100, 4, 16),
         ] {
             let net = InProcessTbon::new(Topology::build(spec));
             let leaves = leaf_packets(net.topology(), |i| i as u64 * 3 + 1);
@@ -424,7 +424,7 @@ mod tests {
 
     #[test]
     fn sequential_and_parallel_modes_agree() {
-        let topo = Topology::build(TopologySpec::two_deep(64, 8));
+        let topo = Topology::build(TreeShape::two_deep(64, 8));
         let seq = InProcessTbon::new(topo.clone()).with_mode(ExecutionMode::Sequential);
         let par = InProcessTbon::new(topo).with_mode(ExecutionMode::LevelParallel);
         let leaves_a = leaf_packets(seq.topology(), |i| (i * i) as u64);
@@ -442,8 +442,8 @@ mod tests {
         // but it does reduce what any single *intermediate* node must absorb relative
         // to the flat tree's front end when payloads are large.
         let payload = vec![7u8; 1024];
-        let flat = InProcessTbon::new(Topology::build(TopologySpec::flat(64)));
-        let deep = InProcessTbon::new(Topology::build(TopologySpec::two_deep(64, 8)));
+        let flat = InProcessTbon::new(Topology::build(TreeShape::flat(64)));
+        let deep = InProcessTbon::new(Topology::build(TreeShape::two_deep(64, 8)));
         let flat_out = flat
             .reduce(
                 flat.topology()
@@ -476,7 +476,7 @@ mod tests {
 
     #[test]
     fn mismatched_leaf_count_is_an_error_with_context() {
-        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(4)));
+        let net = InProcessTbon::new(Topology::build(TreeShape::flat(4)));
         let err = net.reduce(vec![], &SumFilter).unwrap_err();
         assert_eq!(
             err,
@@ -491,7 +491,7 @@ mod tests {
 
     #[test]
     fn channel_and_filter_counts_must_agree() {
-        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(2)));
+        let net = InProcessTbon::new(Topology::build(TreeShape::flat(2)));
         assert_eq!(
             net.reduce_channels(vec![], &[]).unwrap_err(),
             TbonError::NoChannels
@@ -511,7 +511,7 @@ mod tests {
 
     #[test]
     fn single_backend_tree_works() {
-        let net = InProcessTbon::new(Topology::build(TopologySpec::flat(1)));
+        let net = InProcessTbon::new(Topology::build(TreeShape::flat(1)));
         let leaves = leaf_packets(net.topology(), |_| 41);
         let out = net.reduce(leaves, &SumFilter).unwrap();
         assert_eq!(SumFilter::decode(&out.result), 41);
@@ -519,7 +519,7 @@ mod tests {
 
     #[test]
     fn multi_channel_reduction_matches_independent_reductions() {
-        let topo = Topology::build(TopologySpec::two_deep(48, 6));
+        let topo = Topology::build(TreeShape::two_deep(48, 6));
         let net = InProcessTbon::new(topo);
         let a = leaf_packets(net.topology(), |i| i as u64);
         let b = leaf_packets(net.topology(), |i| i as u64 * 10);
@@ -577,7 +577,7 @@ mod tests {
         static LOG: Mutex<Vec<(&'static str, u32)>> = Mutex::new(Vec::new());
         LOG.lock().unwrap().clear();
 
-        let topo = Topology::build(TopologySpec::two_deep(8, 2));
+        let topo = Topology::build(TreeShape::two_deep(8, 2));
         let net = InProcessTbon::new(topo).with_mode(ExecutionMode::Sequential);
         let make = || {
             net.topology()

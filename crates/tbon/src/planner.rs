@@ -1,0 +1,445 @@
+//! Cost-model-driven topology planning.
+//!
+//! The paper hand-picked three tree shapes and measured them; the question it left
+//! open — *which shape should the tool pick at a scale nobody has measured yet?* —
+//! is what [`TopologyPlanner`] answers.  Given a [`Cluster`] and a task count, the
+//! planner enumerates candidate [`TreeShape`]s (the paper's placement-rule shapes at
+//! every depth, plus a fan-in × depth grid of uniform trees), prices each one with
+//! [`ReductionCostModel`] under the hierarchical-representation payload the paper
+//! converges on, checks each against the machine's
+//! [`CommProcessBudget`](machine::placement::CommProcessBudget), and returns them
+//! ranked as [`PlannedTopology`] values: predicted merge latency, the fan-out and
+//! daemon count behind it, and the constraint that bound the shape (if any).
+//!
+//! Beyond the physical machine the planner extrapolates the machine family
+//! ([`PlacementPlan::for_scaled_job`]), so the same API sweeps the merge question
+//! out to millions of simulated cores — the title of the paper.
+//!
+//! Each candidate is priced over a fully built [`Topology`] so the planner and
+//! the figure estimators share one cost path (`plan` at a million cores is
+//! ~30 ms).  For sweeps far beyond that, an analytic per-level evaluation over
+//! the raw [`TreeShape`] would avoid materialising multi-million-node trees per
+//! candidate — a known optimisation lever, deliberately not taken while the two
+//! paths are required to agree byte for byte.
+
+use std::fmt;
+
+use machine::cluster::Cluster;
+use machine::placement::PlacementPlan;
+use simkit::time::SimDuration;
+
+use crate::cost::ReductionCostModel;
+use crate::topology::{Topology, TreeShape};
+
+/// Knobs of the planner's candidate enumeration and payload model.  The payload
+/// constants default to the ring-hang calibration used by the figure generators, so
+/// planner predictions and figure estimates agree by construction.
+#[derive(Clone, Debug)]
+pub struct PlannerConfig {
+    /// Deepest tree the planner will consider (edges from front end to daemons).
+    pub max_depth: u32,
+    /// Uniform fan-ins enumerated at every depth, alongside the placement-rule
+    /// shapes.
+    pub fan_ins: Vec<u32>,
+    /// Edges of a locally merged 2D tree.
+    pub tree_edges_2d: u64,
+    /// Edges of a locally merged 3D tree.
+    pub tree_edges_3d: u64,
+    /// Bytes of frame names carried once per packet.
+    pub frame_names_bytes: u64,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig {
+            max_depth: 6,
+            fan_ins: vec![2, 4, 8, 16, 32, 64],
+            tree_edges_2d: 24,
+            tree_edges_3d: 60,
+            frame_names_bytes: 420,
+        }
+    }
+}
+
+/// Where a candidate shape came from — the stable identity of one row of a
+/// fan-in × depth sweep table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CandidateOrigin {
+    /// The paper's placement rules ([`PlacementPlan::level_widths`]) at this depth.
+    Placement {
+        /// Tree depth in edges.
+        depth: u32,
+    },
+    /// A uniform tree: every internal level grows by `fan_in`, the leaf level
+    /// absorbs the rest.
+    Uniform {
+        /// Fan-in of the upper levels.
+        fan_in: u32,
+        /// Tree depth in edges.
+        depth: u32,
+    },
+}
+
+impl CandidateOrigin {
+    /// A stable series label ("placement 2-deep", "fan-in 8 × 3-deep").
+    pub fn label(&self) -> String {
+        match self {
+            CandidateOrigin::Placement { depth } => format!("placement {depth}-deep"),
+            CandidateOrigin::Uniform { fan_in, depth } => {
+                format!("fan-in {fan_in} × {depth}-deep")
+            }
+        }
+    }
+}
+
+impl fmt::Display for CandidateOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// The machine constraint that bound (or disqualified) a candidate shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlanConstraint {
+    /// The shape wants more communication processes than the machine (or its
+    /// scaled-out extrapolation) can host.
+    CommBudget {
+        /// Communication processes the shape asks for.
+        requested: u32,
+        /// Processes the budget allows.
+        allowed: u32,
+    },
+    /// A flat tree's front end cannot absorb this many direct daemon connections —
+    /// the failure the paper observed at 256 I/O-node daemons on BG/L.
+    FrontEndFanOut {
+        /// Direct connections the shape requires.
+        daemons: u32,
+        /// The observed failure threshold.
+        limit: u32,
+    },
+}
+
+impl fmt::Display for PlanConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanConstraint::CommBudget { requested, allowed } => write!(
+                f,
+                "comm-process budget: shape wants {requested}, machine hosts {allowed}"
+            ),
+            PlanConstraint::FrontEndFanOut { daemons, limit } => write!(
+                f,
+                "front-end fan-out: {daemons} direct daemon connections (observed failure at {limit})"
+            ),
+        }
+    }
+}
+
+/// One evaluated candidate: a shape, its predicted cost, and what (if anything)
+/// constrained it.
+#[derive(Clone, Debug)]
+pub struct PlannedTopology {
+    /// Which enumeration family produced the shape.
+    pub origin: CandidateOrigin,
+    /// The candidate shape itself.
+    pub shape: TreeShape,
+    /// Predicted merge critical path under the hierarchical representation.
+    pub predicted: SimDuration,
+    /// Largest fan-out any node of the shape has.
+    pub max_fanout: u32,
+    /// Back-end daemons the shape serves.
+    pub daemons: u32,
+    /// Communication processes the shape employs.
+    pub comm_processes: u32,
+    /// Whether the machine can actually run this shape.
+    pub feasible: bool,
+    /// The constraint that made the shape infeasible, or that it runs exactly at
+    /// the edge of (`feasible` with the budget fully spent).
+    pub bound_by: Option<PlanConstraint>,
+}
+
+/// Daemon count above which the paper observed the flat tree's front end failing
+/// outright on I/O-node machines (Section V).
+pub const FLAT_FRONTEND_LIMIT: u32 = 256;
+
+/// The paper's hard flat-tree failure: on machines whose daemons live on
+/// dedicated I/O nodes, a 1-deep tree stops working once the front end must
+/// absorb [`FLAT_FRONTEND_LIMIT`] or more direct daemon connections.  Shared
+/// between the planner's feasibility check and `PhaseEstimator`'s failure
+/// annotation so the two can never drift.
+pub fn flat_frontend_overloaded(shape: &TreeShape, daemons_on_io_nodes: bool) -> bool {
+    shape.depth() == 1 && daemons_on_io_nodes && shape.backends() >= FLAT_FRONTEND_LIMIT
+}
+
+/// Searches candidate tree shapes for a cluster and job size using the reduction
+/// cost model, under the machine's placement constraints.
+#[derive(Clone, Debug)]
+pub struct TopologyPlanner {
+    cluster: Cluster,
+    config: PlannerConfig,
+}
+
+impl TopologyPlanner {
+    /// A planner for the given machine with the default candidate grid and the
+    /// ring-hang payload calibration.
+    pub fn new(cluster: Cluster) -> Self {
+        TopologyPlanner {
+            cluster,
+            config: PlannerConfig::default(),
+        }
+    }
+
+    /// Override the candidate grid / payload constants.
+    pub fn with_config(mut self, config: PlannerConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// The machine the planner searches for.
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PlannerConfig {
+        &self.config
+    }
+
+    /// Evaluate every candidate shape for a job of `tasks` MPI tasks and return
+    /// them ranked: feasible candidates first, cheapest predicted merge first, with
+    /// infeasible candidates (still priced, for the sweep tables) at the end.
+    pub fn rank(&self, tasks: u64) -> Vec<PlannedTopology> {
+        let tasks = tasks.max(1);
+        let plan = PlacementPlan::for_scaled_job(&self.cluster, tasks);
+        let mut candidates = Vec::new();
+        for depth in 1..=self.config.max_depth.max(1) {
+            candidates.push((
+                CandidateOrigin::Placement { depth },
+                TreeShape::for_placement(&plan, depth),
+            ));
+        }
+        // Uniform candidates need at least one comm level; a config capped at
+        // depth 1 restricts the grid to the flat placement shape alone.
+        for &fan_in in &self.config.fan_ins {
+            for depth in 2..=self.config.max_depth {
+                candidates.push((
+                    CandidateOrigin::Uniform { fan_in, depth },
+                    TreeShape::uniform_with_depth(plan.daemons, fan_in, depth),
+                ));
+            }
+        }
+
+        let mut evaluated: Vec<PlannedTopology> = candidates
+            .into_iter()
+            .map(|(origin, shape)| self.evaluate(origin, shape, &plan, tasks))
+            .collect();
+        evaluated.sort_by(|a, b| {
+            b.feasible
+                .cmp(&a.feasible)
+                .then(a.predicted.cmp(&b.predicted))
+                .then(a.shape.depth().cmp(&b.shape.depth()))
+                .then(a.max_fanout.cmp(&b.max_fanout))
+        });
+        evaluated
+    }
+
+    /// The cheapest feasible candidate for a job of `tasks` MPI tasks.
+    ///
+    /// The default grid always contains a feasible shape (the placement 2-deep
+    /// tree fits any budget by construction), but a custom [`PlannerConfig`] can
+    /// restrict the grid until nothing survives the constraints; the cheapest
+    /// candidate overall is then returned with `feasible == false` so the caller
+    /// can surface its [`bound_by`](PlannedTopology::bound_by) constraint instead
+    /// of silently proceeding.
+    pub fn plan(&self, tasks: u64) -> PlannedTopology {
+        self.rank(tasks)
+            .into_iter()
+            .next()
+            .expect("the candidate grid is never empty")
+    }
+
+    /// Price one shape with the reduction cost model and the machine constraints.
+    fn evaluate(
+        &self,
+        origin: CandidateOrigin,
+        shape: TreeShape,
+        plan: &PlacementPlan,
+        tasks: u64,
+    ) -> PlannedTopology {
+        let topology = Topology::build(shape.clone());
+        let model = ReductionCostModel::standard(
+            &topology,
+            &self.cluster.interconnect,
+            self.cluster.login_host_slowdown(),
+            self.cluster.daemon_host_slowdown(),
+        );
+        let edges = self.config.tree_edges_2d + self.config.tree_edges_3d;
+        let frame_bytes = self.config.frame_names_bytes;
+        let tasks_per_daemon = plan.tasks_per_daemon.max(1) as u64;
+        let cost = model.reduce(&|_id, subtree_backends| {
+            let subtree_tasks = (subtree_backends as u64 * tasks_per_daemon).min(tasks);
+            edges * (subtree_tasks.div_ceil(8) + 8) + frame_bytes
+        });
+
+        let comm = shape.comm_processes();
+        let allowed = plan.comm_budget.max_processes;
+        let mut feasible = true;
+        let mut bound_by = None;
+        if comm > allowed {
+            feasible = false;
+            bound_by = Some(PlanConstraint::CommBudget {
+                requested: comm,
+                allowed,
+            });
+        } else if flat_frontend_overloaded(&shape, plan.daemons_on_io_nodes) {
+            feasible = false;
+            bound_by = Some(PlanConstraint::FrontEndFanOut {
+                daemons: shape.backends(),
+                limit: FLAT_FRONTEND_LIMIT,
+            });
+        } else if comm == allowed && comm > 0 {
+            // Feasible, but the budget is exactly spent: the shape is bound by it.
+            bound_by = Some(PlanConstraint::CommBudget {
+                requested: comm,
+                allowed,
+            });
+        }
+
+        PlannedTopology {
+            origin,
+            max_fanout: shape.max_fanout(),
+            daemons: shape.backends(),
+            comm_processes: comm,
+            shape,
+            predicted: cost.critical_path,
+            feasible,
+            bound_by,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::cluster::BglMode;
+
+    #[test]
+    fn planner_rejects_the_flat_tree_at_bgl_scale() {
+        let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+        let ranked = planner.rank(212_992);
+        let flat = ranked
+            .iter()
+            .find(|c| c.origin == CandidateOrigin::Placement { depth: 1 })
+            .expect("the flat candidate is always enumerated");
+        assert!(!flat.feasible);
+        assert_eq!(
+            flat.bound_by,
+            Some(PlanConstraint::FrontEndFanOut {
+                daemons: 1_664,
+                limit: 256,
+            })
+        );
+    }
+
+    #[test]
+    fn planner_pick_respects_the_comm_budget() {
+        let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+        let pick = planner.plan(212_992);
+        assert!(pick.feasible);
+        assert!(
+            pick.comm_processes <= 28,
+            "BG/L hosts at most 28 comm processes"
+        );
+        assert_eq!(pick.daemons, 1_664);
+        // Every feasible candidate is at least as expensive as the pick.
+        for c in planner.rank(212_992).iter().filter(|c| c.feasible) {
+            assert!(c.predicted >= pick.predicted);
+        }
+    }
+
+    #[test]
+    fn wide_uniform_shapes_are_bound_by_the_budget() {
+        let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+        let ranked = planner.rank(212_992);
+        let wide = ranked
+            .iter()
+            .find(|c| {
+                c.origin
+                    == CandidateOrigin::Uniform {
+                        fan_in: 64,
+                        depth: 3,
+                    }
+            })
+            .expect("fan-in 64 is in the default grid");
+        // 64 + 1,664-capped second level wants far more than 28 processes.
+        assert!(!wide.feasible);
+        assert!(matches!(
+            wide.bound_by,
+            Some(PlanConstraint::CommBudget { .. })
+        ));
+    }
+
+    #[test]
+    fn planning_extends_beyond_the_physical_machine() {
+        let planner = TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode));
+        let pick = planner.plan(1_048_576);
+        assert_eq!(pick.daemons, 8_192, "128 tasks per daemon, unclamped");
+        assert!(pick.feasible);
+        assert!(pick.predicted > SimDuration::ZERO);
+        // At a million tasks a deeper-than-paper tree must at least be on the
+        // table; the grid prices depths the old enum could not express.
+        assert!(planner
+            .rank(1_048_576)
+            .iter()
+            .any(|c| c.shape.depth() >= 4 && c.feasible));
+    }
+
+    #[test]
+    fn atlas_small_jobs_prefer_shallow_trees() {
+        let planner = TopologyPlanner::new(Cluster::atlas());
+        let pick = planner.plan(512);
+        // 64 daemons with fast links: a deep chain of filter hops only adds
+        // latency, so the planner stays shallow.
+        assert!(pick.shape.depth() <= 2, "picked {:?}", pick.shape);
+        assert!(pick.feasible);
+    }
+
+    #[test]
+    fn depth_capped_config_restricts_the_grid() {
+        let config = PlannerConfig {
+            max_depth: 1,
+            ..PlannerConfig::default()
+        };
+        let planner =
+            TopologyPlanner::new(Cluster::bluegene_l(BglMode::VirtualNode)).with_config(config);
+        let ranked = planner.rank(212_992);
+        // Only the flat placement shape survives a depth-1 cap — no uniform
+        // depth-2 candidates sneak past the config.
+        assert_eq!(ranked.len(), 1);
+        assert!(ranked.iter().all(|c| c.shape.depth() == 1));
+        // Nothing is feasible at this scale, and the documented contract holds:
+        // plan() returns the cheapest candidate flagged infeasible, carrying the
+        // constraint that killed it.
+        let pick = planner.plan(212_992);
+        assert!(!pick.feasible);
+        assert!(matches!(
+            pick.bound_by,
+            Some(PlanConstraint::FrontEndFanOut { .. })
+        ));
+    }
+
+    #[test]
+    fn origin_labels_are_stable_series_names() {
+        assert_eq!(
+            CandidateOrigin::Placement { depth: 2 }.label(),
+            "placement 2-deep"
+        );
+        assert_eq!(
+            CandidateOrigin::Uniform {
+                fan_in: 8,
+                depth: 3
+            }
+            .label(),
+            "fan-in 8 × 3-deep"
+        );
+    }
+}

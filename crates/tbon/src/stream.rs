@@ -178,10 +178,10 @@ impl StreamManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::topology::TopologySpec;
+    use crate::topology::TreeShape;
 
     fn manager(backends: u32, comm: u32) -> StreamManager {
-        StreamManager::new(Topology::build(TopologySpec::two_deep(backends, comm)))
+        StreamManager::new(Topology::build(TreeShape::two_deep(backends, comm)))
     }
 
     #[test]

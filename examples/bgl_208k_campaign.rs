@@ -20,7 +20,7 @@ use machine::cluster::{BglMode, Cluster};
 use machine::placement::PlacementPlan;
 use stackwalk::sampler::BinaryPlacement;
 use stat_core::prelude::*;
-use tbon::topology::{TopologyKind, TopologySpec};
+use tbon::topology::TreeShape;
 
 fn main() {
     let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
@@ -32,7 +32,7 @@ fn main() {
     );
 
     let plan = PlacementPlan::for_job(&cluster, tasks);
-    let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
+    let spec = TreeShape::for_placement(&plan, 2);
 
     // --- Startup ---------------------------------------------------------------
     println!(
@@ -79,7 +79,7 @@ fn main() {
         Representation::HierarchicalTaskList,
     ] {
         let estimator = PhaseEstimator::new(cluster.clone(), representation);
-        let est = estimator.merge_estimate(tasks, TopologyKind::TwoDeep);
+        let est = estimator.merge_estimate(tasks, 2);
         println!(
             "  {:<40} {:>8.2} s  ({:.1} MB into the front end)",
             representation.label(),

@@ -17,7 +17,6 @@
 use appsim::{FrameVocabulary, RingHangApp};
 use machine::cluster::{BglMode, Cluster};
 use stat_core::prelude::*;
-use tbon::topology::TopologyKind;
 
 fn main() {
     let tasks = std::env::args()
@@ -27,7 +26,6 @@ fn main() {
 
     let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
     let session = Session::builder(Cluster::bluegene_l(BglMode::CoProcessor))
-        .topology_kind(TopologyKind::TwoDeep)
         .representation(Representation::HierarchicalTaskList)
         .samples_per_task(3)
         .build();

@@ -10,7 +10,7 @@ use machine::cluster::{BglMode, Cluster};
 use machine::placement::PlacementPlan;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel};
 use stat_core::prelude::*;
-use tbon::topology::{TopologyKind, TopologySpec};
+use tbon::topology::TreeShape;
 
 /// Workspace-wiring smoke test: the umbrella crate's re-exports must resolve and
 /// must be the same crates the rest of this file links against directly, and a
@@ -20,7 +20,7 @@ fn umbrella_reexports_resolve_and_run_a_minimal_pipeline() {
     // Every `pub use` in `stat_repro`'s root is exercised by name.
     let app = stat_repro::appsim::RingHangApp::new(64, stat_repro::appsim::FrameVocabulary::Linux);
     let cluster = stat_repro::machine::Cluster::test_cluster(8, 8);
-    let session = stat_repro::stat_core::prelude::Session::builder(cluster).build();
+    let session = stat_repro::stat_core::prelude::Session::builder(cluster.clone()).build();
     let result = session.attach(&app).unwrap();
     assert_eq!(result.gather.classes.len(), 3);
     assert_eq!(result.gather.attach_set().len(), 3);
@@ -29,16 +29,21 @@ fn umbrella_reexports_resolve_and_run_a_minimal_pipeline() {
     // a value built through one path must typecheck through the other.
     let direct: FrameVocabulary = stat_repro::appsim::FrameVocabulary::BlueGeneL;
     assert_eq!(direct, FrameVocabulary::BlueGeneL);
-    let _spec: tbon::topology::TopologySpec = stat_repro::tbon::topology::TopologySpec::flat(4);
+    let _shape: tbon::topology::TreeShape = stat_repro::tbon::topology::TreeShape::flat(4);
+    let _planner: tbon::planner::TopologyPlanner =
+        stat_repro::tbon::planner::TopologyPlanner::new(cluster.clone());
     let _walker: stackwalk::Walker = stat_repro::stackwalk::Walker::new();
     let _rng: simkit::rng::DeterministicRng = stat_repro::simkit::rng::DeterministicRng::new(1);
     let _shell: launch::RemoteShell = stat_repro::launch::RemoteShell::Rsh;
     let _interpose: sbrs::OpenInterposition = stat_repro::sbrs::OpenInterposition::new();
 }
 
-fn session(cluster: Cluster, kind: TopologyKind, representation: Representation) -> Session {
+/// A session pinned to the placement-rule tree of `depth` edges for a job of
+/// `tasks` tasks — the migration path for code that used to pick a `TopologyKind`.
+fn session(cluster: Cluster, tasks: u64, depth: u32, representation: Representation) -> Session {
+    let plan = PlacementPlan::for_job(&cluster, tasks);
     Session::builder(cluster)
-        .topology_kind(kind)
+        .topology(TreeShape::for_placement(&plan, depth))
         .representation(representation)
         .samples_per_task(3)
         .build()
@@ -48,12 +53,12 @@ fn session(cluster: Cluster, kind: TopologyKind, representation: Representation)
 fn ring_hang_diagnosis_is_invariant_across_topology_and_representation() {
     let app = RingHangApp::new(512, FrameVocabulary::BlueGeneL);
     let mut baselines: Vec<Vec<Vec<u64>>> = Vec::new();
-    for kind in TopologyKind::all() {
+    for depth in [1u32, 2, 3, 4] {
         for representation in [
             Representation::GlobalBitVector,
             Representation::HierarchicalTaskList,
         ] {
-            let session = session(Cluster::test_cluster(64, 8), kind, representation);
+            let session = session(Cluster::test_cluster(64, 8), 512, depth, representation);
             let result = session.attach(&app).unwrap();
             let mut class_members: Vec<Vec<u64>> = result
                 .gather
@@ -79,7 +84,8 @@ fn moving_the_injected_bug_moves_the_diagnosis() {
         let app = RingHangApp::new(64, FrameVocabulary::Linux).with_hung_rank(hung);
         let session = session(
             Cluster::test_cluster(8, 8),
-            TopologyKind::TwoDeep,
+            64,
+            2,
             Representation::HierarchicalTaskList,
         );
         let result = session.attach(&app).unwrap();
@@ -105,7 +111,8 @@ fn all_equivalent_jobs_collapse_to_one_class() {
     let app = AllEquivalentApp::new(1_024, FrameVocabulary::Linux);
     let session = session(
         Cluster::test_cluster(128, 8),
-        TopologyKind::ThreeDeep,
+        1_024,
+        3,
         Representation::HierarchicalTaskList,
     );
     let result = session.attach(&app).unwrap();
@@ -119,7 +126,8 @@ fn compute_spread_produces_the_requested_number_of_classes() {
     let app = ComputeSpreadApp::new(640, 5, FrameVocabulary::Linux);
     let session = session(
         Cluster::test_cluster(80, 8),
-        TopologyKind::TwoDeep,
+        640,
+        2,
         Representation::GlobalBitVector,
     );
     let result = session.attach(&app).unwrap();
@@ -138,7 +146,8 @@ fn deadlocked_pair_is_isolated_from_the_barrier_crowd() {
     let app = DeadlockPairApp::new(256, FrameVocabulary::Linux);
     let session = session(
         Cluster::test_cluster(32, 8),
-        TopologyKind::TwoDeep,
+        256,
+        2,
         Representation::HierarchicalTaskList,
     );
     let result = session.attach(&app).unwrap();
@@ -158,7 +167,8 @@ fn bgl_daemon_fanin_matches_the_machine() {
     let app = RingHangApp::new(1_024, FrameVocabulary::BlueGeneL);
     let session = session(
         Cluster::bluegene_l(BglMode::CoProcessor),
-        TopologyKind::TwoDeep,
+        1_024,
+        2,
         Representation::HierarchicalTaskList,
     );
     let result = session.attach(&app).unwrap();
@@ -167,19 +177,57 @@ fn bgl_daemon_fanin_matches_the_machine() {
 }
 
 #[test]
+fn planner_chosen_topology_attaches_at_the_bgl_208k_point() {
+    // The acceptance path for cost-model-driven planning: on the full BG/L in
+    // virtual-node mode (212,992 tasks — the paper's 208K headline), the session
+    // asks the TopologyPlanner for a shape and runs the real pipeline over it.
+    let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+    let tasks = cluster.max_tasks();
+    assert_eq!(tasks, 212_992);
+    let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+    let session = Session::builder(cluster.clone())
+        .plan_topology()
+        .samples_per_task(1)
+        .build();
+    let report = session
+        .attach(&app)
+        .expect("the planned session merges cleanly");
+    assert_eq!(report.daemons, 1_664);
+    assert_eq!(report.traces_gathered, 212_992);
+    // One sample per task keeps the tier-1 run cheap; the polling frames then
+    // split the barrier crowd over a few classes, but the diagnosis holds: the
+    // hung rank and its victim are isolated as singleton classes.
+    let singles: Vec<u64> = report
+        .gather
+        .classes
+        .iter()
+        .filter(|c| c.size() == 1)
+        .map(|c| c.tasks[0])
+        .collect();
+    assert!(singles.contains(&app.hung_rank()));
+    assert!(singles.contains(&app.victim_rank()));
+    // The planned shape respects the machine: at most 28 comm processes on BG/L,
+    // and a deeper-than-flat tree (the paper saw flat fail at this scale).
+    let budget = machine::placement::CommProcessBudget::for_cluster(&cluster);
+    assert!(report.topology.comm_processes() <= budget.max_processes);
+    assert!(report.topology.depth() >= 2);
+    assert_eq!(report.topology, session.topology_for(tasks));
+}
+
+#[test]
 fn startup_sampling_and_merge_compose_into_a_session_estimate() {
     // The full-scale path the figure generators use: every phase priceable at 208K.
     let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
     let tasks = cluster.max_tasks();
     let plan = PlacementPlan::for_job(&cluster, tasks);
-    let spec = TopologySpec::for_placement(TopologyKind::TwoDeep, &plan);
+    let spec = TreeShape::for_placement(&plan, 2);
 
     let startup = BglCiodLauncher::new(CiodPatchLevel::Patched).startup(&cluster, tasks, &spec);
     assert!(startup.succeeded());
 
     let estimator = PhaseEstimator::new(cluster.clone(), Representation::HierarchicalTaskList);
     let sampling = estimator.sampling_estimate(tasks, BinaryPlacement::NfsHome, 9);
-    let merge = estimator.merge_estimate(tasks, TopologyKind::TwoDeep);
+    let merge = estimator.merge_estimate(tasks, 2);
     assert!(merge.failed.is_none());
 
     let total = startup.total().as_secs() + sampling.total.as_secs() + merge.time.as_secs();
@@ -192,7 +240,7 @@ fn startup_sampling_and_merge_compose_into_a_session_estimate() {
 #[test]
 fn rsh_fails_where_launchmon_succeeds_on_the_same_job() {
     let atlas = Cluster::atlas();
-    let spec = TopologySpec::flat(512);
+    let spec = TreeShape::flat(512);
     let rsh = RshLauncher::new(RemoteShell::Rsh).startup(&atlas, 4_096, &spec);
     let lm = LaunchMonLauncher::new().startup(&atlas, 4_096, &spec);
     assert!(!rsh.succeeded());

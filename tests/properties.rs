@@ -6,7 +6,7 @@ use proptest::prelude::*;
 
 use stackwalk::{FrameTable, StackTrace};
 use stat_core::prelude::*;
-use tbon::topology::{Topology, TopologySpec};
+use tbon::topology::{Topology, TreeShape};
 
 // ---------------------------------------------------------------------------------
 // Task-set algebra
@@ -301,7 +301,7 @@ proptest! {
 
     #[test]
     fn built_topologies_always_validate(backends in 1u32..3_000, depth in 1u32..4) {
-        let topo = Topology::build(TopologySpec::balanced(backends, depth));
+        let topo = Topology::build(TreeShape::balanced(backends, depth));
         prop_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
         prop_assert_eq!(topo.backends().len() as u32, backends.max(1));
         prop_assert_eq!(topo.subtree_backends(topo.frontend()), backends.max(1));
@@ -309,7 +309,7 @@ proptest! {
 
     #[test]
     fn explicit_two_deep_specs_validate(backends in 1u32..2_000, comm in 1u32..64) {
-        let topo = Topology::build(TopologySpec::two_deep(backends, comm));
+        let topo = Topology::build(TreeShape::two_deep(backends, comm));
         prop_assert!(topo.validate().is_ok());
         let total: u32 = topo
             .comm_processes()
@@ -317,6 +317,42 @@ proptest! {
             .map(|&cp| topo.node(cp).children.len() as u32)
             .sum();
         prop_assert_eq!(total, backends.max(1));
+    }
+
+    #[test]
+    fn arbitrary_tree_shapes_build_reachable_trees(
+        backends in 1u32..4_096,
+        fan_in in 2u32..=64,
+        depth in 1u32..=6,
+    ) {
+        // Any fan-in × depth shape — most of them inexpressible under the old
+        // closed Flat/TwoDeep/ThreeDeep enum — must build a structurally valid
+        // tree whose levels match the shape exactly.
+        let shape = TreeShape::uniform_with_depth(backends, fan_in, depth);
+        prop_assert_eq!(shape.depth(), depth);
+        let topo = Topology::build(shape.clone());
+        prop_assert!(topo.validate().is_ok(), "{:?}", topo.validate());
+
+        // Level widths of the built tree match the shape level for level.
+        prop_assert_eq!(topo.levels().len(), shape.level_widths.len());
+        for (level, ids) in topo.levels().iter().enumerate() {
+            prop_assert_eq!(ids.len() as u32, shape.level_widths[level]);
+        }
+
+        // Every backend is reachable from the front end by walking child links.
+        let mut seen = vec![false; topo.len()];
+        let mut stack = vec![topo.frontend()];
+        while let Some(id) = stack.pop() {
+            seen[id.0 as usize] = true;
+            stack.extend(topo.node(id).children.iter().copied());
+        }
+        for &backend in topo.backends() {
+            prop_assert!(seen[backend.0 as usize], "{} unreachable", backend);
+        }
+
+        // The front end's subtree is the whole daemon population.
+        prop_assert_eq!(topo.subtree_backends(topo.frontend()), backends.max(1));
+        prop_assert_eq!(topo.backends().len() as u32, backends.max(1));
     }
 }
 

@@ -6,11 +6,9 @@ use appsim::{Application, CheckpointStormApp, FrameVocabulary, IterativeSolverAp
 use machine::Cluster;
 use stat_core::prelude::*;
 use statbench::{EmulatedJob, TraceShape};
-use tbon::topology::TopologyKind;
 
 fn run(app: &dyn Application, samples: u32) -> SessionReport {
     Session::builder(Cluster::test_cluster(64, 8))
-        .topology_kind(TopologyKind::TwoDeep)
         .representation(Representation::HierarchicalTaskList)
         .samples_per_task(samples)
         .build()
@@ -126,9 +124,9 @@ fn emulated_jobs_and_real_apps_share_the_same_pipeline() {
 #[test]
 fn overlay_fault_handling_degrades_gracefully() {
     use tbon::fault::FaultTracker;
-    use tbon::topology::{Topology, TopologySpec};
+    use tbon::topology::{Topology, TreeShape};
 
-    let topology = Topology::build(TopologySpec::two_deep(32, 4));
+    let topology = Topology::build(TreeShape::two_deep(32, 4));
     let mut tracker = FaultTracker::new(topology.clone());
     // Lose one communication process: its 8 daemons disappear, the session survives.
     let cp = topology.comm_processes()[1];
@@ -151,7 +149,7 @@ fn overlay_fault_handling_degrades_gracefully() {
     // topology pinned via the builder.
     let degraded = Session::builder(Cluster::test_cluster(64, 8))
         .representation(Representation::HierarchicalTaskList)
-        .topology_spec(TopologySpec::two_deep(24, 4))
+        .topology(TreeShape::two_deep(24, 4))
         .build();
     let gather = degraded.merge(surviving, 256).unwrap();
     let covered = gather.tree_3d.tasks(gather.tree_3d.root()).count();
