@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks of the prefix-tree operations every experiment rests
 //! on: building daemon-local trees, merging them, and serialising them for the TBON.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use appsim::{Application, FrameVocabulary, RingHangApp};
 use stackwalk::{FrameTable, Walker};
@@ -17,6 +17,25 @@ fn build_tree(tasks: u64, table: &mut FrameTable) -> GlobalPrefixTree {
         tree.add_trace(&trace, rank);
     }
     tree
+}
+
+/// One locally merged subtree tree per daemon, in daemon order — the input wave a
+/// level of the hierarchical merge actually sees.
+fn build_daemon_trees(tasks: u64, daemons: u64, table: &mut FrameTable) -> Vec<SubtreePrefixTree> {
+    let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+    let mut walker = Walker::new();
+    let local = tasks / daemons;
+    (0..daemons)
+        .map(|d| {
+            let mut tree = SubtreePrefixTree::new_subtree(local);
+            for pos in 0..local {
+                let path = app.main_thread_path(d * local + pos, 0);
+                let trace = walker.walk(table, &path);
+                tree.add_trace(&trace, pos);
+            }
+            tree
+        })
+        .collect()
 }
 
 fn bench_build(c: &mut Criterion) {
@@ -41,9 +60,34 @@ fn bench_merge(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
             b.iter(|| {
                 let mut acc = left.clone();
-                acc.merge(&right);
+                acc.merge_ref(&right);
                 acc
             })
+        });
+    }
+    group.finish();
+}
+
+/// The hierarchical merge chain: fold one subtree tree per daemon into the job-wide
+/// merged tree, exactly what a comm process (and ultimately the front end) does.
+/// This is the hot path ISSUE 4 rewrites; `results/BENCH_merge.md` tracks it.
+fn bench_hierarchical_merge_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hierarchical_merge_chain");
+    for (tasks, daemons) in [(1_024u64, 8u64), (8_192, 64)] {
+        let mut table = FrameTable::new();
+        let trees = build_daemon_trees(tasks, daemons, &mut table);
+        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, _| {
+            b.iter_batched(
+                || trees.clone(),
+                |mut waves| {
+                    let mut acc = waves.remove(0);
+                    for tree in waves {
+                        acc.merge(tree);
+                    }
+                    acc
+                },
+                BatchSize::LargeInput,
+            )
         });
     }
     group.finish();
@@ -67,5 +111,5 @@ fn bench_encode_decode(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_build, bench_merge, bench_encode_decode);
+    targets = bench_build, bench_merge, bench_hierarchical_merge_chain, bench_encode_decode);
 criterion_main!(benches);

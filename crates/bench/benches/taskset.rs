@@ -29,7 +29,7 @@ fn bench_dense_union(c: &mut Criterion) {
 
 fn bench_subtree_concat(c: &mut Criterion) {
     let mut group = c.benchmark_group("subtree_concatenate");
-    for local in [64u64, 1_024] {
+    for local in [64u64, 1_024, 106_496] {
         let mut a = SubtreeTaskList::empty(local);
         let mut b = SubtreeTaskList::empty(local);
         for i in 0..local {
@@ -56,8 +56,42 @@ fn bench_subtree_concat(c: &mut Criterion) {
     group.finish();
 }
 
+/// The rank map the front end actually sees: positions arrive in daemon
+/// (TBON child) order, each daemon's block of ranks contiguous and ascending,
+/// with the daemon blocks themselves permuted.  BG/L VN shape: 128 tasks per
+/// I/O-node daemon.
+fn blocked_rank_map(tasks: u64, tasks_per_daemon: u64) -> Vec<u64> {
+    let daemons = tasks / tasks_per_daemon;
+    (0..tasks)
+        .map(|pos| {
+            let daemon = pos / tasks_per_daemon;
+            let local = pos % tasks_per_daemon;
+            (daemons - 1 - daemon) * tasks_per_daemon + local
+        })
+        .collect()
+}
+
 fn bench_remap(c: &mut Criterion) {
+    // The realistic front-end workload (daemon-blocked rank map) — the series
+    // `results/BENCH_merge.md` tracks.
     let mut group = c.benchmark_group("remap_to_rank_order");
+    group.sample_size(10);
+    for tasks in [8_192u64, 212_992] {
+        let mut set = SubtreeTaskList::empty(tasks);
+        for i in 0..tasks {
+            set.insert(i);
+        }
+        let map = blocked_rank_map(tasks, 128);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tasks),
+            &tasks,
+            |bench, &tasks| bench.iter(|| set.remap_to_dense(&map, tasks)),
+        );
+    }
+    group.finish();
+
+    // The adversarial map (every position reverses): no contiguous runs at all.
+    let mut group = c.benchmark_group("remap_to_rank_order_scattered");
     group.sample_size(10);
     for tasks in [8_192u64, 212_992] {
         let mut set = SubtreeTaskList::empty(tasks);

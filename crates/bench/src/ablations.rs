@@ -83,8 +83,9 @@ pub fn ablation_bitvector() -> SeriesTable {
             );
         }
     }
-    // Real packet sizes from one daemon's locally merged trees.
-    for tasks in [8_192u64, 32_768, 131_072] {
+    // Real packet sizes from one daemon's locally merged trees (the largest scale
+    // is shrunk under `STATBENCH_FAST`).
+    for tasks in [8_192u64, 32_768, crate::scaled(131_072, 65_536)] {
         let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
         let daemons = StatDaemon::partition(tasks, cluster.daemons_for(tasks));
         let daemon = &daemons[0];
@@ -113,7 +114,13 @@ pub fn ablation_proctable() -> SeriesTable {
         "entries",
         "milliseconds",
     );
-    for entries in [1_000u64, 4_000, 16_000, 64_000] {
+    // The largest (quadratic-cost) point is dropped under `STATBENCH_FAST`; the
+    // slope is still unmistakable from the remaining decade and a half.
+    let mut scales = vec![1_000u64, 4_000, 16_000];
+    if !crate::fast_mode() {
+        scales.push(64_000);
+    }
+    for entries in scales {
         let pt = ProcessTable::synthetic(entries, 64, "/g/g0/user/ring_test_bgl");
         let start = std::time::Instant::now();
         let naive = pack_naive(&pt);
@@ -197,11 +204,12 @@ mod tests {
     #[test]
     fn representation_ablation_shows_the_gap_in_real_packets() {
         let table = ablation_bitvector();
+        let largest = crate::scaled(131_072, 65_536);
         let dense = table
-            .value_at("real daemon packet bytes (original)", 131_072)
+            .value_at("real daemon packet bytes (original)", largest)
             .unwrap();
         let hier = table
-            .value_at("real daemon packet bytes (optimized)", 131_072)
+            .value_at("real daemon packet bytes (optimized)", largest)
             .unwrap();
         assert!(dense / hier > 50.0, "got {dense} vs {hier}");
     }

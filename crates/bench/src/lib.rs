@@ -16,6 +16,26 @@
 pub mod ablations;
 pub mod figures;
 
+/// True when the `STATBENCH_FAST` environment variable is set (to anything but
+/// `0` or the empty string): the figure generators shrink their largest scales so
+/// the unit-test suite fits in CI time instead of re-running the full 212,992-task
+/// campaign.  `results/BENCH_merge.md` records the suite wall time both ways.
+pub fn fast_mode() -> bool {
+    std::env::var("STATBENCH_FAST")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// `full` normally, `fast` under [`fast_mode`] — the one-line knob the figure
+/// generators scale themselves with.
+pub fn scaled(full: u64, fast: u64) -> u64 {
+    if fast_mode() {
+        fast
+    } else {
+        full
+    }
+}
+
 pub use figures::{
     fig01_prefix_tree, fig02_startup_atlas, fig03_startup_bgl, fig04_merge_atlas, fig05_merge_bgl,
     fig06_bitvector_demo, fig07_merge_optimized, fig08_sampling_atlas, fig09_sampling_bgl,

@@ -61,12 +61,11 @@ pub fn equivalence_classes<S: TaskSetOps>(tree: &PrefixTree<S>) -> Vec<Equivalen
         let deeper: std::collections::HashSet<u64> = tree
             .children(node)
             .iter()
-            .flat_map(|&c| tree.tasks(c).members())
+            .flat_map(|&c| tree.tasks(c).iter_members())
             .collect();
         let terminal: Vec<u64> = tree
             .tasks(node)
-            .members()
-            .into_iter()
+            .iter_members()
             .filter(|t| !deeper.contains(t))
             .collect();
         if !terminal.is_empty() {

@@ -49,7 +49,9 @@ impl<S: WireTaskSet + Send + Sync> Filter for StatMergeFilter<S> {
             merged = Some(match merged.take() {
                 None => tree,
                 Some(mut acc) => {
-                    acc.merge(&tree);
+                    // By-value merge: the decoded child tree's task sets move into
+                    // the accumulator, nothing is cloned on the hot path.
+                    acc.merge(tree);
                     acc
                 }
             });

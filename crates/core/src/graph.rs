@@ -13,6 +13,23 @@
 //! subtree-local task lists.  The [`PrefixTree::merge`] operation does whichever the
 //! representation requires: a plain union for the global representation, or the
 //! offset-and-concatenate ("hierarchical") merge for subtree task lists.
+//!
+//! ## The merge hot path (ISSUE 4)
+//!
+//! [`PrefixTree::merge`] consumes the other tree **by value**: matched nodes are
+//! combined with a word-level shifted union ([`TaskSetOps::union_shifted`]) and
+//! unmatched subtrees *move* their task sets across — the hierarchical path never
+//! clones a tree, and the accumulated tree widens in place, so peak memory stays
+//! proportional to one input wave.  Callers that must keep the source use
+//! [`PrefixTree::merge_ref`].  Child lookup is a tree-wide `(parent, frame)` hash
+//! (an O(1) probe, not a sibling scan — `add_trace`, `merge` and packet decode all
+//! go through it), and every
+//! traversal — merge, [`PrefixTree::depth`], [`SubtreePrefixTree::remap`] — runs an
+//! explicit worklist, so a pathologically deep trace cannot overflow the stack.
+//! Before/after numbers live in `results/BENCH_merge.md`.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use stackwalk::{FrameId, StackTrace, TaskSamples};
 
@@ -20,6 +37,48 @@ use crate::taskset::{DenseBitVector, SubtreeTaskList, TaskSetOps};
 
 /// Index of a node within one tree.
 pub type NodeIdx = usize;
+
+/// A minimal FxHash-style hasher for the `(parent, frame)` child index: the keys are
+/// small integers, so a multiply-xor mix beats the DoS-resistant default by a wide
+/// margin on the merge hot path (and we vendor no external fast-hash crate).
+#[derive(Clone, Copy, Debug, Default)]
+struct ChildKeyHasher {
+    hash: u64,
+}
+
+impl ChildKeyHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    fn mix(&mut self, value: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ value).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for ChildKeyHasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.mix(b as u64);
+        }
+    }
+
+    fn write_u32(&mut self, value: u32) {
+        self.mix(value as u64);
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        self.mix(value);
+    }
+
+    fn write_usize(&mut self, value: usize) {
+        self.mix(value as u64);
+    }
+}
+
+type ChildIndex = HashMap<(NodeIdx, FrameId), NodeIdx, BuildHasherDefault<ChildKeyHasher>>;
 
 #[derive(Clone, Debug)]
 struct TreeEntry<S> {
@@ -35,6 +94,10 @@ pub struct PrefixTree<S: TaskSetOps> {
     width: u64,
     concatenating: bool,
     nodes: Vec<TreeEntry<S>>,
+    /// O(1) frame→child lookup: `(parent, frame) → child`.  Maintained by
+    /// `add_child`, used by `add_trace`, `merge` and packet decode in place of the
+    /// old linear sibling scan.
+    child_index: ChildIndex,
 }
 
 impl<S: TaskSetOps> PrefixTree<S> {
@@ -55,6 +118,7 @@ impl<S: TaskSetOps> PrefixTree<S> {
                 children: Vec::new(),
                 tasks: S::empty(width),
             }],
+            child_index: ChildIndex::default(),
         }
     }
 
@@ -105,15 +169,17 @@ impl<S: TaskSetOps> PrefixTree<S> {
     }
 
     /// Maximum depth (frames) of any path in the tree.
+    ///
+    /// Iterative (a worklist, not recursion), so a pathologically deep trace — tens
+    /// of thousands of frames — cannot overflow the stack.
     pub fn depth(&self) -> usize {
-        fn walk<S: TaskSetOps>(tree: &PrefixTree<S>, node: NodeIdx, depth: usize) -> usize {
-            tree.children(node)
-                .iter()
-                .map(|&c| walk(tree, c, depth + 1))
-                .max()
-                .unwrap_or(depth)
+        let mut deepest = 0;
+        let mut work: Vec<(NodeIdx, usize)> = vec![(self.root(), 0)];
+        while let Some((node, depth)) = work.pop() {
+            deepest = deepest.max(depth);
+            work.extend(self.children(node).iter().map(|&c| (c, depth + 1)));
         }
-        walk(self, self.root(), 0)
+        deepest
     }
 
     /// Leaf node indices, in a stable order.
@@ -138,22 +204,24 @@ impl<S: TaskSetOps> PrefixTree<S> {
     }
 
     fn child_with_frame(&self, node: NodeIdx, frame: FrameId) -> Option<NodeIdx> {
-        self.nodes[node]
-            .children
-            .iter()
-            .copied()
-            .find(|&c| self.nodes[c].frame == Some(frame))
+        self.child_index.get(&(node, frame)).copied()
     }
 
     fn add_child(&mut self, parent: NodeIdx, frame: FrameId) -> NodeIdx {
+        let tasks = S::empty(self.width);
+        self.add_child_with_tasks(parent, frame, tasks)
+    }
+
+    fn add_child_with_tasks(&mut self, parent: NodeIdx, frame: FrameId, tasks: S) -> NodeIdx {
         let idx = self.nodes.len();
         self.nodes.push(TreeEntry {
             frame: Some(frame),
             parent: Some(parent),
             children: Vec::new(),
-            tasks: S::empty(self.width),
+            tasks,
         });
         self.nodes[parent].children.push(idx);
+        self.child_index.insert((parent, frame), idx);
         idx
     }
 
@@ -186,58 +254,92 @@ impl<S: TaskSetOps> PrefixTree<S> {
         }
     }
 
-    fn rebase_all(&mut self, offset: u64, new_width: u64) {
+    /// Widen every task set in place to `new_width` (the accumulated tree's side of
+    /// a hierarchical merge: no per-member work, just word-vector growth).
+    fn widen_all(&mut self, new_width: u64) {
         for node in &mut self.nodes {
-            node.tasks.rebase(offset, new_width);
+            node.tasks.rebase(0, new_width);
         }
         self.width = new_width;
     }
 
-    fn merge_structure(&mut self, self_node: NodeIdx, other: &PrefixTree<S>, other_node: NodeIdx) {
-        let other_tasks = other.tasks(other_node).clone();
-        self.nodes[self_node].tasks.union_in_place(&other_tasks);
-        // Collect child frame ids first to keep the borrow checker happy.
-        let other_children: Vec<NodeIdx> = other.children(other_node).to_vec();
-        for oc in other_children {
-            let frame = other
-                .frame(oc)
-                .expect("non-root nodes always carry a frame");
-            let sc = match self.child_with_frame(self_node, frame) {
-                Some(existing) => existing,
-                None => self.add_child(self_node, frame),
-            };
-            self.merge_structure(sc, other, oc);
-        }
-    }
-
-    /// Merge another tree into this one.
+    /// Merge another tree into this one, consuming it.
     ///
     /// * Global (dense) representation: both trees already describe the job-wide
-    ///   domain, so edge labels are unioned in place.
+    ///   domain, so matched edge labels are unioned in place and unmatched subtrees
+    ///   *move* their labels across without a copy.
     /// * Hierarchical representation: the domains are concatenated — this tree keeps
     ///   positions `0..w₁`, the other tree's positions become `w₁..w₁+w₂` — exactly
     ///   the "combine the task lists of all children by simple concatenation" step of
-    ///   Section V-B.
-    pub fn merge(&mut self, other: &PrefixTree<S>) {
+    ///   Section V-B.  This tree widens in place and the other tree's labels are
+    ///   shifted-OR'd ([`TaskSetOps::union_shifted`]) or moved-and-rebased in, so
+    ///   nothing is cloned: the merge is O(matched words + moved nodes).
+    ///
+    /// Callers that need to keep the source tree use [`PrefixTree::merge_ref`].
+    ///
+    /// The traversal is an explicit worklist: merging arbitrarily deep 3D traces
+    /// cannot overflow the stack.
+    pub fn merge(&mut self, mut other: PrefixTree<S>) {
         assert_eq!(
             self.concatenating, other.concatenating,
             "cannot merge trees with different representations"
         );
-        if self.concatenating {
+        let offset = if self.concatenating {
             let w1 = self.width;
-            let w2 = other.width;
-            let new_width = w1 + w2;
-            self.rebase_all(0, new_width);
-            let mut other = other.clone();
-            other.rebase_all(w1, new_width);
-            self.merge_structure(self.root(), &other, other.root());
+            self.widen_all(w1 + other.width);
+            w1
         } else {
             assert_eq!(
                 self.width, other.width,
                 "global trees must share the job-wide domain"
             );
-            self.merge_structure(self.root(), other, other.root());
+            0
+        };
+        let new_width = self.width;
+
+        // One worklist of (self node, other node, grafted) triples.  A node of
+        // `other` whose frame is new under its matched parent moves across
+        // wholesale: its task set is taken (not cloned) and rebased word-level.
+        // Below a grafted node every descendant is new by construction, so the
+        // child-index probe (and the union — a fresh node already carries the moved
+        // set) is skipped.
+        let mut work: Vec<(NodeIdx, NodeIdx, bool)> = vec![(self.root(), other.root(), false)];
+        while let Some((sn, on, grafted)) = work.pop() {
+            if !grafted {
+                self.nodes[sn]
+                    .tasks
+                    .union_shifted(&other.nodes[on].tasks, offset);
+            }
+            for ci in 0..other.nodes[on].children.len() {
+                let oc = other.nodes[on].children[ci];
+                let frame = other.nodes[oc]
+                    .frame
+                    .expect("non-root nodes always carry a frame");
+                let matched = if grafted {
+                    None
+                } else {
+                    self.child_with_frame(sn, frame)
+                };
+                match matched {
+                    Some(sc) => work.push((sc, oc, false)),
+                    None => {
+                        let mut tasks = std::mem::replace(&mut other.nodes[oc].tasks, S::empty(0));
+                        tasks.rebase(offset, new_width);
+                        let sc = self.add_child_with_tasks(sn, frame, tasks);
+                        work.push((sc, oc, true));
+                    }
+                }
+            }
         }
+    }
+
+    /// Merge another tree into this one while keeping the source intact.
+    ///
+    /// This is the shim for the few callers (tests, benchmarks, repeated degraded
+    /// gathers) that genuinely need to retain `other`; the hot path is the by-value
+    /// [`PrefixTree::merge`], which never clones a tree.
+    pub fn merge_ref(&mut self, other: &PrefixTree<S>) {
+        self.merge(other.clone());
     }
 
     /// Total bytes of task-set labels a serialised copy of this tree carries — the
@@ -291,35 +393,32 @@ impl SubtreePrefixTree {
     /// The front end's remap step: convert a fully merged subtree tree (whose
     /// positions are in daemon/TBON order) into a job-wide tree in MPI rank order,
     /// using the position→rank map gathered during setup.
+    ///
+    /// Each edge label is translated by [`SubtreeTaskList::remap_to_dense`] — which
+    /// copies the contiguous runs a daemon-ordered rank map is made of word by word,
+    /// and inserts ranks directly otherwise (never materialising a job-wide
+    /// singleton per member) — and the structure copy is an explicit worklist, so
+    /// depth is bounded by memory, not the call stack.
     pub fn remap(&self, position_to_rank: &[u64], total_tasks: u64) -> GlobalPrefixTree {
         assert!(
             position_to_rank.len() as u64 >= self.width,
             "rank map must cover every position in the merged tree"
         );
         let mut out = GlobalPrefixTree::new_global(total_tasks);
-        // Rebuild the structure node by node, remapping each label.
-        fn copy<S: TaskSetOps>(
-            src: &PrefixTree<SubtreeTaskList>,
-            src_node: NodeIdx,
-            dst: &mut PrefixTree<S>,
-            dst_node: NodeIdx,
-            map: &[u64],
-        ) {
-            for &child in src.children(src_node) {
-                let frame = src.frame(child).expect("non-root has frame");
-                let new_child = dst.add_child(dst_node, frame);
-                for pos in src.tasks(child).members() {
-                    dst.nodes[new_child].tasks.insert(map[pos as usize]);
-                }
-                copy(src, child, dst, new_child, map);
+        out.nodes[0].tasks = self
+            .tasks(self.root())
+            .remap_to_dense(position_to_rank, total_tasks);
+        let mut work: Vec<(NodeIdx, NodeIdx)> = vec![(self.root(), 0)];
+        while let Some((src_node, dst_node)) = work.pop() {
+            for &child in self.children(src_node) {
+                let frame = self.frame(child).expect("non-root has frame");
+                let tasks = self
+                    .tasks(child)
+                    .remap_to_dense(position_to_rank, total_tasks);
+                let new_child = out.add_child_with_tasks(dst_node, frame, tasks);
+                work.push((child, new_child));
             }
         }
-        for pos in self.tasks(self.root()).members() {
-            let rank = position_to_rank[pos as usize];
-            let singleton = DenseBitVector::singleton(total_tasks, rank);
-            out.nodes[0].tasks.union_in_place(&singleton);
-        }
-        copy(self, self.root(), &mut out, 0, position_to_rank);
         out
     }
 }
@@ -394,7 +493,7 @@ mod tests {
         for rank in 8..16 {
             right.add_trace(&barrier, rank);
         }
-        left.merge(&right);
+        left.merge(right);
         assert_eq!(left.tasks(left.root()).count(), 16);
         let leaves = left.leaves();
         assert_eq!(leaves.len(), 2);
@@ -418,9 +517,9 @@ mod tests {
             b.add_trace(&compute, rank);
         }
         let mut ab = a.clone();
-        ab.merge(&b);
+        ab.merge_ref(&b);
         let mut ba = b.clone();
-        ba.merge(&a);
+        ba.merge_ref(&a);
         assert_eq!(ab.node_count(), ba.node_count());
         assert_eq!(ab.edge_count(), ba.edge_count());
         assert_eq!(ab.tasks(ab.root()).members(), ba.tasks(ba.root()).members());
@@ -447,7 +546,7 @@ mod tests {
         d1.add_trace(&barrier, 1);
 
         let mut merged = d0.clone();
-        merged.merge(&d1);
+        merged.merge(d1);
         assert_eq!(merged.width(), 4);
         assert_eq!(merged.tasks(merged.root()).count(), 4);
         let leaves = merged.leaves();
@@ -496,7 +595,7 @@ mod tests {
         d1.add_trace(&barrier, 1); // rank 3
 
         let mut merged = d0.clone();
-        merged.merge(&d1);
+        merged.merge(d1);
         let position_to_rank = vec![0u64, 2, 1, 3];
         let global = merged.remap(&position_to_rank, 4);
 
@@ -536,10 +635,115 @@ mod tests {
     }
 
     #[test]
+    fn merge_ref_keeps_the_source_tree_usable() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let mut a = SubtreePrefixTree::new_subtree(2);
+        a.add_trace(&barrier, 0);
+        a.add_trace(&barrier, 1);
+        let mut b = SubtreePrefixTree::new_subtree(3);
+        b.add_trace(&barrier, 2);
+
+        let mut merged = SubtreePrefixTree::new_subtree(0);
+        merged.merge_ref(&a);
+        merged.merge_ref(&b);
+        // The sources are untouched and reusable.
+        assert_eq!(a.width(), 2);
+        assert_eq!(b.tasks(b.root()).members(), vec![2]);
+        assert_eq!(merged.width(), 5);
+        assert_eq!(merged.tasks(merged.root()).members(), vec![0, 1, 4]);
+    }
+
+    #[test]
+    fn hierarchical_merge_is_word_level_across_unaligned_widths() {
+        // Widths that are not multiples of 64 force the shifted-word path with a
+        // carry; the result must match per-member expectations exactly.
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let mut acc = SubtreePrefixTree::new_subtree(0);
+        let mut expected: Vec<u64> = Vec::new();
+        let mut offset = 0u64;
+        for local in [3u64, 70, 64, 129, 1] {
+            let mut d = SubtreePrefixTree::new_subtree(local);
+            for p in 0..local {
+                if p % 3 != 1 {
+                    d.add_trace(&barrier, p);
+                    expected.push(offset + p);
+                }
+            }
+            acc.merge(d);
+            offset += local;
+        }
+        assert_eq!(acc.width(), offset);
+        let leaf = acc.leaves()[0];
+        assert_eq!(acc.tasks(leaf).members(), expected);
+    }
+
+    #[test]
+    fn pathologically_deep_traces_merge_and_remap_iteratively() {
+        // 10,000 frames: the old recursive merge/depth/remap would overflow the
+        // stack here (especially in debug builds); the worklist versions must not.
+        let mut table = FrameTable::new();
+        let names: Vec<String> = (0..10_000).map(|i| format!("f{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let deep = trace(&mut table, &name_refs);
+
+        let mut d0 = SubtreePrefixTree::new_subtree(1);
+        d0.add_trace(&deep, 0);
+        assert_eq!(d0.depth(), 10_000);
+
+        let mut d1 = SubtreePrefixTree::new_subtree(1);
+        d1.add_trace(&deep, 0);
+        d0.merge(d1);
+        assert_eq!(d0.depth(), 10_000);
+        assert_eq!(d0.node_count(), 10_001);
+        assert_eq!(d0.width(), 2);
+
+        let global = d0.remap(&[1, 0], 2);
+        assert_eq!(global.depth(), 10_000);
+        let leaf = global.leaves()[0];
+        assert_eq!(global.tasks(leaf).members(), vec![0, 1]);
+    }
+
+    #[test]
+    fn merge_moves_unmatched_subtrees_without_touching_matched_labels() {
+        // A tree whose branches are disjoint from the accumulator's: after the
+        // merge the grafted branch carries exactly the source's members, and the
+        // shared spine carries the union.
+        let mut table = FrameTable::new();
+        let left = trace(&mut table, &["_start", "main", "left_branch", "leaf_a"]);
+        let right = trace(&mut table, &["_start", "main", "right_branch", "leaf_b"]);
+        let mut a = GlobalPrefixTree::new_global(16);
+        for r in 0..8 {
+            a.add_trace(&left, r);
+        }
+        let mut b = GlobalPrefixTree::new_global(16);
+        for r in 8..16 {
+            b.add_trace(&right, r);
+        }
+        a.merge(b);
+        assert_eq!(a.tasks(a.root()).count(), 16);
+        let leaves = a.leaves();
+        assert_eq!(leaves.len(), 2);
+        for &leaf in &leaves {
+            let members = a.tasks(leaf).members();
+            assert!(
+                members == (0..8).collect::<Vec<_>>() || members == (8..16).collect::<Vec<_>>()
+            );
+        }
+        // And subsequent inserts through the child index still find every node.
+        let mut c = GlobalPrefixTree::new_global(16);
+        c.add_trace(&left, 3);
+        c.add_trace(&right, 4);
+        a.merge(c);
+        assert_eq!(a.node_count(), 7); // root, _start, main, 2×(branch, leaf)
+    }
+
+    #[test]
     #[should_panic(expected = "different representations")]
     fn mixing_representations_is_rejected() {
         let a = PrefixTree::<DenseBitVector>::new(8, false);
         let mut b = PrefixTree::<DenseBitVector>::new(8, true);
-        b.merge(&a);
+        b.merge(a);
     }
 }

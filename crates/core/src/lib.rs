@@ -77,7 +77,9 @@ pub mod prelude {
         MergeEstimate, PhaseEstimator, PhaseTimings, Session, SessionBuilder, SessionReport,
     };
     pub use crate::strategy::{MergedTrees, RepresentationStrategy};
-    pub use crate::taskset::{format_rank_ranges, DenseBitVector, SubtreeTaskList, TaskSetOps};
+    pub use crate::taskset::{
+        format_rank_ranges, DenseBitVector, MemberIter, SubtreeTaskList, TaskSetOps,
+    };
     pub use crate::threads::{measure_thread_scaling, project_thread_counts};
 }
 

@@ -17,6 +17,19 @@
 //! Both are implemented here for real, behind the [`TaskSetOps`] trait so the prefix
 //! tree, the merge filter and the benchmarks can run the same algorithm over either
 //! representation and measure the difference instead of asserting it.
+//!
+//! ## Word-level concatenation
+//!
+//! Since ISSUE 4 the hierarchical concatenation is a *word* operation, not a member
+//! operation: [`TaskSetOps::union_shifted`] ORs the other set's packed words into
+//! this one at a bit offset (two shifts and an OR per word), and
+//! [`TaskSetOps::rebase`] re-embeds a set into a wider domain the same way.  Merging
+//! two subtree trees therefore costs O(words), independent of how many members the
+//! sets hold — at 208K tasks that is ~3,300 `u64`s per edge instead of 212,992
+//! individual inserts.  [`TaskSetOps::iter_members`] walks members without
+//! materialising a `Vec`, and [`SubtreeTaskList::remap_to_dense`] recognises the
+//! contiguous runs a daemon-ordered rank map is made of and copies them word by
+//! word.  `results/BENCH_merge.md` records what these rewrites bought.
 
 use std::fmt;
 
@@ -45,20 +58,125 @@ pub trait TaskSetOps: Clone + fmt::Debug {
     /// Whether a position is a member.
     fn contains(&self, index: u64) -> bool;
 
-    /// Members in ascending order.
-    fn members(&self) -> Vec<u64>;
+    /// Members in ascending order, without allocating.
+    ///
+    /// Every internal caller that used to call [`TaskSetOps::members`] and throw the
+    /// `Vec` away walks this instead.
+    fn iter_members(&self) -> MemberIter<'_>;
+
+    /// Members in ascending order, collected into a `Vec` (for presentation-layer
+    /// callers that genuinely need one).
+    fn members(&self) -> Vec<u64> {
+        self.iter_members().collect()
+    }
 
     /// Union with another set over the same domain.
     fn union_in_place(&mut self, other: &Self);
 
+    /// OR `other`'s members into this set, shifted up by `offset` positions — the
+    /// word-level concatenation step of the hierarchical merge (O(words), not
+    /// O(members)).  Requires `offset + other.width() <= self.width()`.  The dense
+    /// representation never changes domain, so it only accepts `offset == 0`, where
+    /// this is a plain union.
+    fn union_shifted(&mut self, other: &Self, offset: u64);
+
     /// Re-embed this set into a wider domain, shifting every member by `offset`.
-    /// This is the concatenation step of the hierarchical merge; the dense
-    /// representation never changes domain, so its implementation only checks that
-    /// the call is the identity.
+    /// This is the concatenation step of the hierarchical merge, done at word level:
+    /// `offset == 0` is an in-place widen (no per-member work at all), any other
+    /// offset is a shifted word copy.  The dense representation never changes
+    /// domain, so its implementation only checks that the call is the identity.
     fn rebase(&mut self, offset: u64, new_width: u64);
 
     /// Bytes this set occupies in a serialised prefix tree.
     fn serialized_bytes(&self) -> u64;
+}
+
+/// Allocation-free iterator over the members of a packed-word task set, ascending.
+///
+/// The length is exact (a popcount taken at construction), so `collect::<Vec<_>>()`
+/// — the default [`TaskSetOps::members`] — allocates once.
+#[derive(Clone, Debug)]
+pub struct MemberIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+    remaining: usize,
+}
+
+impl<'a> MemberIter<'a> {
+    fn new(words: &'a [u64]) -> Self {
+        MemberIter {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+            remaining: words.iter().map(|w| w.count_ones() as usize).sum(),
+        }
+    }
+}
+
+impl Iterator for MemberIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as u64;
+        self.current &= self.current - 1;
+        self.remaining -= 1;
+        Some(self.word_idx as u64 * 64 + bit)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for MemberIter<'_> {}
+
+// ---------------------------------------------------------------------------------
+// Shared word-level machinery (both representations pack members into u64 words)
+// ---------------------------------------------------------------------------------
+
+fn words_for(width: u64) -> usize {
+    width.div_ceil(64) as usize
+}
+
+/// Zero any bits at or above `width` in the last word, so a malformed packet can
+/// never corrupt `count`/`members`.
+fn mask_stray_bits(width: u64, words: &mut [u64]) {
+    let used = (width % 64) as u32;
+    if used != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << used) - 1;
+        }
+    }
+}
+
+/// OR `src`'s words into `dst` at a bit offset: two shifts and an OR per word.
+/// Requires `dst` to be wide enough for every set bit of `src` shifted by `offset`
+/// (callers assert the domain arithmetic; `src` carries no stray bits above its
+/// width by construction).
+fn or_shifted(dst: &mut [u64], src: &[u64], offset: u64) {
+    let word_off = (offset / 64) as usize;
+    let bit_off = (offset % 64) as u32;
+    if bit_off == 0 {
+        for (d, &s) in dst[word_off..].iter_mut().zip(src.iter()) {
+            *d |= s;
+        }
+    } else {
+        for (i, &s) in src.iter().enumerate() {
+            dst[word_off + i] |= s << bit_off;
+            let carry = s >> (64 - bit_off);
+            if carry != 0 {
+                dst[word_off + i + 1] |= carry;
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -73,19 +191,25 @@ pub struct DenseBitVector {
 }
 
 impl DenseBitVector {
-    fn word_count(width: u64) -> usize {
-        width.div_ceil(64) as usize
-    }
-
     /// Direct access to the packed words (used by serialisation).
     pub fn words(&self) -> &[u64] {
         &self.words
     }
 
     /// Reconstruct from packed words (used by deserialisation).
+    ///
+    /// Stray bits at or above `width` in the last word are masked off and a word
+    /// vector longer than the domain requires is rejected, so a malformed packet
+    /// cannot corrupt `count`/`members`.
     pub fn from_words(width: u64, words: Vec<u64>) -> Self {
+        assert!(
+            words.len() <= words_for(width),
+            "{} words is more than a {width}-task domain can hold",
+            words.len()
+        );
         let mut v = DenseBitVector { width, words };
-        v.words.resize(Self::word_count(width), 0);
+        v.words.resize(words_for(width), 0);
+        mask_stray_bits(width, &mut v.words);
         v
     }
 }
@@ -94,7 +218,7 @@ impl TaskSetOps for DenseBitVector {
     fn empty(width: u64) -> Self {
         DenseBitVector {
             width,
-            words: vec![0; Self::word_count(width)],
+            words: vec![0; words_for(width)],
         }
     }
 
@@ -122,17 +246,8 @@ impl TaskSetOps for DenseBitVector {
         self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
     }
 
-    fn members(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.count() as usize);
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as u64;
-                out.push(wi as u64 * 64 + bit);
-                w &= w - 1;
-            }
-        }
-        out
+    fn iter_members(&self) -> MemberIter<'_> {
+        MemberIter::new(&self.words)
     }
 
     fn union_in_place(&mut self, other: &Self) {
@@ -143,6 +258,13 @@ impl TaskSetOps for DenseBitVector {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a |= *b;
         }
+    }
+
+    fn union_shifted(&mut self, other: &Self, offset: u64) {
+        // The dense representation's domain is the whole job; a shifted union only
+        // makes sense at offset zero, where it is a plain union.
+        assert_eq!(offset, 0, "dense bit vectors are never offset");
+        self.union_in_place(other);
     }
 
     fn rebase(&mut self, offset: u64, new_width: u64) {
@@ -184,33 +306,69 @@ pub struct SubtreeTaskList {
 }
 
 impl SubtreeTaskList {
-    fn word_count(width: u64) -> usize {
-        width.div_ceil(64) as usize
-    }
-
     /// Direct access to the packed words (used by serialisation).
     pub fn words(&self) -> &[u64] {
         &self.words
     }
 
     /// Reconstruct from packed words (used by deserialisation).
+    ///
+    /// Stray bits at or above `width` in the last word are masked off and a word
+    /// vector longer than the domain requires is rejected, so a malformed packet
+    /// cannot corrupt `count`/`members`.
     pub fn from_words(width: u64, words: Vec<u64>) -> Self {
+        assert!(
+            words.len() <= words_for(width),
+            "{} words is more than a {width}-position domain can hold",
+            words.len()
+        );
         let mut v = SubtreeTaskList { width, words };
-        v.words.resize(Self::word_count(width), 0);
+        v.words.resize(words_for(width), 0);
+        mask_stray_bits(width, &mut v.words);
         v
     }
 
     /// Remap this subtree-local set into a job-wide dense bit vector, given the
     /// position→rank map collected at setup time.  This is the front end's remap
     /// step; its cost is reported alongside Figure 7 (0.66 s at 208K in the paper).
+    ///
+    /// A rank map is a concatenation of per-daemon rank lists, and daemons own
+    /// contiguous rank blocks, so the map is mostly made of ascending runs: whenever
+    /// a fully populated word of this set covers one, the 64 members are copied as
+    /// one shifted word OR instead of 64 scattered inserts.  Arbitrary maps still
+    /// work, member by member.
     pub fn remap_to_dense(&self, position_to_rank: &[u64], total_tasks: u64) -> DenseBitVector {
+        assert!(
+            position_to_rank.len() as u64 >= self.width,
+            "position→rank map must cover every subtree position"
+        );
         let mut dense = DenseBitVector::empty(total_tasks);
-        for pos in self.members() {
-            let rank = position_to_rank
-                .get(pos as usize)
-                .copied()
-                .expect("position→rank map must cover every subtree position");
-            dense.insert(rank);
+        for (wi, &word) in self.words.iter().enumerate() {
+            if word == 0 {
+                continue;
+            }
+            let base = wi as u64 * 64;
+            if word == u64::MAX {
+                // Whole word populated: check whether the map carries this block as
+                // one ascending run (a single vectorisable scan of 64 entries).
+                let seg = &position_to_rank[base as usize..base as usize + 64];
+                let start = seg[0];
+                if start + 64 <= total_tasks
+                    && seg
+                        .iter()
+                        .enumerate()
+                        .all(|(i, &rank)| rank == start + i as u64)
+                {
+                    or_shifted(&mut dense.words, std::slice::from_ref(&u64::MAX), start);
+                    continue;
+                }
+            }
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as u64;
+                w &= w - 1;
+                dense.insert(position_to_rank[(base + bit) as usize]);
+            }
         }
         dense
     }
@@ -220,7 +378,7 @@ impl TaskSetOps for SubtreeTaskList {
     fn empty(width: u64) -> Self {
         SubtreeTaskList {
             width,
-            words: vec![0; Self::word_count(width)],
+            words: vec![0; words_for(width)],
         }
     }
 
@@ -248,17 +406,8 @@ impl TaskSetOps for SubtreeTaskList {
         self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
     }
 
-    fn members(&self) -> Vec<u64> {
-        let mut out = Vec::with_capacity(self.count() as usize);
-        for (wi, &word) in self.words.iter().enumerate() {
-            let mut w = word;
-            while w != 0 {
-                let bit = w.trailing_zeros() as u64;
-                out.push(wi as u64 * 64 + bit);
-                w &= w - 1;
-            }
-        }
-        out
+    fn iter_members(&self) -> MemberIter<'_> {
+        MemberIter::new(&self.words)
     }
 
     fn union_in_place(&mut self, other: &Self) {
@@ -271,16 +420,41 @@ impl TaskSetOps for SubtreeTaskList {
         }
     }
 
+    fn union_shifted(&mut self, other: &Self, offset: u64) {
+        assert!(
+            offset + other.width <= self.width,
+            "shifted union would push positions past this domain"
+        );
+        or_shifted(&mut self.words, &other.words, offset);
+    }
+
     fn rebase(&mut self, offset: u64, new_width: u64) {
         assert!(
             offset + self.width <= new_width,
             "rebase would push positions past the new domain"
         );
-        let mut widened = SubtreeTaskList::empty(new_width);
-        for pos in self.members() {
-            widened.insert(pos + offset);
+        if offset == 0 {
+            // In-place widen: the existing words already sit at the right
+            // positions, the domain just grows (amortised by Vec's growth policy —
+            // this is what the accumulated tree pays on every hierarchical merge).
+            self.words.resize(words_for(new_width), 0);
+            self.width = new_width;
+            return;
         }
-        *self = widened;
+        if offset.is_multiple_of(64) {
+            // Word-aligned shift: move the words up in place, zero the gap.
+            let word_off = (offset / 64) as usize;
+            let old_len = self.words.len();
+            self.words.resize(words_for(new_width), 0);
+            self.words.copy_within(0..old_len, word_off);
+            self.words[..word_off.min(old_len)].fill(0);
+            self.width = new_width;
+            return;
+        }
+        let mut words = vec![0u64; words_for(new_width)];
+        or_shifted(&mut words, &self.words, offset);
+        self.words = words;
+        self.width = new_width;
     }
 
     fn serialized_bytes(&self) -> u64 {
@@ -458,6 +632,141 @@ mod tests {
         s.insert(69);
         let back = SubtreeTaskList::from_words(70, s.words().to_vec());
         assert_eq!(back.members(), vec![69]);
+    }
+
+    #[test]
+    fn from_words_masks_stray_bits_above_the_width() {
+        // A malformed packet can carry garbage bits above `width` in the last word;
+        // they must not leak into count/members/contains.
+        let stray = u64::MAX; // bits 6..64 are out of range for width 70's last word
+        let d = DenseBitVector::from_words(70, vec![0, stray]);
+        assert_eq!(d.count(), 6);
+        assert_eq!(d.members(), vec![64, 65, 66, 67, 68, 69]);
+        assert!(!d.contains(70));
+
+        let s = SubtreeTaskList::from_words(70, vec![0, stray]);
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.members(), vec![64, 65, 66, 67, 68, 69]);
+
+        // A width that is an exact word multiple has no stray region.
+        let d = DenseBitVector::from_words(128, vec![u64::MAX, u64::MAX]);
+        assert_eq!(d.count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than a 70-task domain can hold")]
+    fn dense_from_words_rejects_oversized_word_vectors() {
+        DenseBitVector::from_words(70, vec![1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than a 100-position domain can hold")]
+    fn subtree_from_words_rejects_oversized_word_vectors() {
+        SubtreeTaskList::from_words(100, vec![0; 3]);
+    }
+
+    #[test]
+    fn union_shifted_matches_rebase_then_union() {
+        for (local_a, local_b, offset_extra) in [(2u64, 2u64, 0u64), (70, 130, 0), (64, 65, 3)] {
+            let mut a = SubtreeTaskList::empty(local_a);
+            for i in (0..local_a).step_by(3) {
+                a.insert(i);
+            }
+            let mut b = SubtreeTaskList::empty(local_b);
+            for i in (0..local_b).step_by(2) {
+                b.insert(i);
+            }
+            let new_width = local_a + offset_extra + local_b;
+
+            // The member-by-member reference result.
+            let mut expected = SubtreeTaskList::empty(new_width);
+            for m in a.members() {
+                expected.insert(m);
+            }
+            for m in b.members() {
+                expected.insert(m + local_a + offset_extra);
+            }
+
+            let mut got = a.clone();
+            got.rebase(0, new_width);
+            got.union_shifted(&b, local_a + offset_extra);
+            assert_eq!(
+                got.members(),
+                expected.members(),
+                "offsets {local_a}+{offset_extra}"
+            );
+            assert_eq!(got.width(), new_width);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shifted union would push positions past")]
+    fn union_shifted_rejects_overflowing_offsets() {
+        let mut a = SubtreeTaskList::empty(8);
+        let b = SubtreeTaskList::empty(8);
+        a.union_shifted(&b, 1);
+    }
+
+    #[test]
+    fn dense_union_shifted_is_union_at_offset_zero_only() {
+        let mut a = DenseBitVector::empty(100);
+        a.insert(1);
+        let mut b = DenseBitVector::empty(100);
+        b.insert(2);
+        a.union_shifted(&b, 0);
+        assert_eq!(a.members(), vec![1, 2]);
+    }
+
+    #[test]
+    fn iter_members_agrees_with_members_without_allocating() {
+        let mut s = SubtreeTaskList::empty(300);
+        for i in [0u64, 63, 64, 127, 128, 255, 299] {
+            s.insert(i);
+        }
+        let walked: Vec<u64> = s.iter_members().collect();
+        assert_eq!(walked, s.members());
+        assert_eq!(SubtreeTaskList::empty(0).iter_members().next(), None);
+        assert_eq!(DenseBitVector::empty(64).iter_members().next(), None);
+    }
+
+    #[test]
+    fn word_aligned_and_unaligned_rebase_agree() {
+        for offset in [0u64, 1, 63, 64, 65, 128, 200] {
+            let mut s = SubtreeTaskList::empty(130);
+            for i in [0u64, 1, 64, 129] {
+                s.insert(i);
+            }
+            let before = s.members();
+            s.rebase(offset, 130 + offset);
+            let after = s.members();
+            assert_eq!(after.len(), before.len(), "offset {offset}");
+            for (b, a) in before.iter().zip(after.iter()) {
+                assert_eq!(b + offset, *a, "offset {offset}");
+            }
+        }
+    }
+
+    #[test]
+    fn remap_handles_blocked_and_scattered_maps_identically() {
+        // 256 positions in 4 daemon blocks of 64; daemon blocks reversed in rank
+        // space (every block is an ascending run — the fast path), plus a fully
+        // scattered map (the slow path).  Both must agree with per-member remap.
+        let blocked: Vec<u64> = (0..256u64).map(|p| (3 - p / 64) * 64 + p % 64).collect();
+        let scattered: Vec<u64> = (0..256u64).map(|p| (p * 37 + 11) % 256).collect();
+        for map in [blocked, scattered] {
+            let mut set = SubtreeTaskList::empty(256);
+            for i in 0..256u64 {
+                if i % 5 != 0 || i < 128 {
+                    set.insert(i);
+                }
+            }
+            let dense = set.remap_to_dense(&map, 256);
+            let mut expected = DenseBitVector::empty(256);
+            for m in set.members() {
+                expected.insert(map[m as usize]);
+            }
+            assert_eq!(dense.members(), expected.members());
+        }
     }
 
     #[test]

@@ -20,7 +20,10 @@
 //! time on a single workstation, are what distinguish the original global-bit-vector
 //! representation from the hierarchical one at scale.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::filter::Filter;
@@ -129,8 +132,9 @@ pub enum ExecutionMode {
     /// Run every filter invocation on the calling thread (deterministic ordering,
     /// easiest to debug).
     Sequential,
-    /// Run the nodes of each tree level concurrently with scoped threads, limited to
-    /// the machine's available parallelism.
+    /// Run the nodes of each tree level concurrently on **one** worker pool that is
+    /// reused for every level of the walk, pulling batches of node×channel waves
+    /// from a shared queue (no per-level thread spawning).
     LevelParallel,
 }
 
@@ -156,6 +160,7 @@ type InputWave = (EndpointId, usize, Vec<Packet>);
 pub struct InProcessTbon {
     topology: Topology,
     mode: ExecutionMode,
+    workers: Option<usize>,
 }
 
 impl InProcessTbon {
@@ -164,12 +169,21 @@ impl InProcessTbon {
         InProcessTbon {
             topology,
             mode: ExecutionMode::LevelParallel,
+            workers: None,
         }
     }
 
     /// Select the execution mode.
     pub fn with_mode(mut self, mode: ExecutionMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Override the worker-pool size for [`ExecutionMode::LevelParallel`] (default:
+    /// the machine's available parallelism).  The pool is still capped at the widest
+    /// level's wave count — more workers than waves can never help.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -251,6 +265,85 @@ impl InProcessTbon {
         // wave *moves* its child packets out of the slot table (every child has
         // exactly one parent), so no packet is ever cloned on its way up the tree
         // and peak memory stays proportional to one level.
+        //
+        // Under `LevelParallel` one worker pool serves the entire walk: workers are
+        // spawned once, each level's waves are queued as batches, and the per-level
+        // barrier is the arrival of that level's results — no threads are spawned
+        // (or joined) per level.
+        // There is never a point in more workers than the widest level has waves
+        // (the old per-level spawn capped the same way); a 1-worker pool degrades
+        // to the sequential walk without the pool machinery.
+        let levels = self.topology.levels();
+        let widest_wave = levels[..levels.len().saturating_sub(1)]
+            .iter()
+            .map(|ids| {
+                ids.iter()
+                    .filter(|&&id| self.topology.node(id).role != TreeNodeRole::BackEnd)
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+            * filters.len();
+        let workers = self
+            .workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4)
+            })
+            .min(widest_wave);
+        match self.mode {
+            ExecutionMode::LevelParallel if workers > 1 => {
+                let queue = (Mutex::new(PoolQueue::default()), Condvar::new());
+                std::thread::scope(|scope| {
+                    let pool = WorkerPool::spawn(scope, workers, filters, &queue);
+                    self.walk_levels(&mut produced, &mut accounting, filters, &mut |items| {
+                        pool.run_level(items)
+                    });
+                });
+            }
+            ExecutionMode::Sequential | ExecutionMode::LevelParallel => {
+                self.walk_levels(&mut produced, &mut accounting, filters, &mut |items| {
+                    items
+                        .into_iter()
+                        .map(|(id, channel, inputs)| {
+                            let r = Self::reduce_one(id, inputs, filters[channel]);
+                            (id, channel, r)
+                        })
+                        .collect()
+                });
+            }
+        }
+
+        let frontend = self.topology.frontend().0 as usize;
+        Ok(accounting
+            .into_iter()
+            .zip(labels)
+            .enumerate()
+            .map(|(channel, (acc, label))| ReductionOutcome {
+                channel: label,
+                result: produced[channel][frontend]
+                    .take()
+                    .expect("front end must have produced a result"),
+                filter_time: acc.filter_wall,
+                filter_invocations: acc.filter_invocations,
+                frontend_bytes_in: acc.frontend_bytes_in,
+                max_node_bytes_in: acc.max_node_bytes_in,
+                total_link_bytes: acc.total_link_bytes,
+            })
+            .collect())
+    }
+
+    /// The bottom-up level walk shared by both execution modes: build each level's
+    /// owned input waves, hand them to `dispatch`, and absorb the results into the
+    /// slot table and the per-channel accounting before moving up a level.
+    fn walk_levels(
+        &self,
+        produced: &mut [Vec<Option<Packet>>],
+        accounting: &mut [ChannelAccounting],
+        filters: &[&dyn Filter],
+        dispatch: &mut dyn FnMut(Vec<InputWave>) -> Vec<(EndpointId, usize, NodeChannelResult)>,
+    ) {
         let levels = self.topology.levels();
         for level in (0..levels.len().saturating_sub(1)).rev() {
             let node_ids: Vec<EndpointId> = levels[level]
@@ -278,18 +371,7 @@ impl InProcessTbon {
                 })
                 .collect();
 
-            let results: Vec<(EndpointId, usize, NodeChannelResult)> = match self.mode {
-                ExecutionMode::Sequential => items
-                    .into_iter()
-                    .map(|(id, channel, inputs)| {
-                        let r = Self::reduce_one(id, inputs, filters[channel]);
-                        (id, channel, r)
-                    })
-                    .collect(),
-                ExecutionMode::LevelParallel => Self::reduce_level_parallel(items, filters),
-            };
-
-            for (id, channel, (packet, bytes_in, wall)) in results {
+            for (id, channel, (packet, bytes_in, wall)) in dispatch(items) {
                 let acc = &mut accounting[channel];
                 acc.filter_invocations += 1;
                 acc.max_node_bytes_in = acc.max_node_bytes_in.max(bytes_in);
@@ -301,24 +383,6 @@ impl InProcessTbon {
                 produced[channel][id.0 as usize] = Some(packet);
             }
         }
-
-        let frontend = self.topology.frontend().0 as usize;
-        Ok(accounting
-            .into_iter()
-            .zip(labels)
-            .enumerate()
-            .map(|(channel, (acc, label))| ReductionOutcome {
-                channel: label,
-                result: produced[channel][frontend]
-                    .take()
-                    .expect("front end must have produced a result"),
-                filter_time: acc.filter_wall,
-                filter_invocations: acc.filter_invocations,
-                frontend_bytes_in: acc.frontend_bytes_in,
-                max_node_bytes_in: acc.max_node_bytes_in,
-                total_link_bytes: acc.total_link_bytes,
-            })
-            .collect())
     }
 
     /// Run one channel's filter at one node over its owned input wave.
@@ -328,54 +392,144 @@ impl InProcessTbon {
         let packet = filter.reduce(id, &inputs);
         (packet, bytes_in, start.elapsed())
     }
+}
 
-    fn reduce_level_parallel(
-        items: Vec<InputWave>,
-        filters: &[&dyn Filter],
-    ) -> Vec<(EndpointId, usize, NodeChannelResult)> {
-        let workers = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-            .min(items.len().max(1));
-        if workers <= 1 || items.len() <= 1 {
-            return items
-                .into_iter()
-                .map(|(id, channel, inputs)| {
-                    let r = Self::reduce_one(id, inputs, filters[channel]);
-                    (id, channel, r)
-                })
-                .collect();
+/// A batch of node×channel waves queued for the pool, and what comes back.
+type WaveBatch = Vec<InputWave>;
+type BatchResults = Vec<(EndpointId, usize, NodeChannelResult)>;
+/// A batch outcome: the results, or the payload of a panicking filter (re-raised on
+/// the caller's thread so a bad filter cannot strand the level barrier).
+type BatchOutcome = Result<BatchResults, Box<dyn std::any::Any + Send>>;
+
+/// The queue the pool's workers pull from.
+#[derive(Default)]
+struct PoolQueue {
+    batches: VecDeque<WaveBatch>,
+    shutdown: bool,
+}
+
+/// A pool of reduction workers serving every level of one reduction walk.
+///
+/// Workers are spawned once (scoped, so they may borrow the filters) and block on a
+/// shared queue; [`WorkerPool::run_level`] enqueues one level's waves in batches and
+/// waits for exactly that many result batches — the level barrier — leaving the
+/// workers parked, not joined, for the next level.  Batching several node×channel
+/// invocations per queue item keeps queue traffic low on wide levels.
+struct WorkerPool<'scope> {
+    queue: &'scope (Mutex<PoolQueue>, Condvar),
+    results: mpsc::Receiver<BatchOutcome>,
+    workers: usize,
+}
+
+impl<'scope> WorkerPool<'scope> {
+    /// Spawn `workers` scoped workers that serve `filters` until the pool is
+    /// dropped.  `queue` must be allocated outside the scope (it outlives the
+    /// workers).
+    fn spawn<'env>(
+        scope: &'scope std::thread::Scope<'scope, 'env>,
+        workers: usize,
+        filters: &'env [&'env dyn Filter],
+        queue: &'env (Mutex<PoolQueue>, Condvar),
+    ) -> WorkerPool<'scope>
+    where
+        'env: 'scope,
+    {
+        let workers = workers.max(1);
+        let (tx, rx) = mpsc::channel::<BatchOutcome>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || {
+                let (lock, available) = queue;
+                loop {
+                    let batch = {
+                        let mut q = lock.lock().expect("reduction pool queue poisoned");
+                        loop {
+                            if let Some(batch) = q.batches.pop_front() {
+                                break batch;
+                            }
+                            if q.shutdown {
+                                return;
+                            }
+                            q = available.wait(q).expect("reduction pool queue poisoned");
+                        }
+                    };
+                    // A panicking filter must not strand the caller at the level
+                    // barrier: catch it and ship the payload back so `run_level`
+                    // can resume the unwind on the caller's thread — the behaviour
+                    // the old per-level spawn/join had.
+                    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        batch
+                            .into_iter()
+                            .map(|(id, channel, inputs)| {
+                                let r = InProcessTbon::reduce_one(id, inputs, filters[channel]);
+                                (id, channel, r)
+                            })
+                            .collect::<BatchResults>()
+                    }));
+                    if tx.send(results).is_err() {
+                        return;
+                    }
+                }
+            });
         }
-        // Split the owned waves into one work list per worker.
-        let chunk_size = items.len().div_ceil(workers);
-        let mut chunks: Vec<Vec<InputWave>> = Vec::with_capacity(workers);
-        let mut iter = items.into_iter();
-        loop {
-            let chunk: Vec<InputWave> = iter.by_ref().take(chunk_size).collect();
-            if chunk.is_empty() {
-                break;
-            }
-            chunks.push(chunk);
+        WorkerPool {
+            queue,
+            results: rx,
+            workers,
         }
-        let mut results: Vec<(EndpointId, usize, NodeChannelResult)> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(chunks.len());
-            for chunk in chunks {
-                handles.push(scope.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|(id, channel, inputs)| {
-                            let r = Self::reduce_one(id, inputs, filters[channel]);
-                            (id, channel, r)
-                        })
-                        .collect::<Vec<_>>()
-                }));
+    }
+
+    /// Reduce one level's waves on the pool and wait for all of them — the
+    /// per-level barrier of the bottom-up walk.
+    fn run_level(&self, items: Vec<InputWave>) -> BatchResults {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        // A few batches per worker balances load without flooding the queue.
+        let batch_size = items.len().div_ceil(self.workers * 4).max(1);
+        let mut pending = 0usize;
+        {
+            let (lock, available) = self.queue;
+            let mut q = lock.lock().expect("reduction pool queue poisoned");
+            let mut items = items.into_iter();
+            loop {
+                let batch: WaveBatch = items.by_ref().take(batch_size).collect();
+                if batch.is_empty() {
+                    break;
+                }
+                q.batches.push_back(batch);
+                pending += 1;
             }
-            for h in handles {
-                results.extend(h.join().expect("reduction worker panicked"));
+            drop(q);
+            available.notify_all();
+        }
+        let mut out: BatchResults = Vec::new();
+        for _ in 0..pending {
+            match self
+                .results
+                .recv()
+                .expect("a reduction worker disappeared mid-level")
+            {
+                Ok(results) => out.extend(results),
+                Err(payload) => {
+                    // Unpark the surviving workers so the scope can join them,
+                    // then re-raise the filter's panic on the caller's thread.
+                    let (lock, available) = self.queue;
+                    lock.lock().expect("reduction pool queue poisoned").shutdown = true;
+                    available.notify_all();
+                    std::panic::resume_unwind(payload);
+                }
             }
-        });
-        results
+        }
+        out
+    }
+}
+
+impl Drop for WorkerPool<'_> {
+    fn drop(&mut self) {
+        let (lock, available) = self.queue;
+        lock.lock().expect("reduction pool queue poisoned").shutdown = true;
+        available.notify_all();
     }
 }
 
@@ -565,6 +719,96 @@ mod tests {
         fn reduce(&self, node: EndpointId, inputs: &[Packet]) -> Packet {
             self.log.lock().unwrap().push((self.channel, node.0));
             IdentityFilter.reduce(node, inputs)
+        }
+    }
+
+    #[test]
+    fn level_parallel_reuses_one_worker_pool_across_levels() {
+        // A filter that records the thread of every invocation.  With one pool
+        // reused for the whole walk, the set of distinct worker threads is bounded
+        // by the machine's parallelism however many levels the tree has (and never
+        // includes the caller); per-level spawning would parade fresh threads past
+        // every level.
+        struct ThreadRecorder {
+            threads: &'static Mutex<Vec<std::thread::ThreadId>>,
+        }
+        impl Filter for ThreadRecorder {
+            fn reduce(&self, node: EndpointId, inputs: &[Packet]) -> Packet {
+                self.threads
+                    .lock()
+                    .unwrap()
+                    .push(std::thread::current().id());
+                SumFilter.reduce(node, inputs)
+            }
+        }
+        static THREADS: Mutex<Vec<std::thread::ThreadId>> = Mutex::new(Vec::new());
+        THREADS.lock().unwrap().clear();
+
+        let topo = Topology::build(TreeShape::uniform_with_depth(64, 2, 5));
+        let net = InProcessTbon::new(topo)
+            .with_mode(ExecutionMode::LevelParallel)
+            .with_workers(4);
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let recorder = ThreadRecorder { threads: &THREADS };
+        let out = net.reduce(leaves, &recorder).unwrap();
+        assert_eq!(SumFilter::decode(&out.result), (0..64).sum::<u64>());
+
+        let threads: std::collections::HashSet<std::thread::ThreadId> =
+            THREADS.lock().unwrap().iter().copied().collect();
+        assert!(
+            threads.len() <= 4,
+            "expected at most 4 pooled workers, saw {} distinct threads",
+            threads.len()
+        );
+        assert!(!threads.contains(&std::thread::current().id()));
+    }
+
+    #[test]
+    fn a_panicking_filter_propagates_instead_of_stranding_the_walk() {
+        // A filter that dies on a malformed wave must re-raise on the caller's
+        // thread (as the old per-level spawn/join did), not leave reduce_channels
+        // blocked forever at the level barrier.  Forcing 4 workers exercises the
+        // pooled path even on a single-CPU host.
+        struct PanickingFilter;
+        impl Filter for PanickingFilter {
+            fn reduce(&self, _node: EndpointId, _inputs: &[Packet]) -> Packet {
+                panic!("malformed wave");
+            }
+        }
+        let net = InProcessTbon::new(Topology::build(TreeShape::two_deep(16, 4))).with_workers(4);
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            net.reduce(leaves, &PanickingFilter)
+        }));
+        let payload = outcome.expect_err("the filter panic must propagate");
+        assert_eq!(
+            payload.downcast_ref::<&str>().copied(),
+            Some("malformed wave")
+        );
+        // The network object is still usable afterwards.
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let out = net.reduce(leaves, &SumFilter).unwrap();
+        assert_eq!(SumFilter::decode(&out.result), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn forced_worker_counts_agree_with_sequential_execution() {
+        let topo = Topology::build(TreeShape::two_deep(64, 8));
+        let seq = InProcessTbon::new(topo.clone()).with_mode(ExecutionMode::Sequential);
+        let expected = {
+            let leaves = leaf_packets(seq.topology(), |i| (i * 7) as u64);
+            SumFilter::decode(&seq.reduce(leaves, &SumFilter).unwrap().result)
+        };
+        for workers in [1usize, 2, 3, 8, 64] {
+            let net = InProcessTbon::new(topo.clone()).with_workers(workers);
+            let leaves = leaf_packets(net.topology(), |i| (i * 7) as u64);
+            let out = net.reduce(leaves, &SumFilter).unwrap();
+            assert_eq!(
+                SumFilter::decode(&out.result),
+                expected,
+                "{workers} workers"
+            );
+            assert_eq!(out.filter_invocations, 9);
         }
     }
 

@@ -223,9 +223,9 @@ proptest! {
         let b = build_half(&right, 12, &mut table);
 
         let mut ab = a.clone();
-        ab.merge(&b);
+        ab.merge_ref(&b);
         let mut ba = b.clone();
-        ba.merge(&a);
+        ba.merge_ref(&a);
 
         let classes_of = |t: &GlobalPrefixTree| {
             let mut cs: Vec<Vec<u64>> =
@@ -257,7 +257,7 @@ proptest! {
             merged = Some(match merged.take() {
                 None => tree,
                 Some(mut acc) => {
-                    acc.merge(&tree);
+                    acc.merge(tree);
                     acc
                 }
             });
@@ -271,6 +271,63 @@ proptest! {
             cs
         };
         prop_assert_eq!(classes_of(&global), classes_of(&remapped));
+    }
+
+    #[test]
+    fn dense_and_hierarchical_merges_produce_identical_global_trees(
+        // 1..6 daemons, each owning 1..5 tasks with arbitrary call paths — the
+        // equivalence guard that licenses the zero-copy merge, the word-level
+        // concatenation and the run-copying remap: whatever the daemons saw, the
+        // dense merge and the hierarchical merge + remap must build the *same*
+        // global tree, node for node and member for member.
+        daemons in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0..FRAME_POOL.len(), 1..6), 1..5),
+            1..6,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let total: u64 = daemons.iter().map(|d| d.len() as u64).sum();
+        // A seeded permutation assigns every concatenated position an MPI rank.
+        let mut rank_map: Vec<u64> = (0..total).collect();
+        for i in (1..rank_map.len()).rev() {
+            rank_map.swap(i, ((seed.wrapping_mul(i as u64 + 13)) % (i as u64 + 1)) as usize);
+        }
+
+        let mut table = FrameTable::new();
+        // Dense path: one job-wide tree fed directly with global ranks.
+        let mut dense = GlobalPrefixTree::new_global(total);
+        // Hierarchical path: per-daemon subtree trees folded with the by-value
+        // merge (exactly what the in-network filter chain does), then remapped.
+        let mut merged = SubtreePrefixTree::new_subtree(0);
+        let mut offset = 0u64;
+        for daemon in &daemons {
+            let mut local_tree = SubtreePrefixTree::new_subtree(daemon.len() as u64);
+            for (local, path) in daemon.iter().enumerate() {
+                let names: Vec<&str> = path.iter().map(|&i| FRAME_POOL[i]).collect();
+                let trace = StackTrace::new(table.intern_path(&names));
+                local_tree.add_trace(&trace, local as u64);
+                dense.add_trace(&trace, rank_map[(offset + local as u64) as usize]);
+            }
+            merged.merge(local_tree);
+            offset += daemon.len() as u64;
+        }
+        let remapped = merged.remap(&rank_map, total);
+
+        // Identical global trees: same node count, and every node carries the same
+        // (path, member set) — leaves included.
+        prop_assert_eq!(remapped.node_count(), dense.node_count());
+        let shape_of = |t: &GlobalPrefixTree| {
+            let mut nodes: Vec<(Vec<_>, Vec<u64>)> = (1..t.node_count())
+                .map(|n| (t.path_to(n), t.tasks(n).members()))
+                .collect();
+            nodes.sort();
+            nodes
+        };
+        prop_assert_eq!(shape_of(&remapped), shape_of(&dense));
+        prop_assert_eq!(
+            remapped.tasks(remapped.root()).members(),
+            dense.tasks(dense.root()).members()
+        );
     }
 
     #[test]
