@@ -10,8 +10,14 @@
 //!   previous rank, Isend to the next, Waitall, Barrier) with an injected bug that
 //!   makes rank 1 hang before its send.  Its merged prefix tree is Figure 1.
 //! * [`workloads`] — additional applications used by the wider test suite and the
-//!   ablation benches: all-equivalent, multi-class compute, a deadlocked pair, and a
-//!   multithreaded variant for the Section VII threading projection.
+//!   ablation benches: all-equivalent, multi-class compute, a deadlocked pair, a
+//!   multithreaded variant for the Section VII threading projection, and the
+//!   adversarial scenario workloads (shared-filesystem I/O storm, OS-noise jitter,
+//!   collective mismatch, corrupted stacks).
+//! * [`scenario`] — the fault-scenario catalogue: every workload bundled with an
+//!   injected-fault description, a machine-checkable [`scenario::GroundTruth`] and
+//!   a [`scenario::Verdict`] checker, so the test suite can assert that the tool
+//!   *diagnoses* each fault instead of merely merging trees.
 //! * [`app`] — the [`app::Application`] trait they all implement, plus helpers to
 //!   gather [`stackwalk::TaskSamples`] from any application via the real walker.
 //! * [`vocab`] — the frame vocabularies (Linux/Atlas vs. BG/L) so that traces look
@@ -23,11 +29,16 @@
 pub mod app;
 pub mod progress;
 pub mod ring;
+pub mod scenario;
 pub mod vocab;
 pub mod workloads;
 
 pub use app::{gather_samples, gather_samples_for_ranks, Application};
 pub use progress::{CheckpointStormApp, IterativeSolverApp, StragglerApp};
 pub use ring::RingHangApp;
+pub use scenario::{catalogue, Diagnosis, FaultScenario, GroundTruth, OverlayFault, Verdict};
 pub use vocab::FrameVocabulary;
-pub use workloads::{AllEquivalentApp, ComputeSpreadApp, DeadlockPairApp, ThreadedApp};
+pub use workloads::{
+    AllEquivalentApp, CollectiveMismatchApp, ComputeSpreadApp, CorruptedStackApp, DeadlockPairApp,
+    IoStormApp, OsNoiseApp, ThreadedApp,
+};

@@ -8,6 +8,7 @@
 //! 3D trees genuinely disagree.
 
 use crate::app::Application;
+use crate::scenario::{GroundTruth, Isolation};
 use crate::vocab::FrameVocabulary;
 
 /// A healthy iterative solver: every task cycles compute → exchange → barrier as the
@@ -73,12 +74,15 @@ impl Application for IterativeSolverApp {
 #[derive(Clone, Debug)]
 pub struct StragglerApp {
     tasks: u64,
-    stragglers: Vec<u64>,
     vocab: FrameVocabulary,
+    truth: GroundTruth,
 }
 
 impl StragglerApp {
     /// `tasks` ranks of which `straggler_count` (spread evenly) are persistently slow.
+    ///
+    /// The straggler ranks live *only* in the workload's [`GroundTruth`], so the
+    /// injected fault and the verdict checker's expectation cannot drift apart.
     pub fn new(tasks: u64, straggler_count: u64, vocab: FrameVocabulary) -> Self {
         let tasks = tasks.max(1);
         let straggler_count = straggler_count.min(tasks);
@@ -86,14 +90,29 @@ impl StragglerApp {
         let stragglers: Vec<u64> = (0..straggler_count).map(|i| i * stride).collect();
         StragglerApp {
             tasks,
-            stragglers,
             vocab,
+            truth: GroundTruth {
+                // The barrier crowd plus the straggler class; one extra when a
+                // single-sample window splits the cache-miss frame off.
+                class_count: (2, 3),
+                isolations: vec![Isolation {
+                    frame: "compute_interior",
+                    ranks: stragglers,
+                }],
+                ubiquitous_frame: None,
+                never_coincide: vec![],
+            },
         }
     }
 
-    /// The ranks that lag behind.
+    /// The ranks that lag behind — read straight out of the ground truth.
     pub fn stragglers(&self) -> &[u64] {
-        &self.stragglers
+        &self.truth.isolations[0].ranks
+    }
+
+    /// The machine-checkable expectation for this workload.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.truth
     }
 }
 
@@ -107,7 +126,7 @@ impl Application for StragglerApp {
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "timestep_loop"];
-        if self.stragglers.contains(&rank) {
+        if self.truth.is_faulty(rank) {
             path.push("compute_interior");
             if sample.is_multiple_of(2) {
                 path.push("cache_miss_storm");
@@ -134,11 +153,43 @@ pub struct CheckpointStormApp {
 
 impl CheckpointStormApp {
     /// A checkpoint storm over `tasks` ranks with the given completed fraction.
+    ///
+    /// `completed_fraction` is clamped into `[0, 1]`.  NaN is rejected outright: a
+    /// NaN fraction would otherwise flow through `clamp` unchanged and silently
+    /// turn *every* rank into a writer (`NaN as u64 == 0`), which is a different
+    /// workload than any the caller could have meant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `completed_fraction` is NaN.
     pub fn new(tasks: u64, completed_fraction: f64, vocab: FrameVocabulary) -> Self {
+        assert!(
+            !completed_fraction.is_nan(),
+            "CheckpointStormApp: completed_fraction must be a number in [0, 1], got NaN"
+        );
         CheckpointStormApp {
             tasks: tasks.max(1),
             vocab,
             completed_fraction: completed_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The ranks still inside the I/O stack (the fault the scenario isolates).
+    pub fn writer_ranks(&self) -> Vec<u64> {
+        let cutoff = (self.tasks as f64 * self.completed_fraction) as u64;
+        (cutoff..self.tasks).collect()
+    }
+
+    /// The machine-checkable expectation for this workload.
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth {
+            class_count: (2, 3),
+            isolations: vec![Isolation {
+                frame: "MPI_File_write_all",
+                ranks: self.writer_ranks(),
+            }],
+            ubiquitous_frame: None,
+            never_coincide: vec![],
         }
     }
 }
@@ -220,5 +271,48 @@ mod tests {
             })
             .count();
         assert_eq!(writers, 0, "completed fraction clamps to 1.0");
+    }
+
+    #[test]
+    fn checkpoint_storm_clamps_negative_fractions_to_zero() {
+        // Regression: a negative fraction means "nobody finished" (everyone still
+        // writing), not an out-of-range cutoff.
+        let app = CheckpointStormApp::new(10, -3.5, FrameVocabulary::Linux);
+        let writers = (0..10)
+            .filter(|&r| app.main_thread_path(r, 0).contains(&"MPI_File_write_all"))
+            .count();
+        assert_eq!(writers, 10);
+        assert_eq!(app.writer_ranks(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "completed_fraction must be a number")]
+    fn checkpoint_storm_rejects_nan() {
+        // Regression: NaN used to slip through `clamp` and silently make every
+        // rank a writer; now it is rejected at construction.
+        let _ = CheckpointStormApp::new(10, f64::NAN, FrameVocabulary::Linux);
+    }
+
+    #[test]
+    fn checkpoint_storm_ground_truth_matches_the_walked_paths() {
+        let app = CheckpointStormApp::new(100, 0.75, FrameVocabulary::Linux);
+        let truth = app.ground_truth();
+        for rank in 0..100 {
+            let writing = app
+                .main_thread_path(rank, 0)
+                .contains(&"MPI_File_write_all");
+            assert_eq!(writing, truth.is_faulty(rank));
+        }
+        assert_eq!(truth.faulty_ranks(), (75..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn straggler_ranks_are_fed_from_the_ground_truth() {
+        let app = StragglerApp::new(1_000, 4, FrameVocabulary::Linux);
+        assert_eq!(app.ground_truth().faulty_ranks(), app.stragglers().to_vec());
+        assert_eq!(
+            app.ground_truth().distinguishing_frame(),
+            Some("compute_interior")
+        );
     }
 }

@@ -17,6 +17,7 @@
 //!   depths from sample to sample (the "time" dimension of the 3D tree).
 
 use crate::app::Application;
+use crate::scenario::{GroundTruth, Isolation};
 use crate::vocab::FrameVocabulary;
 
 /// The ring-topology hang.
@@ -57,6 +58,28 @@ impl RingHangApp {
     /// The frame vocabulary in use.
     pub fn vocabulary(&self) -> FrameVocabulary {
         self.vocab
+    }
+
+    /// The machine-checkable expectation for this workload: the hung rank alone
+    /// under the stall frame, its victim alone under the waitall, and a small band
+    /// of classes (shallow sampling windows split the barrier crowd by how deep
+    /// the polling recursion was caught).
+    pub fn ground_truth(&self) -> GroundTruth {
+        GroundTruth {
+            class_count: (3, 8),
+            isolations: vec![
+                Isolation {
+                    frame: self.vocab.send_stall(),
+                    ranks: vec![self.hung_rank],
+                },
+                Isolation {
+                    frame: self.vocab.waitall(),
+                    ranks: vec![self.victim_rank()],
+                },
+            ],
+            ubiquitous_frame: None,
+            never_coincide: vec![],
+        }
     }
 
     fn push_poll_chain(&self, path: &mut Vec<&'static str>, depth: usize) {

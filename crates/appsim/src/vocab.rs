@@ -104,6 +104,42 @@ impl FrameVocabulary {
             FrameVocabulary::BlueGeneL => &["_pthread_start", "worker_main"],
         }
     }
+
+    /// The shared-filesystem open path a rank wedges in during an I/O storm,
+    /// outermost first — the application-side cousin of the Section VI lesson that
+    /// shared-filesystem access serialises at scale.
+    pub fn shared_fs_open_impl(self) -> &'static [&'static str] {
+        &["MPI_File_open", "ADIO_GEN_OpenColl", "nfs_getattr_wait"]
+    }
+
+    /// The frame under [`shared_fs_open_impl`](Self::shared_fs_open_impl) a wedged
+    /// rank is caught in on alternate samples (the RPC retry sleep).
+    pub fn shared_fs_retry(self) -> &'static str {
+        "rpc_wait_bit_killable"
+    }
+
+    /// OS-noise frames: a sample can catch a rank mid-kernel inside one of these
+    /// interrupt/housekeeping routines instead of (strictly speaking, on top of)
+    /// its application frame.
+    pub fn noise_frames(self) -> &'static [&'static str] {
+        &["timer_interrupt", "__do_softirq", "tlb_flush_ipi"]
+    }
+
+    /// The placeholder frame a failed stack walk reports for an unwalkable stack.
+    pub fn unknown_frame(self) -> &'static str {
+        "???"
+    }
+
+    /// Garbage frames a corrupted stack walk can emit below
+    /// [`unknown_frame`](Self::unknown_frame): raw addresses and sentinel text.
+    pub fn garbage_frames(self) -> &'static [&'static str] {
+        &[
+            "0x0000000000000000",
+            "0x00007fffdeadbeef",
+            "<signal handler called>",
+            "__stack_chk_fail",
+        ]
+    }
 }
 
 #[cfg(test)]

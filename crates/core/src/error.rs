@@ -66,6 +66,14 @@ pub enum StatError {
         /// Entries the concatenated rank map actually supplied.
         mapped: usize,
     },
+    /// Overlay faults left no usable session: the front end died or every back-end
+    /// daemon was lost, so not even a degraded gather can run.
+    SessionNotViable {
+        /// Back-end daemons lost to the faults.
+        lost_backends: usize,
+        /// Back-end daemons the topology originally had.
+        total_backends: usize,
+    },
 }
 
 impl fmt::Display for StatError {
@@ -85,6 +93,14 @@ impl fmt::Display for StatError {
                 "rank map covers {mapped} positions but the merged tree has {positions}; \
                  the remap step cannot restore MPI rank order"
             ),
+            StatError::SessionNotViable {
+                lost_backends,
+                total_backends,
+            } => write!(
+                f,
+                "overlay faults lost {lost_backends} of {total_backends} daemons (or the \
+                 front end itself); no degraded session can be formed"
+            ),
         }
     }
 }
@@ -94,7 +110,7 @@ impl std::error::Error for StatError {
         match self {
             StatError::Reduce(err) => Some(err),
             StatError::Decode { source, .. } => Some(source),
-            StatError::RankMapMismatch { .. } => None,
+            StatError::RankMapMismatch { .. } | StatError::SessionNotViable { .. } => None,
         }
     }
 }

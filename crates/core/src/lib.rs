@@ -52,6 +52,7 @@ pub mod filter;
 pub mod frontend;
 pub mod graph;
 pub mod report;
+pub mod scenario;
 pub mod serialize;
 pub mod session;
 pub mod strategy;
@@ -71,6 +72,9 @@ pub mod prelude {
     pub use crate::graph::{GlobalPrefixTree, PrefixTree, SubtreePrefixTree};
     pub use crate::report::{
         classes_above, focus_on_path, prune_by_population, render_text_tree, session_summary,
+    };
+    pub use crate::scenario::{
+        diagnose, run_scenario, run_scenario_in, run_scenario_with, ScenarioRun,
     };
     pub use crate::serialize::{decode_tree, encode_tree};
     pub use crate::session::{

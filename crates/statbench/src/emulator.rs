@@ -90,6 +90,28 @@ impl EmulatedJob {
         }
     }
 
+    /// Run one fault scenario from the `appsim::scenario` catalogue under this
+    /// job's machine, representation, sampling depth *and* overlay topology
+    /// (pinned via [`EmulatedJob::with_topology`] / [`EmulatedJob::with_tree_depth`],
+    /// exactly as [`EmulatedJob::run`] resolves it), returning the pipeline's
+    /// verdict against the scenario's ground truth.
+    ///
+    /// This is STATBench's "known answer" mode: where [`EmulatedJob::run`]
+    /// measures the pipeline on dialled-up synthetic shapes, `run_scenario`
+    /// checks it *diagnoses* a catalogued fault — through exactly the same
+    /// `Session` machinery, so the emulator and the tool cannot drift.
+    pub fn run_scenario(
+        &self,
+        scenario: &appsim::scenario::FaultScenario,
+    ) -> Result<ScenarioRun, StatError> {
+        let session = Session::builder(self.cluster.clone())
+            .representation(self.representation)
+            .topology(self.topology())
+            .samples_per_task(self.samples_per_task)
+            .build();
+        run_scenario_in(&session, scenario)
+    }
+
     /// Run the emulation and collect the report.
     ///
     /// The synthetic application is handed to the *real* session pipeline — daemon
@@ -215,5 +237,37 @@ mod tests {
         let report = job.run();
         assert_eq!(report.classes, 128);
         assert!(report.merged_tree_nodes > 128);
+    }
+
+    #[test]
+    fn the_emulator_passes_the_whole_scenario_catalogue() {
+        // The emulator's known-answer mode: every catalogued fault — including the
+        // degraded variants — must be diagnosed under the dense representation too
+        // (the scenarios' own suite exercises the hierarchical one).
+        let job = EmulatedJob::new(small_cluster(), 512)
+            .with_representation(Representation::GlobalBitVector);
+        let scenarios = appsim::scenario::catalogue(512, appsim::FrameVocabulary::BlueGeneL);
+        assert!(scenarios.len() >= 8);
+        for scenario in &scenarios {
+            let run = job.run_scenario(scenario).expect("scenario runs");
+            assert!(
+                run.verdict.passed(),
+                "emulated scenario {} failed:\n{}",
+                scenario.name,
+                run.verdict
+            );
+        }
+    }
+
+    #[test]
+    fn run_scenario_honors_the_jobs_pinned_topology() {
+        // The scenario must execute under the emulator's configured overlay, not
+        // a planner pick: pin an unusual shape and check it is what actually ran.
+        let job = EmulatedJob::new(small_cluster(), 256).with_topology(TreeShape::two_deep(16, 4));
+        let scenarios = appsim::scenario::catalogue(256, appsim::FrameVocabulary::Linux);
+        let ring = scenarios.iter().find(|s| s.name == "ring_hang").unwrap();
+        let run = job.run_scenario(ring).expect("scenario runs");
+        assert_eq!(run.daemons, 16, "the pinned 16-daemon overlay must be used");
+        assert!(run.verdict.passed(), "{}", run.verdict);
     }
 }

@@ -11,7 +11,7 @@
 use std::collections::BTreeSet;
 
 use crate::packet::EndpointId;
-use crate::topology::{Topology, TreeNodeRole};
+use crate::topology::{Topology, TreeNodeRole, TreeShape};
 
 /// Tracks which endpoints have failed and what remains usable.
 #[derive(Clone, Debug)]
@@ -118,6 +118,49 @@ impl FaultTracker {
         }
     }
 
+    /// Indices (into the original backend order) of the backends still reachable.
+    ///
+    /// This is the piece a degraded *gather* needs that [`surviving_backends`]
+    /// (endpoint ids) does not give directly: which daemons' task slices are still
+    /// covered, so the survivors' contributions can be re-gathered or re-merged in
+    /// the order a pruned replacement topology expects.
+    ///
+    /// [`surviving_backends`]: FaultTracker::surviving_backends
+    pub fn surviving_backend_indices(&self) -> Vec<usize> {
+        self.topology
+            .backends()
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| !self.is_unreachable(b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// A pruned replacement [`TreeShape`] for merging the survivors: every level of
+    /// the original shape shrunk to its surviving width (a failed communication
+    /// process takes its whole subtree with it).  Returns `None` when the session
+    /// is no longer viable — the front end died, or no backend survived.
+    ///
+    /// The returned shape is what a degraded session pins via its builder before
+    /// calling `merge` over the survivors' contributions.
+    pub fn degraded_shape(&self) -> Option<TreeShape> {
+        if self.failed.contains(&self.topology.frontend()) {
+            return None;
+        }
+        let widths: Vec<u32> = self
+            .topology
+            .levels()
+            .iter()
+            .map(|level| level.iter().filter(|&&e| !self.is_unreachable(e)).count() as u32)
+            .collect();
+        if widths.last().copied().unwrap_or(0) == 0 {
+            return None;
+        }
+        // `from_level_widths` re-sanitises: interior levels emptied by failures are
+        // raised back to width 1 so the surviving daemons still have a route up.
+        Some(TreeShape::from_level_widths(widths))
+    }
+
     /// Build the leaf-payload selector for a degraded reduction: given one payload
     /// per original backend (in backend order), keep only the survivors' payloads, in
     /// the order the pruned reduction expects.
@@ -196,5 +239,59 @@ mod tests {
         let report = t.fail(EndpointId(10_000));
         assert!(report.lost_backends.is_empty());
         assert!(report.session_viable);
+    }
+
+    #[test]
+    fn degraded_shape_shrinks_only_the_failed_levels() {
+        let mut t = tracker(64, 8);
+        let victim = t.topology().backends()[63];
+        t.fail(victim);
+        let shape = t.degraded_shape().unwrap();
+        assert_eq!(shape.level_widths, vec![1, 8, 63]);
+        assert_eq!(t.surviving_backend_indices(), (0..63).collect::<Vec<_>>());
+
+        // A failed comm process takes its subtree: one fewer comm, 8 fewer daemons.
+        let mut t = tracker(64, 8);
+        let cp = t.topology().comm_processes()[7];
+        let orphans = t.topology().node(cp).children.len() as u32;
+        t.fail(cp);
+        let shape = t.degraded_shape().unwrap();
+        assert_eq!(shape.level_widths, vec![1, 7, 64 - orphans]);
+        assert_eq!(t.surviving_backend_indices().len() as u32, 64 - orphans);
+    }
+
+    #[test]
+    fn degraded_shape_is_none_when_the_session_dies() {
+        let mut t = tracker(8, 2);
+        t.fail(t.topology().frontend());
+        assert!(t.degraded_shape().is_none());
+
+        let mut t = tracker(4, 2);
+        let backends = t.topology().backends().to_vec();
+        t.fail_many(&backends);
+        assert!(t.degraded_shape().is_none());
+    }
+
+    #[test]
+    fn degraded_shape_revives_an_emptied_comm_level() {
+        // Kill every comm process but leave some backends' contributions needed:
+        // all backends are orphaned, so the session is not viable...
+        let mut t = tracker(8, 2);
+        let cps = t.topology().comm_processes();
+        t.fail_many(&cps);
+        assert!(t.degraded_shape().is_none(), "all backends orphaned");
+
+        // ...but on a 3-deep tree, losing one mid-level node keeps the rest alive
+        // and the sanitiser keeps every level at width >= 1.
+        let topo = Topology::build(crate::topology::TreeShape::three_deep(27, 3, 9));
+        let mut t = FaultTracker::new(topo.clone());
+        let mid = topo.comm_processes()[0];
+        t.fail(mid);
+        let shape = t.degraded_shape().unwrap();
+        assert_eq!(shape.depth(), 3);
+        assert_eq!(
+            shape.backends() as usize,
+            t.surviving_backend_indices().len()
+        );
     }
 }

@@ -331,6 +331,70 @@ proptest! {
     }
 
     #[test]
+    fn equivalence_classes_partition_arbitrary_merged_trees(
+        // 1..6 daemons, each owning 1..5 tasks.  Every task has an arbitrary base
+        // call path plus an optional deeper continuation observed in a later
+        // sample (the temporal chains real sampling produces: the polling frames
+        // recurse further, never onto a sibling branch).  Whatever the daemons
+        // saw and however the trees were merged and remapped, the extracted
+        // classes must partition 0..tasks: pairwise disjoint, exhaustive, sizes
+        // summing to the task count.
+        daemons in prop::collection::vec(
+            prop::collection::vec(
+                (
+                    prop::collection::vec(0..FRAME_POOL.len(), 1..6),
+                    prop::collection::vec(0..FRAME_POOL.len(), 0..3),
+                ),
+                1..5,
+            ),
+            1..6,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let total: u64 = daemons.iter().map(|d| d.len() as u64).sum();
+        let mut rank_map: Vec<u64> = (0..total).collect();
+        for i in (1..rank_map.len()).rev() {
+            rank_map.swap(i, ((seed.wrapping_mul(i as u64 + 3)) % (i as u64 + 1)) as usize);
+        }
+
+        let mut table = FrameTable::new();
+        let mut dense = GlobalPrefixTree::new_global(total);
+        let mut merged = SubtreePrefixTree::new_subtree(0);
+        let mut offset = 0u64;
+        for daemon in &daemons {
+            let mut local_tree = SubtreePrefixTree::new_subtree(daemon.len() as u64);
+            for (local, (base, extension)) in daemon.iter().enumerate() {
+                let rank = rank_map[(offset + local as u64) as usize];
+                let names: Vec<&str> = base.iter().map(|&i| FRAME_POOL[i]).collect();
+                let trace = StackTrace::new(table.intern_path(&names));
+                local_tree.add_trace(&trace, local as u64);
+                dense.add_trace(&trace, rank);
+                if !extension.is_empty() {
+                    let mut deeper = names.clone();
+                    deeper.extend(extension.iter().map(|&i| FRAME_POOL[i]));
+                    let trace = StackTrace::new(table.intern_path(&deeper));
+                    local_tree.add_trace(&trace, local as u64);
+                    dense.add_trace(&trace, rank);
+                }
+            }
+            merged.merge(local_tree);
+            offset += daemon.len() as u64;
+        }
+        let remapped = merged.remap(&rank_map, total);
+
+        // Both merge paths must produce a true partition of the job.
+        for tree in [&dense, &remapped] {
+            let classes = equivalence_classes(tree);
+            let sizes: usize = classes.iter().map(|c| c.tasks.len()).sum();
+            prop_assert_eq!(sizes as u64, total, "class sizes must sum to the task count");
+            let mut all: Vec<u64> = classes.iter().flat_map(|c| c.tasks.clone()).collect();
+            all.sort_unstable();
+            // Sorted-equal to 0..total == exhaustive AND pairwise disjoint.
+            prop_assert_eq!(all, (0..total).collect::<Vec<u64>>());
+        }
+    }
+
+    #[test]
     fn wire_format_round_trips_arbitrary_trees(paths in arbitrary_traces(20)) {
         let mut table = FrameTable::new();
         let tree = build_global(&paths, &mut table);

@@ -1,0 +1,170 @@
+//! The fault-scenario acceptance suite: every entry of the catalogue — the paper's
+//! ring hang, the classic deadlock/straggler/storm workloads, the adversarial
+//! I/O-storm / OS-noise / collective-mismatch / corrupted-stack workloads, and the
+//! daemon-fault-degraded variants — is run through the full `Session` pipeline
+//! (planner-chosen topology, real sampling, real single-pass TBON reduction) and
+//! its diagnosis is judged against the scenario's machine-checkable ground truth.
+//!
+//! This is the suite that turns the repo's correctness story from "trees merge"
+//! into "the tool finds the bug": a scenario fails if the merged tree does not
+//! isolate exactly the injected ranks under the distinguishing frame, invents or
+//! drops coverage, leaves the expected class band, or lets corrupted stacks poison
+//! the healthy spine.
+//!
+//! Scales: 1,024 tasks always; 65,536 tasks and the full 212,992-task BG/L (the
+//! paper's 208K headline) are skipped under `STATBENCH_FAST=1` so the fast CI lane
+//! stays fast — the tier-1 run exercises all three.
+
+use appsim::scenario::{catalogue, FaultScenario};
+use appsim::FrameVocabulary;
+use machine::cluster::{BglMode, Cluster};
+use stat_core::prelude::*;
+
+/// Same convention as `stat_bench::fast_mode`: set (non-empty, non-`"0"`)
+/// `STATBENCH_FAST` skips the large-scale points.
+fn fast_mode() -> bool {
+    std::env::var("STATBENCH_FAST")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false)
+}
+
+/// Run every registered scenario at one scale and assert every verdict passes.
+fn assert_catalogue_passes(cluster: &Cluster, tasks: u64, samples: u32) {
+    let scenarios = catalogue(tasks, FrameVocabulary::BlueGeneL);
+    assert!(scenarios.len() >= 8, "the registry shrank");
+    for scenario in &scenarios {
+        let run = run_scenario(cluster, scenario, samples)
+            .unwrap_or_else(|e| panic!("scenario `{}` failed to run: {e}", scenario.name));
+        assert!(
+            run.verdict.passed(),
+            "scenario `{}` at {} tasks was misdiagnosed:\n{}",
+            scenario.name,
+            tasks,
+            run.verdict
+        );
+    }
+}
+
+#[test]
+fn the_registry_covers_the_required_fault_space() {
+    let scenarios = catalogue(1_024, FrameVocabulary::Linux);
+    assert!(scenarios.len() >= 8);
+    // All four new adversarial workloads are registered...
+    for required in [
+        "io_storm",
+        "os_noise",
+        "collective_mismatch",
+        "corrupted_stacks",
+    ] {
+        let entry = scenarios
+            .iter()
+            .find(|s| s.name == required)
+            .unwrap_or_else(|| panic!("scenario `{required}` missing from the registry"));
+        assert_eq!(entry.app.name(), required);
+    }
+    // ...alongside the paper's ring hang and at least one daemon-fault variant.
+    assert!(scenarios.iter().any(|s| s.name == "ring_hang"));
+    let degraded: Vec<&FaultScenario> = scenarios.iter().filter(|s| s.is_degraded()).collect();
+    assert!(!degraded.is_empty());
+    // Every entry documents its fault and expected diagnosis for the gallery.
+    for s in &scenarios {
+        assert!(!s.fault.is_empty() && !s.expected.is_empty());
+    }
+}
+
+#[test]
+fn every_scenario_verdict_passes_at_1k() {
+    assert_catalogue_passes(&Cluster::test_cluster(128, 8), 1_024, 3);
+}
+
+#[test]
+fn every_scenario_verdict_passes_at_64k() {
+    if fast_mode() {
+        eprintln!("STATBENCH_FAST set: skipping the 65,536-task catalogue sweep");
+        return;
+    }
+    // BG/L in co-processor mode: 64 tasks per I/O-node daemon, 1,024 daemons.
+    assert_catalogue_passes(&Cluster::bluegene_l(BglMode::CoProcessor), 65_536, 2);
+}
+
+#[test]
+fn the_ring_hang_scenario_passes_at_the_full_208k() {
+    if fast_mode() {
+        eprintln!("STATBENCH_FAST set: skipping the 212,992-task ring hang");
+        return;
+    }
+    // The paper's headline configuration: the full BG/L in virtual-node mode.
+    let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+    let tasks = cluster.max_tasks();
+    assert_eq!(tasks, 212_992);
+    let scenarios = catalogue(tasks, FrameVocabulary::BlueGeneL);
+    let ring = scenarios.iter().find(|s| s.name == "ring_hang").unwrap();
+    let run = run_scenario(&cluster, ring, 1).expect("the 208K session merges cleanly");
+    assert!(
+        run.verdict.passed(),
+        "the 208K ring hang was misdiagnosed:\n{}",
+        run.verdict
+    );
+    assert_eq!(run.daemons, 1_664);
+    // The diagnosis the verdict judged is the paper's: the hung rank and its
+    // victim, alone, under their distinguishing frames.
+    let hung_class = run
+        .diagnosis
+        .classes
+        .iter()
+        .find(|c| c.frames.iter().any(|f| f == "do_SendOrStall"))
+        .expect("a do_SendOrStall class exists");
+    assert_eq!(hung_class.ranks, vec![1]);
+}
+
+#[test]
+fn degraded_scenarios_lose_coverage_but_not_the_diagnosis() {
+    let scenarios = catalogue(1_024, FrameVocabulary::BlueGeneL);
+    for scenario in scenarios.iter().filter(|s| s.is_degraded()) {
+        let run = run_scenario(&Cluster::test_cluster(128, 8), scenario, 2)
+            .unwrap_or_else(|e| panic!("degraded scenario `{}` failed: {e}", scenario.name));
+        assert!(run.lost_backends > 0, "{} pruned nothing", scenario.name);
+        assert!(!run.diagnosis.lost_ranks.is_empty());
+        assert!(
+            run.verdict.passed(),
+            "degraded scenario `{}` was misdiagnosed:\n{}",
+            scenario.name,
+            run.verdict
+        );
+        // Coverage accounting is exact: covered + lost = the whole job.
+        let covered: usize = {
+            let mut all: Vec<u64> = run
+                .diagnosis
+                .classes
+                .iter()
+                .flat_map(|c| c.ranks.iter().copied())
+                .collect();
+            all.sort_unstable();
+            all.dedup();
+            all.len()
+        };
+        assert_eq!(covered + run.diagnosis.lost_ranks.len(), 1_024);
+    }
+}
+
+#[test]
+fn scenario_verdicts_are_representation_invariant_at_1k() {
+    // The dense and hierarchical representations must reach the same verdicts —
+    // the scenario layer is above the wire-format choice.
+    let scenarios = catalogue(1_024, FrameVocabulary::Linux);
+    for scenario in &scenarios {
+        let dense = run_scenario_with(
+            &Cluster::test_cluster(128, 8),
+            scenario,
+            2,
+            Representation::GlobalBitVector,
+        )
+        .unwrap();
+        assert!(
+            dense.verdict.passed(),
+            "scenario `{}` under the dense representation:\n{}",
+            scenario.name,
+            dense.verdict
+        );
+    }
+}
