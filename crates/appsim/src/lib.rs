@@ -36,9 +36,12 @@ pub mod workloads;
 pub use app::{gather_samples, gather_samples_for_ranks, Application};
 pub use progress::{CheckpointStormApp, IterativeSolverApp, StragglerApp};
 pub use ring::RingHangApp;
-pub use scenario::{catalogue, Diagnosis, FaultScenario, GroundTruth, OverlayFault, Verdict};
+pub use scenario::{
+    catalogue, randomized_scenarios, Diagnosis, FaultScenario, GroundTruth, MidTreeCorruption,
+    MidTreeFault, OverlayFault, Verdict,
+};
 pub use vocab::FrameVocabulary;
 pub use workloads::{
     AllEquivalentApp, CollectiveMismatchApp, ComputeSpreadApp, CorruptedStackApp, DeadlockPairApp,
-    IoStormApp, OsNoiseApp, ThreadedApp,
+    IoStormApp, OsNoiseApp, RandomFaultApp, RandomFaultFlavor, ThreadedApp,
 };

@@ -46,13 +46,13 @@
 //!         },
 //!     ],
 //! };
-//! assert!(deadlock.truth.check(deadlock.name, &good).passed());
+//! assert!(deadlock.truth.check(&deadlock.name, &good).passed());
 //!
 //! // ...and rejects one that blames an innocent rank.
 //! let mut bad = good.clone();
 //! bad.classes[0].ranks = vec![0, 5];
 //! bad.classes[1].ranks = (1..64).filter(|&r| r != 5).collect();
-//! let verdict = deadlock.truth.check(deadlock.name, &bad);
+//! let verdict = deadlock.truth.check(&deadlock.name, &bad);
 //! assert!(!verdict.passed());
 //! assert!(verdict.summary().contains("PMPI_Recv"));
 //! ```
@@ -67,8 +67,9 @@ use crate::ring::RingHangApp;
 use crate::vocab::FrameVocabulary;
 use crate::workloads::{
     AllEquivalentApp, CollectiveMismatchApp, CorruptedStackApp, DeadlockPairApp, IoStormApp,
-    OsNoiseApp,
+    OsNoiseApp, RandomFaultApp, RandomFaultFlavor,
 };
+use simkit::rng::DeterministicRng;
 
 /// One frame-level expectation: the set of ranks that must appear in (exactly the
 /// union of) the behaviour classes whose call path contains `frame`.
@@ -345,6 +346,8 @@ impl fmt::Display for Verdict {
 /// Faults address endpoints from the *end* of the level order because the
 /// interesting application faults in the catalogue live at low ranks (hence early
 /// backends): pruning from the end degrades coverage without deleting the bug.
+/// An index past the addressed level's width is a *typed error* when the
+/// scenario runs — never a silent no-op.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum OverlayFault {
     /// Kill the `i`-th back-end daemon counting from the end of backend order.
@@ -354,15 +357,43 @@ pub enum OverlayFault {
     CommProcessFromEnd(usize),
 }
 
+/// How a mid-tree fault corrupts the filter output of an interior TBON node.
+/// Mirrors `tbon::fault::FilterFaultKind` without making appsim depend on tbon:
+/// the runner resolves this abstract description against the real topology.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MidTreeCorruption {
+    /// The node's merged packet is replaced with plausible-length garbage.
+    Garbage,
+    /// The node's merged packet is cut to its first half.
+    Truncate,
+}
+
+/// One mid-tree fault: an interior (communication-process) node whose filter
+/// state is corrupted, so the packet it forwards upward no longer describes its
+/// subtree.  Unlike [`OverlayFault`] the node is *not* pruned — the damage is
+/// silent at the transport layer, and the test is whether the verdict machinery
+/// *detects* it (the parent's merge drops the subtree, coverage fails, or the
+/// front end refuses to decode).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MidTreeFault {
+    /// Which communication process, counting from the end of the level order.
+    /// Out-of-range indices (including any index on a flat tree, which has no
+    /// communication processes) are a typed error when the scenario runs.
+    pub comm_from_end: usize,
+    /// How the node's filter output is corrupted.
+    pub kind: MidTreeCorruption,
+}
+
 /// One entry of the fault-scenario catalogue.
 #[derive(Clone)]
 pub struct FaultScenario {
-    /// Registry name (stable, used by tests to select scenarios).
-    pub name: &'static str,
+    /// Registry name (stable for catalogue entries, seed-derived for randomized
+    /// ones; used by tests to select scenarios).
+    pub name: String,
     /// Human description of the injected fault.
-    pub fault: &'static str,
+    pub fault: String,
     /// Human description of the diagnosis the tool is expected to produce.
-    pub expected: &'static str,
+    pub expected: String,
     /// The workload with the fault injected.
     pub app: Arc<dyn Application>,
     /// The machine-checkable expectation.
@@ -370,12 +401,31 @@ pub struct FaultScenario {
     /// Tool-side daemon faults to inject while the scenario runs (empty = the
     /// overlay stays healthy).
     pub overlay_faults: Vec<OverlayFault>,
+    /// Mid-tree filter corruptions to inject while the scenario runs (empty =
+    /// every interior node merges honestly).
+    pub mid_tree_faults: Vec<MidTreeFault>,
 }
 
 impl FaultScenario {
     /// Whether this entry exercises the degraded (daemon-fault) path.
     pub fn is_degraded(&self) -> bool {
         !self.overlay_faults.is_empty()
+    }
+
+    /// Whether this entry corrupts interior-node filter state.  A corrupting
+    /// scenario is judged *correct* when the corruption is detected — its
+    /// verdict fails or the pipeline reports a decode/coverage error — and
+    /// *incorrect* if the diagnosis sails through clean.
+    pub fn is_corrupting(&self) -> bool {
+        !self.mid_tree_faults.is_empty()
+    }
+
+    /// Derive a degraded variant: the same scenario with an extra overlay fault.
+    pub fn with_overlay(&self, fault: OverlayFault) -> FaultScenario {
+        let mut v = self.clone();
+        v.name = format!("{}_degraded", v.name);
+        v.overlay_faults.push(fault);
+        v
     }
 }
 
@@ -387,6 +437,7 @@ impl fmt::Debug for FaultScenario {
             .field("app", &self.app.name())
             .field("truth", &self.truth)
             .field("overlay_faults", &self.overlay_faults)
+            .field("mid_tree_faults", &self.mid_tree_faults)
             .finish()
     }
 }
@@ -421,89 +472,99 @@ pub fn catalogue(tasks: u64, vocab: FrameVocabulary) -> Vec<FaultScenario> {
 
     vec![
         FaultScenario {
-            name: "ring_hang",
-            fault: "MPI ring test; rank 1 hangs before its send (the paper's Figure 1 bug)",
-            expected: "3-8 classes; the hung rank alone under do_SendOrStall, its victim under PMPI_Waitall",
+            name: "ring_hang".into(),
+            fault: "MPI ring test; rank 1 hangs before its send (the paper's Figure 1 bug)".into(),
+            expected: "3-8 classes; the hung rank alone under do_SendOrStall, its victim under PMPI_Waitall".into(),
             app: Arc::new(ring.clone()),
             truth: ring_truth.clone(),
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "ring_hang_daemon_loss",
-            fault: "the ring hang, with the last tool daemon killed mid-session",
-            expected: "same diagnosis over the surviving daemons; the lost ranks reported uncovered",
+            name: "ring_hang_daemon_loss".into(),
+            fault: "the ring hang, with the last tool daemon killed mid-session".into(),
+            expected: "same diagnosis over the surviving daemons; the lost ranks reported uncovered".into(),
             app: Arc::new(ring),
             truth: ring_truth,
             overlay_faults: vec![OverlayFault::BackendFromEnd(0)],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "deadlock_pair",
-            fault: "ranks 0 and 1 deadlocked in blocking receives against each other",
-            expected: "the pair isolated under PMPI_Recv; everyone else in the barrier",
+            name: "deadlock_pair".into(),
+            fault: "ranks 0 and 1 deadlocked in blocking receives against each other".into(),
+            expected: "the pair isolated under PMPI_Recv; everyone else in the barrier".into(),
             app: Arc::new(deadlock.clone()),
             truth: deadlock_truth.clone(),
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "deadlock_pair_comm_loss",
-            fault: "the deadlocked pair, with a communication process (and its subtree) killed",
-            expected: "the pair still isolated; the orphaned daemons' ranks reported uncovered",
+            name: "deadlock_pair_comm_loss".into(),
+            fault: "the deadlocked pair, with a communication process (and its subtree) killed".into(),
+            expected: "the pair still isolated; the orphaned daemons' ranks reported uncovered".into(),
             app: Arc::new(deadlock),
             truth: deadlock_truth,
             overlay_faults: vec![OverlayFault::CommProcessFromEnd(0)],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "stragglers",
-            fault: "a few ranks persistently compute while the job waits in the barrier",
-            expected: "the stragglers alone under compute_interior",
+            name: "stragglers".into(),
+            fault: "a few ranks persistently compute while the job waits in the barrier".into(),
+            expected: "the stragglers alone under compute_interior".into(),
             app: Arc::new(stragglers),
             truth: straggler_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "checkpoint_storm",
-            fault: "a checkpoint write storm; a quarter of the job still inside the I/O stack",
-            expected: "writers isolated under MPI_File_write_all, the rest in the barrier",
+            name: "checkpoint_storm".into(),
+            fault: "a checkpoint write storm; a quarter of the job still inside the I/O stack".into(),
+            expected: "writers isolated under MPI_File_write_all, the rest in the barrier".into(),
             app: Arc::new(storm),
             truth: storm_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "io_storm",
-            fault: "shared-filesystem metadata storm: a few ranks wedged opening a file over NFS",
-            expected: "the wedged ranks alone under MPI_File_open / nfs_getattr_wait",
+            name: "io_storm".into(),
+            fault: "shared-filesystem metadata storm: a few ranks wedged opening a file over NFS".into(),
+            expected: "the wedged ranks alone under MPI_File_open / nfs_getattr_wait".into(),
             app: Arc::new(io_storm),
             truth: io_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "os_noise",
-            fault: "no application fault; ranks are sampled mid-kernel inside OS interrupt frames",
-            expected: "every class stays inside the compute kernel — no invented outliers",
+            name: "os_noise".into(),
+            fault: "no application fault; ranks are sampled mid-kernel inside OS interrupt frames".into(),
+            expected: "every class stays inside the compute kernel — no invented outliers".into(),
             app: Arc::new(noise),
             truth: noise_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "collective_mismatch",
-            fault: "one rank enters PMPI_Reduce while the rest of the job is in PMPI_Allreduce",
-            expected: "the mismatched rank alone under PMPI_Reduce",
+            name: "collective_mismatch".into(),
+            fault: "one rank enters PMPI_Reduce while the rest of the job is in PMPI_Allreduce".into(),
+            expected: "the mismatched rank alone under PMPI_Reduce".into(),
             app: Arc::new(mismatch),
             truth: mismatch_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "corrupted_stacks",
-            fault: "a few ranks return garbage frames from the stack walk",
-            expected: "garbage quarantined under ??? without grafting onto the healthy spine",
+            name: "corrupted_stacks".into(),
+            fault: "a few ranks return garbage frames from the stack walk".into(),
+            expected: "garbage quarantined under ??? without grafting onto the healthy spine".into(),
             app: Arc::new(corrupted),
             truth: corrupted_truth,
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
         FaultScenario {
-            name: "all_equivalent",
-            fault: "no fault: the whole job waits in one barrier",
-            expected: "a single class covering every task",
+            name: "all_equivalent".into(),
+            fault: "no fault: the whole job waits in one barrier".into(),
+            expected: "a single class covering every task".into(),
             app: Arc::new(AllEquivalentApp::new(tasks, vocab)),
             truth: GroundTruth {
                 class_count: (1, 1),
@@ -512,8 +573,99 @@ pub fn catalogue(tasks: u64, vocab: FrameVocabulary) -> Vec<FaultScenario> {
                 never_coincide: vec![],
             },
             overlay_faults: vec![],
+            mid_tree_faults: vec![],
         },
     ]
+}
+
+/// Generate `count` randomized fault scenarios at the given job size, fully
+/// determined by `seed`: fault archetype, faulty-rank placement, overlay
+/// degradation and mid-tree corruption are all drawn from a
+/// [`DeterministicRng`], and each scenario still carries a machine-checkable
+/// [`GroundTruth`] derived from the drawn ranks — randomization moves the
+/// fault, never the expectation.
+///
+/// Scenario `i` draws from `DeterministicRng::new(seed).fork(i)`, so the
+/// population is stable under prefix extension: the first `k` scenarios of a
+/// `count = n` population equal the `count = k` population for the same seed.
+///
+/// ```
+/// use appsim::scenario::randomized_scenarios;
+/// use appsim::FrameVocabulary;
+///
+/// let a = randomized_scenarios(1_024, FrameVocabulary::BlueGeneL, 7, 6);
+/// let b = randomized_scenarios(1_024, FrameVocabulary::BlueGeneL, 7, 6);
+/// assert_eq!(a.len(), 6);
+/// // Same seed, same population: names, faulty ranks, overlays all agree.
+/// for (x, y) in a.iter().zip(&b) {
+///     assert_eq!(x.name, y.name);
+///     assert_eq!(x.truth, y.truth);
+///     assert_eq!(x.overlay_faults, y.overlay_faults);
+///     assert_eq!(x.mid_tree_faults, y.mid_tree_faults);
+/// }
+/// ```
+pub fn randomized_scenarios(
+    tasks: u64,
+    vocab: FrameVocabulary,
+    seed: u64,
+    count: usize,
+) -> Vec<FaultScenario> {
+    let tasks = tasks.max(16);
+    let mut base = DeterministicRng::new(seed);
+    (0..count)
+        .map(|i| {
+            let mut rng = base.fork(i as u64);
+            let flavor = RandomFaultFlavor::ALL[rng.uniform_usize(0, RandomFaultFlavor::ALL.len())];
+            // 1..=3 faulty ranks drawn anywhere past rank 0.
+            let fault_count = rng.uniform_usize(1, 4);
+            let mut ranks = BTreeSet::new();
+            while ranks.len() < fault_count {
+                ranks.insert(rng.uniform_usize(1, tasks as usize) as u64);
+            }
+            let ranks: Vec<u64> = ranks.into_iter().collect();
+            let app = RandomFaultApp::new(tasks, vocab, flavor, ranks.clone());
+            let truth = app.ground_truth().clone();
+
+            // A third of the population also degrades the tool overlay...
+            let mut suffix = String::new();
+            let mut overlay_faults = Vec::new();
+            if rng.chance(1.0 / 3.0) {
+                overlay_faults.push(OverlayFault::BackendFromEnd(rng.uniform_usize(0, 2)));
+                suffix.push_str("_degraded");
+            }
+            // ...and a quarter corrupts an interior node's filter state.
+            let mut mid_tree_faults = Vec::new();
+            if rng.chance(0.25) {
+                let kind = if rng.chance(0.5) {
+                    MidTreeCorruption::Garbage
+                } else {
+                    MidTreeCorruption::Truncate
+                };
+                mid_tree_faults.push(MidTreeFault {
+                    comm_from_end: rng.uniform_usize(0, 2),
+                    kind,
+                });
+                suffix.push_str("_midtree");
+            }
+
+            FaultScenario {
+                name: format!("rand_{}_s{}_{}{}", flavor.label(), seed, i, suffix),
+                fault: format!(
+                    "randomized {} fault injected into ranks {:?} (seed {seed}, draw {i})",
+                    flavor.label(),
+                    ranks
+                ),
+                expected: format!(
+                    "the injected ranks isolated under {}",
+                    flavor.distinguishing_frame(vocab)
+                ),
+                app: Arc::new(app),
+                truth,
+                overlay_faults,
+                mid_tree_faults,
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -552,10 +704,69 @@ mod tests {
         }
         assert!(scenarios.iter().any(FaultScenario::is_degraded));
         // Names are unique: the registry is addressable.
-        let mut names: Vec<_> = scenarios.iter().map(|s| s.name).collect();
+        let mut names: Vec<_> = scenarios.iter().map(|s| s.name.as_str()).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), scenarios.len());
+    }
+
+    #[test]
+    fn randomized_scenarios_are_seed_deterministic_and_prefix_stable() {
+        let a = randomized_scenarios(512, FrameVocabulary::Linux, 42, 8);
+        let b = randomized_scenarios(512, FrameVocabulary::Linux, 42, 8);
+        assert_eq!(a.len(), 8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.truth, y.truth);
+            assert_eq!(x.overlay_faults, y.overlay_faults);
+            assert_eq!(x.mid_tree_faults, y.mid_tree_faults);
+        }
+        // Prefix stability: scenario i does not depend on how many follow it.
+        let prefix = randomized_scenarios(512, FrameVocabulary::Linux, 42, 3);
+        for (x, y) in prefix.iter().zip(&a) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.truth, y.truth);
+        }
+        // A different seed moves the population.
+        let other = randomized_scenarios(512, FrameVocabulary::Linux, 43, 8);
+        assert!(a
+            .iter()
+            .zip(&other)
+            .any(|(x, y)| x.truth != y.truth || x.name != y.name));
+    }
+
+    #[test]
+    fn randomized_scenarios_carry_sound_ground_truths() {
+        for seed in [1u64, 9, 77] {
+            for s in randomized_scenarios(256, FrameVocabulary::BlueGeneL, seed, 12) {
+                let faulty = s.truth.faulty_ranks();
+                assert!(!faulty.is_empty() && faulty.len() <= 3, "{}", s.name);
+                assert!(
+                    faulty.iter().all(|&r| (1..256).contains(&r)),
+                    "{}: rank 0 or out-of-job rank drawn",
+                    s.name
+                );
+                // The app's behaviour matches the truth rank for rank.
+                let frame = s.truth.distinguishing_frame().unwrap();
+                for rank in 0..256 {
+                    let flagged = s.app.main_thread_path(rank, 0).contains(&frame);
+                    assert_eq!(flagged, s.truth.is_faulty(rank), "{} rank {rank}", s.name);
+                }
+                // Suffixes advertise the tool-side modifiers.
+                assert_eq!(s.is_degraded(), s.name.contains("_degraded"));
+                assert_eq!(s.is_corrupting(), s.name.contains("_midtree"));
+            }
+        }
+    }
+
+    #[test]
+    fn with_overlay_derives_a_renamed_degraded_variant() {
+        let base = &catalogue(64, FrameVocabulary::Linux)[0];
+        let degraded = base.with_overlay(OverlayFault::BackendFromEnd(1));
+        assert_eq!(degraded.name, format!("{}_degraded", base.name));
+        assert!(degraded.is_degraded());
+        assert_eq!(degraded.truth, base.truth);
+        assert!(!base.is_degraded());
     }
 
     #[test]

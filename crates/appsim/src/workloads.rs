@@ -513,6 +513,159 @@ impl Application for CorruptedStackApp {
     }
 }
 
+/// The fault archetypes a randomized campaign scenario can draw.  Each flavor
+/// reuses the frame structure of one hand-written catalogue workload, so the
+/// randomized population explores *placement* (which ranks, how many, at what
+/// scale) rather than inventing new call-path shapes the merge was never
+/// specified to handle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RandomFaultFlavor {
+    /// Faulty ranks wedged before a send, like the paper's ring hang.
+    SendStall,
+    /// Faulty ranks stuck in blocking receives, like the deadlock pair.
+    BlockedRecv,
+    /// Faulty ranks wedged opening a shared file, like the I/O storm.
+    WedgedOpen,
+    /// Faulty ranks in the wrong collective, like the mismatch scenario.
+    WrongCollective,
+}
+
+impl RandomFaultFlavor {
+    /// All flavors, in the order the generator's RNG indexes them.
+    pub const ALL: [RandomFaultFlavor; 4] = [
+        RandomFaultFlavor::SendStall,
+        RandomFaultFlavor::BlockedRecv,
+        RandomFaultFlavor::WedgedOpen,
+        RandomFaultFlavor::WrongCollective,
+    ];
+
+    /// Stable short label used in generated scenario names.
+    pub fn label(self) -> &'static str {
+        match self {
+            RandomFaultFlavor::SendStall => "stall",
+            RandomFaultFlavor::BlockedRecv => "recv",
+            RandomFaultFlavor::WedgedOpen => "open",
+            RandomFaultFlavor::WrongCollective => "collective",
+        }
+    }
+
+    /// The frame that must isolate the faulty ranks for this flavor.
+    pub fn distinguishing_frame(self, vocab: FrameVocabulary) -> &'static str {
+        match self {
+            RandomFaultFlavor::SendStall => vocab.send_stall(),
+            RandomFaultFlavor::BlockedRecv => "PMPI_Recv",
+            RandomFaultFlavor::WedgedOpen => "MPI_File_open",
+            RandomFaultFlavor::WrongCollective => "PMPI_Reduce",
+        }
+    }
+}
+
+/// A randomized-campaign workload: an arbitrary set of faulty ranks placed by a
+/// seeded RNG, expressed through one of the catalogue's fault archetypes.  Like
+/// every hand-written workload, the injected ranks live *only* in the
+/// [`GroundTruth`], so the fault and the expectation cannot drift apart.
+#[derive(Clone, Debug)]
+pub struct RandomFaultApp {
+    tasks: u64,
+    vocab: FrameVocabulary,
+    flavor: RandomFaultFlavor,
+    truth: GroundTruth,
+}
+
+impl RandomFaultApp {
+    /// Inject `flavor` into the given `faulty_ranks` (ascending, deduplicated,
+    /// never rank 0 so the fault is not confused with "the first daemon").
+    pub fn new(
+        tasks: u64,
+        vocab: FrameVocabulary,
+        flavor: RandomFaultFlavor,
+        faulty_ranks: Vec<u64>,
+    ) -> Self {
+        let tasks = tasks.max(16);
+        let mut ranks: Vec<u64> = faulty_ranks
+            .into_iter()
+            .map(|r| r.clamp(1, tasks - 1))
+            .collect();
+        ranks.sort_unstable();
+        ranks.dedup();
+        if ranks.is_empty() {
+            ranks.push(1);
+        }
+        RandomFaultApp {
+            tasks,
+            vocab,
+            flavor,
+            truth: GroundTruth {
+                class_count: (2, 3),
+                isolations: vec![Isolation {
+                    frame: flavor.distinguishing_frame(vocab),
+                    ranks,
+                }],
+                ubiquitous_frame: None,
+                never_coincide: vec![],
+            },
+        }
+    }
+
+    /// The drawn fault archetype.
+    pub fn flavor(&self) -> RandomFaultFlavor {
+        self.flavor
+    }
+
+    /// The machine-checkable expectation for this workload.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.truth
+    }
+}
+
+impl Application for RandomFaultApp {
+    fn name(&self) -> &str {
+        match self.flavor {
+            RandomFaultFlavor::SendStall => "rand_stall",
+            RandomFaultFlavor::BlockedRecv => "rand_recv",
+            RandomFaultFlavor::WedgedOpen => "rand_open",
+            RandomFaultFlavor::WrongCollective => "rand_collective",
+        }
+    }
+    fn num_tasks(&self) -> u64 {
+        self.tasks
+    }
+    fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
+        let v = self.vocab;
+        let mut path = vec![v.start(), v.main()];
+        if self.truth.is_faulty(rank) {
+            match self.flavor {
+                RandomFaultFlavor::SendStall => {
+                    path.push("ring_step");
+                    path.push(v.send_stall());
+                    path.extend_from_slice(v.progress_impl());
+                }
+                RandomFaultFlavor::BlockedRecv => {
+                    path.push("exchange_halo");
+                    path.push("PMPI_Recv");
+                    path.extend_from_slice(v.progress_impl());
+                }
+                RandomFaultFlavor::WedgedOpen => {
+                    path.push("open_restart_file");
+                    path.extend_from_slice(v.shared_fs_open_impl());
+                }
+                RandomFaultFlavor::WrongCollective => {
+                    path.push("solve_timestep");
+                    path.push("PMPI_Reduce");
+                    path.extend_from_slice(v.progress_impl());
+                }
+            }
+        } else {
+            path.push(v.barrier());
+            path.extend_from_slice(v.barrier_impl());
+            if sample.is_multiple_of(2) {
+                path.extend_from_slice(v.progress_impl());
+            }
+        }
+        path
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,6 +806,32 @@ mod tests {
         let distinct: std::collections::HashSet<Vec<&str>> =
             (0..8).map(|s| app.main_thread_path(corrupt, s)).collect();
         assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn random_fault_app_is_driven_by_its_ground_truth() {
+        for flavor in RandomFaultFlavor::ALL {
+            let app = RandomFaultApp::new(128, FrameVocabulary::Linux, flavor, vec![3, 77, 3, 0]);
+            // Rank 0 is clamped to 1, duplicates collapse.
+            assert_eq!(app.ground_truth().faulty_ranks(), vec![1, 3, 77]);
+            let frame = flavor.distinguishing_frame(FrameVocabulary::Linux);
+            for rank in 0..128 {
+                let flagged = app.main_thread_path(rank, 0).contains(&frame);
+                assert_eq!(flagged, app.ground_truth().is_faulty(rank), "{flavor:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_fault_app_never_faults_an_empty_set() {
+        let app = RandomFaultApp::new(
+            64,
+            FrameVocabulary::BlueGeneL,
+            RandomFaultFlavor::SendStall,
+            vec![],
+        );
+        assert_eq!(app.ground_truth().faulty_ranks(), vec![1]);
+        assert!(app.main_thread_path(1, 0).contains(&"do_SendOrStall"));
     }
 
     #[test]

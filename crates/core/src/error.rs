@@ -74,6 +74,20 @@ pub enum StatError {
         /// Back-end daemons the topology originally had.
         total_backends: usize,
     },
+    /// A scenario's injected fault addressed an endpoint the planned topology
+    /// does not have — e.g. `BackendFromEnd(7)` against a 4-daemon tree.  The
+    /// old behaviour silently clamped the index to the last endpoint, which made
+    /// two distinct faults indistinguishable; an out-of-range fault is a bug in
+    /// the scenario (or the campaign grid) and must surface as such.
+    FaultOutOfRange {
+        /// What kind of endpoint was addressed (`"backend"`, `"comm-process"`,
+        /// `"mid-tree filter"`).
+        kind: &'static str,
+        /// The from-the-end index the fault asked for.
+        index: usize,
+        /// How many endpoints of that kind the topology actually has.
+        width: usize,
+    },
 }
 
 impl fmt::Display for StatError {
@@ -101,6 +115,11 @@ impl fmt::Display for StatError {
                 "overlay faults lost {lost_backends} of {total_backends} daemons (or the \
                  front end itself); no degraded session can be formed"
             ),
+            StatError::FaultOutOfRange { kind, index, width } => write!(
+                f,
+                "injected {kind} fault addresses index {index} from the end, but the \
+                 topology only has {width} such endpoints"
+            ),
         }
     }
 }
@@ -110,7 +129,9 @@ impl std::error::Error for StatError {
         match self {
             StatError::Reduce(err) => Some(err),
             StatError::Decode { source, .. } => Some(source),
-            StatError::RankMapMismatch { .. } | StatError::SessionNotViable { .. } => None,
+            StatError::RankMapMismatch { .. }
+            | StatError::SessionNotViable { .. }
+            | StatError::FaultOutOfRange { .. } => None,
         }
     }
 }
@@ -136,6 +157,20 @@ mod tests {
         assert!(text.contains("3d-tree"));
         assert!(text.contains("ep7"));
         assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn fault_out_of_range_names_the_kind_and_widths() {
+        let err = StatError::FaultOutOfRange {
+            kind: "comm-process",
+            index: 9,
+            width: 4,
+        };
+        let text = err.to_string();
+        assert!(text.contains("comm-process"));
+        assert!(text.contains('9'));
+        assert!(text.contains('4'));
+        assert!(std::error::Error::source(&err).is_none());
     }
 
     #[test]

@@ -25,9 +25,12 @@
 //! assert!(run.verdict.passed(), "{}", run.verdict);
 //! ```
 
-use appsim::scenario::{DiagnosedClass, Diagnosis, FaultScenario, OverlayFault, Verdict};
+use appsim::scenario::{
+    DiagnosedClass, Diagnosis, FaultScenario, MidTreeCorruption, MidTreeFault, OverlayFault,
+    Verdict,
+};
 use machine::cluster::Cluster;
-use tbon::fault::FaultTracker;
+use tbon::fault::{FaultTracker, FilterFault, FilterFaultKind};
 use tbon::packet::EndpointId;
 use tbon::topology::Topology;
 
@@ -78,7 +81,7 @@ impl SessionReport {
 #[derive(Clone, Debug)]
 pub struct ScenarioRun {
     /// The scenario that ran.
-    pub scenario: &'static str,
+    pub scenario: String,
     /// Daemons the planned topology started with.
     pub daemons: u32,
     /// Daemons lost to the scenario's overlay faults (0 for a healthy overlay).
@@ -135,11 +138,26 @@ pub fn run_scenario_in(
     let representation = session.representation();
 
     if scenario.overlay_faults.is_empty() {
-        let report = session.attach(app)?;
+        let spec = session.topology_for(tasks);
+        let topology = Topology::build(spec.clone());
+        let filter_faults = resolve_filter_faults(&topology, &scenario.mid_tree_faults)?;
+        // Mid-tree corruption needs a session carrying the resolved faults; a
+        // clean scenario runs through the caller's session untouched.
+        let report = if filter_faults.is_empty() {
+            session.attach(app)?
+        } else {
+            Session::builder(session.cluster().clone())
+                .representation(representation)
+                .topology(spec)
+                .samples_per_task(samples_per_task)
+                .filter_faults(filter_faults)
+                .build()
+                .attach(app)?
+        };
         let diagnosis = diagnose(&report.gather, tasks, Vec::new());
-        let verdict = scenario.truth.check(scenario.name, &diagnosis);
+        let verdict = scenario.truth.check(&scenario.name, &diagnosis);
         return Ok(ScenarioRun {
-            scenario: scenario.name,
+            scenario: scenario.name.clone(),
             daemons: report.daemons,
             lost_backends: 0,
             diagnosis,
@@ -153,7 +171,7 @@ pub fn run_scenario_in(
     let topology = Topology::build(spec.clone());
     let mut tracker = FaultTracker::new(topology.clone());
     for fault in &scenario.overlay_faults {
-        tracker.fail(resolve_fault(&topology, *fault));
+        tracker.fail(resolve_fault(&topology, *fault)?);
     }
 
     let total_backends = topology.backends().len();
@@ -183,16 +201,20 @@ pub fn run_scenario_in(
         .map(|(&idx, &leaf)| strategy.contribute(&daemons[idx], app, samples_per_task, leaf))
         .collect();
 
+    // Mid-tree faults hit the *degraded* tree: the corrupted comm process is
+    // one that survived the pruning and still merges its (reduced) subtree.
+    let filter_faults = resolve_filter_faults(&degraded_topology, &scenario.mid_tree_faults)?;
     let merge_session = Session::builder(session.cluster().clone())
         .representation(representation)
         .topology(degraded_spec)
         .samples_per_task(samples_per_task)
+        .filter_faults(filter_faults)
         .build();
     let gather = merge_session.merge(contributions, tasks)?;
     let diagnosis = diagnose(&gather, tasks, lost_ranks);
-    let verdict = scenario.truth.check(scenario.name, &diagnosis);
+    let verdict = scenario.truth.check(&scenario.name, &diagnosis);
     Ok(ScenarioRun {
-        scenario: scenario.name,
+        scenario: scenario.name.clone(),
         daemons: spec.backends(),
         lost_backends: total_backends - surviving.len(),
         diagnosis,
@@ -201,25 +223,81 @@ pub fn run_scenario_in(
 }
 
 /// Resolve a scenario's abstract overlay fault to a concrete endpoint of the
-/// planned topology.
-fn resolve_fault(topology: &Topology, fault: OverlayFault) -> EndpointId {
+/// planned topology.  An index past the addressed level's width is a
+/// [`StatError::FaultOutOfRange`], never a silent clamp: the old clamping made
+/// `BackendFromEnd(7)` on a 4-daemon tree indistinguishable from
+/// `BackendFromEnd(3)`, so a campaign sweeping fault indices across scales
+/// would quietly re-run the same fault.
+fn resolve_fault(topology: &Topology, fault: OverlayFault) -> Result<EndpointId, StatError> {
     match fault {
         OverlayFault::BackendFromEnd(i) => {
             let backends = topology.backends();
-            backends[backends.len() - 1 - i.min(backends.len() - 1)]
+            if i >= backends.len() {
+                return Err(StatError::FaultOutOfRange {
+                    kind: "backend",
+                    index: i,
+                    width: backends.len(),
+                });
+            }
+            Ok(backends[backends.len() - 1 - i])
         }
         OverlayFault::CommProcessFromEnd(i) => {
             let comm = topology.comm_processes();
             if comm.is_empty() {
                 // A flat tree has no comm processes to kill; degrade a daemon so
-                // the scenario still exercises the pruned path.
+                // the scenario still exercises the pruned path.  (Documented
+                // fallback — index 0 only, anything else is out of range.)
+                if i > 0 {
+                    return Err(StatError::FaultOutOfRange {
+                        kind: "comm-process",
+                        index: i,
+                        width: 0,
+                    });
+                }
                 let backends = topology.backends();
-                backends[backends.len() - 1]
+                Ok(backends[backends.len() - 1])
+            } else if i >= comm.len() {
+                Err(StatError::FaultOutOfRange {
+                    kind: "comm-process",
+                    index: i,
+                    width: comm.len(),
+                })
             } else {
-                comm[comm.len() - 1 - i.min(comm.len() - 1)]
+                Ok(comm[comm.len() - 1 - i])
             }
         }
     }
+}
+
+/// Resolve a scenario's abstract mid-tree faults to concrete
+/// [`FilterFault`]s against the tree that will actually merge.  Flat trees have
+/// no communication processes, so *any* mid-tree fault on them is a
+/// [`StatError::FaultOutOfRange`] — there is no interior filter state to
+/// corrupt.
+fn resolve_filter_faults(
+    topology: &Topology,
+    faults: &[MidTreeFault],
+) -> Result<Vec<FilterFault>, StatError> {
+    let comm = topology.comm_processes();
+    faults
+        .iter()
+        .map(|fault| {
+            if fault.comm_from_end >= comm.len() {
+                return Err(StatError::FaultOutOfRange {
+                    kind: "mid-tree filter",
+                    index: fault.comm_from_end,
+                    width: comm.len(),
+                });
+            }
+            Ok(FilterFault {
+                node: comm[comm.len() - 1 - fault.comm_from_end],
+                kind: match fault.kind {
+                    MidTreeCorruption::Garbage => FilterFaultKind::Garbage,
+                    MidTreeCorruption::Truncate => FilterFaultKind::Truncate,
+                },
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -304,6 +382,127 @@ mod tests {
         let run = run_scenario(&cluster(), &crossed, 3).unwrap();
         assert!(!run.verdict.passed());
         assert!(run.verdict.failures().iter().any(|c| c.name == "isolation"));
+    }
+
+    #[test]
+    fn out_of_range_backend_faults_are_typed_errors_not_silent_clamps() {
+        let scenarios = catalogue(64, FrameVocabulary::Linux);
+        let mut wild = scenarios
+            .iter()
+            .find(|s| s.name == "ring_hang")
+            .unwrap()
+            .clone();
+        let backends = Session::builder(cluster())
+            .plan_topology()
+            .build()
+            .topology_for(64)
+            .backends() as usize;
+        wild.overlay_faults = vec![appsim::scenario::OverlayFault::BackendFromEnd(backends)];
+        let err = run_scenario(&cluster(), &wild, 1).unwrap_err();
+        assert_eq!(
+            err,
+            StatError::FaultOutOfRange {
+                kind: "backend",
+                index: backends,
+                width: backends,
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_comm_faults_are_typed_errors_not_silent_clamps() {
+        let scenarios = catalogue(64, FrameVocabulary::Linux);
+        let mut wild = scenarios
+            .iter()
+            .find(|s| s.name == "deadlock_pair")
+            .unwrap()
+            .clone();
+        wild.overlay_faults = vec![appsim::scenario::OverlayFault::CommProcessFromEnd(999)];
+        let err = run_scenario(&cluster(), &wild, 1).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StatError::FaultOutOfRange {
+                    kind: "comm-process",
+                    index: 999,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn mid_tree_corruption_is_detected_not_papered_over() {
+        // Corrupt one interior node's filter output: the parent merge drops the
+        // corrupted subtree (or the front end refuses to decode), so the run
+        // must surface the damage — a failed verdict or a pipeline error, never
+        // a clean PASS.
+        use appsim::scenario::{MidTreeCorruption, MidTreeFault};
+        use tbon::topology::TreeShape;
+        let scenarios = catalogue(256, FrameVocabulary::BlueGeneL);
+        // Pin a 2-deep tree so the topology definitely has interior nodes.
+        let session = Session::builder(cluster())
+            .topology(TreeShape::two_deep(32, 4))
+            .samples_per_task(2)
+            .build();
+        for kind in [MidTreeCorruption::Garbage, MidTreeCorruption::Truncate] {
+            let mut corrupted = scenarios
+                .iter()
+                .find(|s| s.name == "ring_hang")
+                .unwrap()
+                .clone();
+            corrupted.mid_tree_faults = vec![MidTreeFault {
+                comm_from_end: 0,
+                kind,
+            }];
+            assert!(corrupted.is_corrupting());
+            match run_scenario_in(&session, &corrupted) {
+                Ok(run) => assert!(
+                    !run.verdict.passed(),
+                    "{kind:?} corruption produced a clean PASS:\n{}",
+                    run.verdict
+                ),
+                Err(err) => assert!(
+                    matches!(
+                        err,
+                        StatError::Decode { .. }
+                            | StatError::RankMapMismatch { .. }
+                            | StatError::Reduce(_)
+                    ),
+                    "unexpected error class for {kind:?}: {err}"
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_tree_faults_on_a_flat_tree_are_out_of_range() {
+        use appsim::scenario::{MidTreeCorruption, MidTreeFault};
+        use tbon::topology::TreeShape;
+        let scenarios = catalogue(64, FrameVocabulary::Linux);
+        let mut corrupted = scenarios
+            .iter()
+            .find(|s| s.name == "ring_hang")
+            .unwrap()
+            .clone();
+        corrupted.mid_tree_faults = vec![MidTreeFault {
+            comm_from_end: 0,
+            kind: MidTreeCorruption::Garbage,
+        }];
+        let session = Session::builder(cluster())
+            .topology(TreeShape::flat(8))
+            .samples_per_task(1)
+            .build();
+        let err = run_scenario_in(&session, &corrupted).unwrap_err();
+        assert_eq!(
+            err,
+            StatError::FaultOutOfRange {
+                kind: "mid-tree filter",
+                index: 0,
+                width: 0,
+            }
+        );
     }
 
     #[test]

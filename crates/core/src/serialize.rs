@@ -129,6 +129,9 @@ impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
         if self.pos + n > self.buf.len() {
             return Err(DecodeError::Truncated { offset: self.pos });
@@ -209,6 +212,11 @@ pub fn decode_tree<S: WireTaskSet>(
     }
     let width = r.u64()?;
     let nframes = r.u32()? as usize;
+    // A corrupted length prefix must fail as `Truncated`, not drive a huge
+    // allocation: each frame record needs at least its 2-byte length.
+    if nframes.saturating_mul(2) > r.remaining() {
+        return Err(DecodeError::Truncated { offset: r.pos });
+    }
     let mut frames: Vec<FrameId> = Vec::with_capacity(nframes);
     for _ in 0..nframes {
         let len = r.u16()? as usize;
@@ -225,6 +233,12 @@ pub fn decode_tree<S: WireTaskSet>(
         return Err(DecodeError::BadIndex {
             offset: count_offset,
         });
+    }
+    // Same guard for the claimed domain width: every node (there is at least
+    // the root) carries `ceil(width / 64)` 8-byte words, so a width whose set
+    // cannot fit in the rest of the buffer is a lie.
+    if width.div_ceil(64).saturating_mul(8) > r.remaining() as u64 {
+        return Err(DecodeError::Truncated { offset: r.pos });
     }
     let words_per_set = width.div_ceil(64) as usize;
     let read_set = |r: &mut Reader<'_>| -> Result<S, DecodeError> {
@@ -278,6 +292,9 @@ pub fn encode_rank_map(ranks: &[u64]) -> Vec<u8> {
 pub fn decode_rank_map(buf: &[u8]) -> Result<Vec<u64>, DecodeError> {
     let mut r = Reader::new(buf);
     let n = r.u64()? as usize;
+    if n.saturating_mul(8) > r.remaining() {
+        return Err(DecodeError::Truncated { offset: r.pos });
+    }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         out.push(r.u64()?);
@@ -382,6 +399,41 @@ mod tests {
             DecodeError::Truncated { offset } => assert!(offset > 0 && offset < bytes.len()),
             other => panic!("expected Truncated, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn lying_length_prefixes_fail_cleanly_instead_of_allocating() {
+        // A corrupted interior node can forward a structurally plausible packet
+        // whose length prefixes are astronomical.  Decoding must report
+        // `Truncated`, not attempt the allocation (capacity overflow / OOM).
+        let mut table = FrameTable::new();
+        let tree = sample_global(&mut table);
+        let bytes = encode_tree(&tree, &table);
+
+        // nframes lives right after magic(4) + tag(1) + width(8).
+        let mut huge_frames = bytes.clone();
+        huge_frames[13..17].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut t2 = FrameTable::new();
+        assert!(matches!(
+            decode_tree::<DenseBitVector>(&huge_frames, &mut t2).unwrap_err(),
+            DecodeError::Truncated { .. }
+        ));
+
+        // width is the u64 at offset 5: claim ~2^63 tasks per set.
+        let mut huge_width = bytes.clone();
+        huge_width[5..13].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(
+            decode_tree::<DenseBitVector>(&huge_width, &mut t2).unwrap_err(),
+            DecodeError::Truncated { .. }
+        ));
+
+        // Rank maps: a u64 count far beyond the buffer.
+        let mut huge_map = encode_rank_map(&[1, 2, 3]);
+        huge_map[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            decode_rank_map(&huge_map).unwrap_err(),
+            DecodeError::Truncated { .. }
+        ));
     }
 
     #[test]

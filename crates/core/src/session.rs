@@ -25,6 +25,7 @@ use machine::placement::PlacementPlan;
 use simkit::time::SimDuration;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel, SamplingEstimate};
 use tbon::cost::ReductionCostModel;
+use tbon::fault::{CorruptingFilter, FilterFault};
 use tbon::filter::Filter;
 use tbon::network::{ChannelInput, InProcessTbon};
 use tbon::planner::TopologyPlanner;
@@ -106,6 +107,7 @@ pub struct SessionBuilder {
     representation: Representation,
     samples_per_task: u32,
     topology: TopologyChoice,
+    filter_faults: Vec<FilterFault>,
 }
 
 impl SessionBuilder {
@@ -145,6 +147,18 @@ impl SessionBuilder {
         self
     }
 
+    /// Inject mid-tree filter faults: every merge (and rank-map) filter
+    /// invocation at the named tree nodes has its output corrupted through a
+    /// [`CorruptingFilter`].  This is the fault-campaign hook for "an interior
+    /// node's filter state went bad" — the node still participates in the walk,
+    /// but the packet it forwards no longer describes its subtree, and the test
+    /// is whether the front end *detects* the damage rather than silently
+    /// producing a clean-looking diagnosis.
+    pub fn filter_faults(mut self, faults: Vec<FilterFault>) -> Self {
+        self.filter_faults = faults;
+        self
+    }
+
     /// Finish the builder.
     pub fn build(self) -> Session {
         Session {
@@ -152,6 +166,7 @@ impl SessionBuilder {
             representation: self.representation,
             samples_per_task: self.samples_per_task,
             topology: self.topology,
+            filter_faults: self.filter_faults,
         }
     }
 }
@@ -182,6 +197,7 @@ pub struct Session {
     representation: Representation,
     samples_per_task: u32,
     topology: TopologyChoice,
+    filter_faults: Vec<FilterFault>,
 }
 
 impl Session {
@@ -192,7 +208,13 @@ impl Session {
             representation: Representation::HierarchicalTaskList,
             samples_per_task: 10,
             topology: TopologyChoice::PaperDefault,
+            filter_faults: Vec::new(),
         }
+    }
+
+    /// The mid-tree filter faults this session injects (empty = honest merge).
+    pub fn filter_faults(&self) -> &[FilterFault] {
+        &self.filter_faults
     }
 
     /// The machine the session is modelled on.
@@ -312,14 +334,29 @@ impl Session {
 
         let merge_filter = strategy.merge_filter();
         let rank_map_filter = RankMapFilter;
+        // Mid-tree fault injection: wrap every filter so the designated interior
+        // nodes corrupt their output on all channels they touch.  With no faults
+        // configured the wrappers are bypassed entirely.
+        let corrupting_merge = CorruptingFilter::new(merge_filter.as_ref(), &self.filter_faults);
+        let corrupting_map = CorruptingFilter::new(&rank_map_filter, &self.filter_faults);
+        let honest = self.filter_faults.is_empty();
+        let merge_dyn: &dyn Filter = if honest {
+            merge_filter.as_ref()
+        } else {
+            &corrupting_merge
+        };
         let mut channels = vec![
             ChannelInput::new(MergeChannel::Tree2d.label(), leaves_2d),
             ChannelInput::new(MergeChannel::Tree3d.label(), leaves_3d),
         ];
-        let mut filters: Vec<&dyn Filter> = vec![merge_filter.as_ref(), merge_filter.as_ref()];
+        let mut filters: Vec<&dyn Filter> = vec![merge_dyn, merge_dyn];
         if strategy.needs_rank_map() {
             channels.push(ChannelInput::new(MergeChannel::RankMap.label(), leaves_map));
-            filters.push(&rank_map_filter);
+            filters.push(if honest {
+                &rank_map_filter
+            } else {
+                &corrupting_map
+            });
         }
 
         // The one bottom-up level walk that carries every channel.

@@ -1,0 +1,575 @@
+//! Randomized fault campaigns: a verdict-stability surface over seeds × scales
+//! × topologies.
+//!
+//! The scenario catalogue answers "does the tool diagnose *this* fault at *this*
+//! scale?"  A campaign asks the sharper question the paper's 208K experience
+//! raises: is the verdict **stable** — does the same class of fault stay
+//! diagnosable as the job grows, as the overlay deepens, as daemons die, and as
+//! the fault parameters themselves are randomized instead of hand-picked?
+//!
+//! [`run_campaign`] sweeps the deterministic catalogue plus seed-derived
+//! randomized scenarios (see [`appsim::randomized_scenarios`]) across every
+//! requested scale × overlay depth × degraded-overlay combination, pushing each
+//! cell through the real [`EmulatedJob`] → `run_scenario_in` pipeline.  The
+//! result is a [`StabilitySurface`]: one [`CampaignCell`] per run, with the
+//! aggregate pass rate, the **first-flip frontier** (for each scenario/topology
+//! group, the smallest scale at which the verdict first fails) and a check-level
+//! failure histogram.  Mid-tree corruption cells are judged inverted: the cell
+//! passes when the corruption is *detected* (a failed verdict or a typed decode
+//! error), and fails when the poisoned diagnosis sails through clean.
+//!
+//! The campaign is deterministic: the same [`CampaignConfig`] (including the
+//! seed list) produces an identical surface, cell for cell — a property the
+//! test suite pins with the vendored proptest harness.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use appsim::scenario::{catalogue, randomized_scenarios, FaultScenario, OverlayFault};
+use appsim::FrameVocabulary;
+use machine::cluster::Cluster;
+use stat_core::prelude::{Representation, StatError};
+
+use crate::emulator::EmulatedJob;
+
+/// The grid a campaign sweeps.  Every axis is explicit so a surface can be
+/// reproduced cell-by-cell from the config alone.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Machine whose placement rules shape every emulated overlay.
+    pub cluster: Cluster,
+    /// Frame vocabulary the scenario workloads emit.
+    pub vocab: FrameVocabulary,
+    /// Seeds for the randomized scenario generator (one batch per seed per
+    /// scale).  An empty list runs the deterministic catalogue only.
+    pub seeds: Vec<u64>,
+    /// Job sizes (MPI task counts) to sweep.
+    pub scales: Vec<u64>,
+    /// Overlay tree depths (edges, front end to daemons) to sweep.
+    pub depths: Vec<u32>,
+    /// Samples gathered per task in every cell.
+    pub samples_per_task: u32,
+    /// Randomized scenarios generated per seed (at each scale).
+    pub randomized_per_seed: usize,
+    /// Also run a `_degraded` variant (last back-end daemon killed via
+    /// [`OverlayFault::BackendFromEnd`]) of every scenario that does not
+    /// already carry overlay faults.
+    pub include_degraded: bool,
+    /// Include the deterministic catalogue (seed axis collapsed: each
+    /// catalogue scenario runs once per scale × depth, not once per seed).
+    pub include_catalogue: bool,
+    /// Restrict the catalogue to these scenario names (`None` = the whole
+    /// catalogue).  Lets the largest scales of a campaign stay within a
+    /// runtime budget without dropping the scale axis entirely.
+    pub catalogue_filter: Option<Vec<String>>,
+    /// Task-set representation every cell uses.
+    pub representation: Representation,
+}
+
+impl CampaignConfig {
+    /// A small, fast campaign on the given cluster: catalogue plus two
+    /// randomized scenarios for each of two seeds, at one scale, two depths.
+    ///
+    /// ```
+    /// use machine::cluster::Cluster;
+    /// use statbench::campaign::{run_campaign, CampaignConfig};
+    ///
+    /// let config = CampaignConfig::quick(Cluster::test_cluster(16, 8), 128);
+    /// let surface = run_campaign(&config);
+    /// assert!(!surface.cells.is_empty());
+    /// // Deterministic: the same config reproduces the same surface.
+    /// assert_eq!(surface, run_campaign(&config));
+    /// ```
+    pub fn quick(cluster: Cluster, tasks: u64) -> Self {
+        CampaignConfig {
+            cluster,
+            vocab: FrameVocabulary::Linux,
+            seeds: vec![1, 2],
+            scales: vec![tasks],
+            depths: vec![2, 3],
+            samples_per_task: 3,
+            randomized_per_seed: 2,
+            include_degraded: true,
+            include_catalogue: true,
+            catalogue_filter: None,
+            representation: Representation::HierarchicalTaskList,
+        }
+    }
+}
+
+/// One point of the stability surface: a single scenario run under a single
+/// (seed, scale, depth, overlay) combination, with its judgement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CampaignCell {
+    /// Scenario name (seed-derived names already encode the seed and draw).
+    pub scenario: String,
+    /// Seed that generated the scenario; `None` for deterministic catalogue
+    /// entries.
+    pub seed: Option<u64>,
+    /// Job size (MPI tasks) of this cell.
+    pub tasks: u64,
+    /// Overlay tree depth the cell ran under.
+    pub depth: u32,
+    /// Samples gathered per task.
+    pub samples: u32,
+    /// Whether the cell ran with overlay faults (daemon loss) injected.
+    pub degraded: bool,
+    /// Whether the cell injected mid-tree filter corruption (judged inverted:
+    /// the cell passes when the corruption is detected).
+    pub corrupting: bool,
+    /// The cell's judgement — for corrupting cells, "the corruption was
+    /// detected"; otherwise "the verdict passed".
+    pub passed: bool,
+    /// Names of the ground-truth checks that failed (empty when `passed`, or
+    /// when the failure was a pipeline error instead).
+    pub failed_checks: Vec<String>,
+    /// Pipeline error, if the run did not complete.  For corrupting cells a
+    /// decode/merge error *is* the expected detection and the cell passes.
+    pub error: Option<String>,
+}
+
+/// One entry of the first-flip frontier: the smallest scale at which a
+/// scenario/topology group's verdict first failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlipFrontier {
+    /// Scenario name.
+    pub scenario: String,
+    /// Overlay depth of the group.
+    pub depth: u32,
+    /// Whether the group ran degraded.
+    pub degraded: bool,
+    /// Smallest task count at which the group's verdict failed.
+    pub first_failing_tasks: u64,
+    /// Largest task count at which the group's verdict still passed
+    /// (`None` when the scenario failed at every swept scale).
+    pub last_passing_tasks: Option<u64>,
+}
+
+/// The accumulated result of a campaign: every cell, with aggregate views.
+///
+/// ```
+/// use machine::cluster::Cluster;
+/// use statbench::campaign::{run_campaign, CampaignConfig};
+///
+/// let mut config = CampaignConfig::quick(Cluster::test_cluster(16, 8), 128);
+/// config.seeds = vec![7];
+/// config.randomized_per_seed = 1;
+/// let surface = run_campaign(&config);
+/// assert!(surface.pass_rate() > 0.0);
+/// assert!(surface.to_csv().starts_with("scenario,seed,tasks,depth"));
+/// assert!(surface.to_markdown().contains("first-flip frontier"));
+/// ```
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct StabilitySurface {
+    /// Every cell the campaign ran, in sweep order (scales outermost, then
+    /// scenarios, then depths).
+    pub cells: Vec<CampaignCell>,
+}
+
+impl StabilitySurface {
+    /// Fraction of cells that passed, in `[0, 1]`; `1.0` for an empty surface.
+    pub fn pass_rate(&self) -> f64 {
+        if self.cells.is_empty() {
+            return 1.0;
+        }
+        self.cells.iter().filter(|c| c.passed).count() as f64 / self.cells.len() as f64
+    }
+
+    /// Cells restricted to deterministic catalogue entries (no seed axis).
+    pub fn catalogue_cells(&self) -> Vec<&CampaignCell> {
+        self.cells.iter().filter(|c| c.seed.is_none()).collect()
+    }
+
+    /// The first-flip frontier: for every (scenario, depth, degraded) group
+    /// that failed anywhere, the smallest failing scale and the largest scale
+    /// that still passed.  An empty frontier means the verdict was stable
+    /// across the whole surface.
+    pub fn first_flip_frontier(&self) -> Vec<FlipFrontier> {
+        let mut groups: BTreeMap<(String, u32, bool), Vec<&CampaignCell>> = BTreeMap::new();
+        for cell in &self.cells {
+            groups
+                .entry((cell.scenario.clone(), cell.depth, cell.degraded))
+                .or_default()
+                .push(cell);
+        }
+        let mut frontier = Vec::new();
+        for ((scenario, depth, degraded), cells) in groups {
+            let first_failing = cells.iter().filter(|c| !c.passed).map(|c| c.tasks).min();
+            let Some(first_failing_tasks) = first_failing else {
+                continue;
+            };
+            let last_passing_tasks = cells.iter().filter(|c| c.passed).map(|c| c.tasks).max();
+            frontier.push(FlipFrontier {
+                scenario,
+                depth,
+                degraded,
+                first_failing_tasks,
+                last_passing_tasks,
+            });
+        }
+        frontier
+    }
+
+    /// How often each ground-truth check failed across the surface.  Cells
+    /// that failed with a pipeline error are counted under `pipeline-error`;
+    /// corrupting cells whose poison went unnoticed under
+    /// `undetected-corruption`.
+    pub fn check_failure_histogram(&self) -> BTreeMap<String, usize> {
+        let mut histogram = BTreeMap::new();
+        for cell in self.cells.iter().filter(|c| !c.passed) {
+            if cell.failed_checks.is_empty() {
+                let key = if cell.error.is_some() {
+                    "pipeline-error"
+                } else {
+                    "undetected-corruption"
+                };
+                *histogram.entry(key.to_string()).or_insert(0) += 1;
+            }
+            for check in &cell.failed_checks {
+                *histogram.entry(check.clone()).or_insert(0) += 1;
+            }
+        }
+        histogram
+    }
+
+    /// The surface as CSV, one row per cell.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,seed,tasks,depth,samples,degraded,corrupting,passed,failed_checks,error\n",
+        );
+        for c in &self.cells {
+            let seed = c.seed.map(|s| s.to_string()).unwrap_or_default();
+            let error = c
+                .error
+                .as_deref()
+                .unwrap_or("")
+                .replace(',', ";")
+                .replace('\n', " ");
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{}",
+                c.scenario,
+                seed,
+                c.tasks,
+                c.depth,
+                c.samples,
+                c.degraded,
+                c.corrupting,
+                c.passed,
+                c.failed_checks.join(";"),
+                error
+            );
+        }
+        out
+    }
+
+    /// The surface as a markdown report: aggregate pass rate, the first-flip
+    /// frontier (explicitly reported as empty when there were no flips), and
+    /// the check-level failure histogram.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## Verdict-stability surface\n");
+        let _ = writeln!(
+            out,
+            "{} cells, pass rate {:.1}% ({} failed)\n",
+            self.cells.len(),
+            self.pass_rate() * 100.0,
+            self.cells.iter().filter(|c| !c.passed).count()
+        );
+        let frontier = self.first_flip_frontier();
+        let _ = writeln!(out, "### first-flip frontier\n");
+        if frontier.is_empty() {
+            let _ = writeln!(
+                out,
+                "No flips: every scenario's verdict was stable across all swept \
+                 scales, depths and overlays.\n"
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "| scenario | depth | degraded | first failing tasks | last passing tasks |"
+            );
+            let _ = writeln!(out, "|---|---|---|---|---|");
+            for f in &frontier {
+                let _ = writeln!(
+                    out,
+                    "| {} | {} | {} | {} | {} |",
+                    f.scenario,
+                    f.depth,
+                    f.degraded,
+                    f.first_failing_tasks,
+                    f.last_passing_tasks
+                        .map(|t| t.to_string())
+                        .unwrap_or_else(|| "never passed".into()),
+                );
+            }
+            let _ = writeln!(out);
+        }
+        let histogram = self.check_failure_histogram();
+        let _ = writeln!(out, "### check-level failure histogram\n");
+        if histogram.is_empty() {
+            let _ = writeln!(out, "No check failures.\n");
+        } else {
+            let _ = writeln!(out, "| check | failures |");
+            let _ = writeln!(out, "|---|---|");
+            for (check, count) in &histogram {
+                let _ = writeln!(out, "| {check} | {count} |");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+/// Judge one scenario run as a campaign cell.
+///
+/// Healthy and degraded cells pass when the ground-truth verdict passes.
+/// Corrupting (mid-tree) cells are judged *inverted*: the injected corruption
+/// must be **detected** — either the verdict fails (the parent's merge dropped
+/// the poisoned subtree, so coverage/class checks trip) or the pipeline
+/// surfaces a typed decode/merge error.  A corrupting cell whose diagnosis
+/// comes back clean is a miss.
+fn judge(
+    scenario: &FaultScenario,
+    result: Result<stat_core::prelude::ScenarioRun, StatError>,
+) -> (bool, Vec<String>, Option<String>) {
+    let corrupting = scenario.is_corrupting();
+    match result {
+        Ok(run) => {
+            let verdict_passed = run.verdict.passed();
+            if corrupting {
+                if verdict_passed {
+                    // Poison sailed through clean: undetected.
+                    (false, Vec::new(), None)
+                } else {
+                    (true, Vec::new(), None)
+                }
+            } else {
+                let failed: Vec<String> = run
+                    .verdict
+                    .failures()
+                    .iter()
+                    .map(|c| c.name.to_string())
+                    .collect();
+                (verdict_passed, failed, None)
+            }
+        }
+        Err(err) => {
+            let detected = corrupting
+                && matches!(
+                    err,
+                    StatError::Decode { .. }
+                        | StatError::RankMapMismatch { .. }
+                        | StatError::Reduce(_)
+                );
+            (detected, Vec::new(), Some(err.to_string()))
+        }
+    }
+}
+
+/// Run one scenario in one cell of the grid and record the judged result.
+fn run_cell(
+    config: &CampaignConfig,
+    scenario: &FaultScenario,
+    seed: Option<u64>,
+    tasks: u64,
+    depth: u32,
+) -> CampaignCell {
+    let job = EmulatedJob::new(config.cluster.clone(), tasks)
+        .with_representation(config.representation)
+        .with_tree_depth(depth)
+        .with_samples_per_task(config.samples_per_task);
+    let (passed, failed_checks, error) = judge(scenario, job.run_scenario(scenario));
+    CampaignCell {
+        scenario: scenario.name.clone(),
+        seed,
+        tasks,
+        depth,
+        samples: config.samples_per_task,
+        degraded: !scenario.overlay_faults.is_empty(),
+        corrupting: scenario.is_corrupting(),
+        passed,
+        failed_checks,
+        error,
+    }
+}
+
+/// Expand a scenario into its overlay variants for this campaign.
+fn variants(config: &CampaignConfig, scenario: &FaultScenario) -> Vec<FaultScenario> {
+    let mut out = vec![scenario.clone()];
+    if config.include_degraded && scenario.overlay_faults.is_empty() {
+        out.push(scenario.with_overlay(OverlayFault::BackendFromEnd(0)));
+    }
+    out
+}
+
+/// Sweep the campaign grid and accumulate the stability surface.
+///
+/// For every scale: the deterministic catalogue runs once (its cells carry no
+/// seed), then each seed generates its own batch of randomized scenarios; every
+/// scenario runs at every depth, in both healthy and (when enabled) degraded
+/// overlay variants.  Cells go through [`EmulatedJob::run_scenario`], i.e. the
+/// real `Session` → `run_scenario_in` pipeline — there is no campaign-local
+/// merge or judging shortcut.
+pub fn run_campaign(config: &CampaignConfig) -> StabilitySurface {
+    let mut surface = StabilitySurface::default();
+    for &tasks in &config.scales {
+        if config.include_catalogue {
+            for scenario in catalogue(tasks, config.vocab) {
+                if let Some(filter) = &config.catalogue_filter {
+                    if !filter.iter().any(|n| n == &scenario.name) {
+                        continue;
+                    }
+                }
+                for variant in variants(config, &scenario) {
+                    for &depth in &config.depths {
+                        surface
+                            .cells
+                            .push(run_cell(config, &variant, None, tasks, depth));
+                    }
+                }
+            }
+        }
+        for &seed in &config.seeds {
+            for scenario in
+                randomized_scenarios(tasks, config.vocab, seed, config.randomized_per_seed)
+            {
+                for variant in variants(config, &scenario) {
+                    for &depth in &config.depths {
+                        surface
+                            .cells
+                            .push(run_cell(config, &variant, Some(seed), tasks, depth));
+                    }
+                }
+            }
+        }
+    }
+    surface
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use appsim::scenario::{MidTreeCorruption, MidTreeFault};
+
+    fn tiny_config() -> CampaignConfig {
+        let mut config = CampaignConfig::quick(Cluster::test_cluster(16, 8), 128);
+        config.seeds = vec![11];
+        config.randomized_per_seed = 2;
+        config.depths = vec![2];
+        config.include_catalogue = false;
+        config
+    }
+
+    #[test]
+    fn campaigns_are_deterministic_cell_for_cell() {
+        let config = tiny_config();
+        let a = run_campaign(&config);
+        let b = run_campaign(&config);
+        assert!(!a.cells.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn catalogue_cells_carry_no_seed_and_all_pass_at_small_scale() {
+        let mut config = tiny_config();
+        config.include_catalogue = true;
+        config.seeds = vec![];
+        let surface = run_campaign(&config);
+        assert!(surface.cells.iter().all(|c| c.seed.is_none()));
+        let failed: Vec<&CampaignCell> = surface.cells.iter().filter(|c| !c.passed).collect();
+        assert!(
+            failed.is_empty(),
+            "catalogue cells must be stable at 128 tasks: {failed:?}"
+        );
+        assert!(surface.first_flip_frontier().is_empty());
+        assert!(surface.to_markdown().contains("No flips"));
+    }
+
+    #[test]
+    fn degraded_variants_double_the_healthy_scenarios() {
+        // The catalogue is guaranteed to contain healthy scenarios, so turning
+        // the degraded axis on must add exactly one variant per healthy entry.
+        let mut with = tiny_config();
+        with.include_catalogue = true;
+        with.seeds = vec![];
+        with.include_degraded = true;
+        let mut without = with.clone();
+        without.include_degraded = false;
+        let sw = run_campaign(&with);
+        let so = run_campaign(&without);
+        let healthy = so.cells.iter().filter(|c| !c.degraded).count();
+        assert!(healthy > 0);
+        assert_eq!(sw.cells.len(), so.cells.len() + healthy);
+        assert!(sw.cells.iter().any(|c| c.degraded));
+    }
+
+    #[test]
+    fn the_frontier_reports_a_flip_instead_of_dropping_it() {
+        // Force a failure by mis-wiring a catalogue scenario's ground truth:
+        // run `stragglers` but judge it with `deadlock_pair`'s truth.
+        let scenarios = catalogue(128, FrameVocabulary::Linux);
+        let stragglers = scenarios.iter().find(|s| s.name == "stragglers").unwrap();
+        let deadlock = scenarios
+            .iter()
+            .find(|s| s.name == "deadlock_pair")
+            .unwrap();
+        let mut cross_wired = stragglers.clone();
+        cross_wired.truth = deadlock.truth.clone();
+        cross_wired.name = "cross_wired".into();
+
+        let config = tiny_config();
+        let job = EmulatedJob::new(config.cluster.clone(), 128).with_tree_depth(2);
+        let (passed, failed_checks, error) = judge(&cross_wired, job.run_scenario(&cross_wired));
+        assert!(!passed, "a cross-wired truth must fail its verdict");
+        assert!(error.is_none());
+        assert!(!failed_checks.is_empty());
+
+        let cell = run_cell(&config, &cross_wired, None, 128, 2);
+        let surface = StabilitySurface { cells: vec![cell] };
+        let frontier = surface.first_flip_frontier();
+        assert_eq!(frontier.len(), 1);
+        assert_eq!(frontier[0].first_failing_tasks, 128);
+        assert_eq!(frontier[0].last_passing_tasks, None);
+        assert!(surface.to_markdown().contains("cross_wired"));
+        assert!(!surface.check_failure_histogram().is_empty());
+    }
+
+    #[test]
+    fn corrupting_cells_pass_only_when_the_poison_is_detected() {
+        // A mid-tree garbage fault on a pinned scenario must be *detected* —
+        // judged pass — and the same scenario stripped of the fault must pass
+        // its verdict the ordinary way.
+        let scenarios = catalogue(128, FrameVocabulary::Linux);
+        let ring = scenarios.iter().find(|s| s.name == "ring_hang").unwrap();
+        let mut corrupted = ring.clone();
+        corrupted.name = "ring_hang_midtree".into();
+        corrupted.mid_tree_faults = vec![MidTreeFault {
+            comm_from_end: 0,
+            kind: MidTreeCorruption::Garbage,
+        }];
+
+        let config = tiny_config();
+        let clean_cell = run_cell(&config, ring, None, 128, 2);
+        assert!(
+            clean_cell.passed,
+            "clean ring_hang must pass: {clean_cell:?}"
+        );
+        assert!(!clean_cell.corrupting);
+
+        let corrupt_cell = run_cell(&config, &corrupted, None, 128, 2);
+        assert!(corrupt_cell.corrupting);
+        assert!(
+            corrupt_cell.passed,
+            "mid-tree garbage must be detected, not sail through: {corrupt_cell:?}"
+        );
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let surface = run_campaign(&tiny_config());
+        let csv = surface.to_csv();
+        assert_eq!(csv.lines().count(), surface.cells.len() + 1);
+        assert!(csv.starts_with("scenario,seed,tasks,depth"));
+    }
+}

@@ -66,6 +66,12 @@ impl EmulatedJob {
         self
     }
 
+    /// Override the samples gathered per task.
+    pub fn with_samples_per_task(mut self, samples: u32) -> Self {
+        self.samples_per_task = samples.max(1);
+        self
+    }
+
     /// Use the placement-rule tree of the given depth for the overlay network.
     pub fn with_tree_depth(mut self, depth: u32) -> Self {
         self.tree_depth = depth.max(1);

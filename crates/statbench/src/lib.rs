@@ -17,7 +17,11 @@
 //!   synthetic traces and push real serialised packets through the real in-process
 //!   TBON, reporting wall time, packet sizes and tree shapes;
 //! * [`sweep`] — scalability sweeps over daemon counts and trace shapes that produce
-//!   the same [`simkit::stats::SeriesTable`]s the figure generators use.
+//!   the same [`simkit::stats::SeriesTable`]s the figure generators use;
+//! * [`campaign`] — randomized fault campaigns: the scenario catalogue plus
+//!   seed-derived randomized faults swept over seeds × scales × overlay depths ×
+//!   degraded overlays, accumulated into a verdict [`campaign::StabilitySurface`]
+//!   (pass rate, first-flip frontier, check-level failure histogram).
 //!
 //! STATBench matters for the reproduction because it is how the original authors
 //! explored the regime *between* what they could run interactively and the full
@@ -26,10 +30,15 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod campaign;
 pub mod emulator;
 pub mod generator;
 pub mod sweep;
 
+pub use campaign::{run_campaign, CampaignCell, CampaignConfig, FlipFrontier, StabilitySurface};
 pub use emulator::{EmulatedJob, EmulationReport};
 pub use generator::{SyntheticApp, TraceShape};
-pub use sweep::{sweep_daemon_counts, sweep_equivalence_classes, sweep_tree_shapes, SweepConfig};
+pub use sweep::{
+    sweep_daemon_counts, sweep_equivalence_classes, sweep_tree_shapes, sweep_tree_shapes_saturated,
+    SweepConfig,
+};

@@ -13,7 +13,7 @@
 use machine::cluster::Cluster;
 use simkit::stats::SeriesTable;
 use stat_core::prelude::Representation;
-use tbon::planner::TopologyPlanner;
+use tbon::planner::{PlannerConfig, TopologyPlanner};
 
 use crate::emulator::EmulatedJob;
 use crate::generator::TraceShape;
@@ -135,14 +135,42 @@ pub fn sweep_equivalence_classes(
 /// limit) are priced but reported in the notes rather than as series rows.
 pub fn sweep_tree_shapes(cluster: &Cluster, task_counts: &[u64]) -> SeriesTable {
     let planner = TopologyPlanner::new(cluster.clone());
-    let mut table = SeriesTable::new(
-        format!(
-            "TBON tree-shape sweep on {} (fan-in × depth, reduction cost model)",
-            cluster.name
-        ),
-        "tasks",
-        "predicted merge seconds",
+    let title = format!(
+        "TBON tree-shape sweep on {} (fan-in × depth, reduction cost model)",
+        cluster.name
     );
+    sweep_shapes_with(planner, title, task_counts)
+}
+
+/// [`sweep_tree_shapes`] under the **class-saturated** payload model: subtrees
+/// holding more than `saturation_tasks` tasks emit packets no larger than a
+/// subtree at the knee, because the equivalence-class population — not the task
+/// count — bounds the merged tree past that point.
+///
+/// Under the unsaturated worst case, packets grow linearly with subtree size
+/// and the flat tree's one-hop advantage persists at any scale the front end
+/// can still fan to.  Saturation removes that growth, so deep trees — whose
+/// per-level latency cost is fixed but whose per-node ingest is now capped —
+/// finally overtake shallower shapes.  Sweeping this model past 16M simulated
+/// cores is how the depth crossover the paper conjectures becomes visible.
+pub fn sweep_tree_shapes_saturated(
+    cluster: &Cluster,
+    task_counts: &[u64],
+    saturation_tasks: u64,
+) -> SeriesTable {
+    let planner = TopologyPlanner::new(cluster.clone()).with_config(PlannerConfig {
+        class_saturation_tasks: Some(saturation_tasks),
+        ..PlannerConfig::default()
+    });
+    let title = format!(
+        "TBON tree-shape sweep on {} (class-saturated payloads, knee at {} tasks)",
+        cluster.name, saturation_tasks
+    );
+    sweep_shapes_with(planner, title, task_counts)
+}
+
+fn sweep_shapes_with(planner: TopologyPlanner, title: String, task_counts: &[u64]) -> SeriesTable {
+    let mut table = SeriesTable::new(title, "tasks", "predicted merge seconds");
     for &tasks in task_counts {
         let ranked = planner.rank(tasks);
         let mut infeasible = 0usize;
@@ -241,6 +269,61 @@ mod tests {
             .notes()
             .iter()
             .any(|n| n.contains("planner pick at 4194304 tasks")));
+    }
+
+    /// Minimum-cost series label at one scale, with its predicted seconds.
+    fn winner(table: &SeriesTable, tasks: u64) -> (String, f64) {
+        table
+            .series_names()
+            .iter()
+            .filter_map(|name| table.value_at(name, tasks).map(|v| (name.to_string(), v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("the sweep emitted rows at this scale")
+    }
+
+    /// Depth encoded in a candidate label ("placement 2-deep", "fan-in 4 × 6-deep").
+    fn depth_of(label: &str) -> u32 {
+        label
+            .split_whitespace()
+            .find_map(|tok| tok.strip_suffix("-deep"))
+            .and_then(|d| d.parse().ok())
+            .unwrap_or_else(|| panic!("label `{label}` has no depth suffix"))
+    }
+
+    #[test]
+    fn saturated_sweep_records_the_depth_crossover_past_16m_cores() {
+        // The regime the paper could only conjecture about: past 16M simulated
+        // cores, with class-saturated payloads (knee at 4M tasks), deep trees
+        // overtake the flat-world winner.  The crossover must appear *within*
+        // the swept range — depth 2 still wins at 16M, a deeper shape wins at
+        // 33M — and must be attributable to saturation: the unsaturated model
+        // keeps the shallow winner at the same scale.
+        let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+        let scales = [16_777_216u64, 33_554_432, 67_108_864];
+        let table = sweep_tree_shapes_saturated(&cluster, &scales, 4_194_304);
+
+        let (before_label, _) = winner(&table, 16_777_216);
+        let (after_label, after_cost) = winner(&table, 33_554_432);
+        assert!(
+            depth_of(&after_label) > depth_of(&before_label),
+            "no depth crossover: {before_label} at 16M vs {after_label} at 33M"
+        );
+        // The crossover persists at the largest swept scale.
+        let (far_label, _) = winner(&table, 67_108_864);
+        assert!(depth_of(&far_label) > depth_of(&before_label));
+
+        // Control: without saturation the flat-world shape still wins at 33M,
+        // and prices the job strictly worse than the saturated deep winner.
+        let plain = sweep_tree_shapes(&cluster, &[33_554_432]);
+        let (plain_label, plain_cost) = winner(&plain, 33_554_432);
+        assert_eq!(depth_of(&plain_label), depth_of(&before_label));
+        assert!(after_cost < plain_cost);
+
+        // The planner pick is recorded per scale, not silently dropped.
+        assert!(table
+            .notes()
+            .iter()
+            .any(|n| n.contains("planner pick at 33554432 tasks")));
     }
 
     #[test]

@@ -220,6 +220,61 @@ impl<'a> ReductionCostModel<'a> {
     }
 }
 
+/// Payload model for a merged prefix tree whose *class population saturates*.
+///
+/// The planner's default payload grows with the subtree's task count forever:
+/// every extra task adds bit-vector bytes on every tree edge.  That is correct
+/// for pathological workloads where every rank is in its own equivalence class,
+/// but the paper's whole point (Section V) is that real jobs collapse into a
+/// handful of classes — once a subtree already contains one representative of
+/// every class, merging more tasks adds *membership bits*, not new edges or
+/// frame names.  Past the saturation point, per-node payloads stop growing
+/// with subtree size and deeper trees stop paying a depth penalty for their
+/// smaller subtrees: the depth crossover the flat-payload model hides past
+/// 16M cores becomes visible.
+///
+/// ```
+/// use tbon::cost::ClassSaturatedPayload;
+///
+/// let payload = ClassSaturatedPayload {
+///     tree_edges: 24,
+///     frame_names_bytes: 420,
+///     tasks: 64 << 20,          // a 67M-task job
+///     tasks_per_daemon: 64,
+///     saturation_tasks: 1 << 20, // classes saturate by 1M tasks
+/// };
+/// // A subtree far past saturation costs the same as one at saturation...
+/// assert_eq!(payload.bytes(1 << 18), payload.bytes(1 << 20));
+/// // ...while a small subtree still pays proportionally to its own tasks.
+/// assert!(payload.bytes(16) < payload.bytes(1 << 18));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClassSaturatedPayload {
+    /// Edges in the serialised 2D prefix tree.
+    pub tree_edges: u64,
+    /// Bytes of frame-name table shipped once per packet.
+    pub frame_names_bytes: u64,
+    /// Total tasks in the job (caps the subtree population).
+    pub tasks: u64,
+    /// Tasks represented by each leaf daemon.
+    pub tasks_per_daemon: u64,
+    /// Task count past which the class population stops growing: subtrees
+    /// holding more tasks than this emit packets no larger than a subtree at
+    /// exactly the saturation point.
+    pub saturation_tasks: u64,
+}
+
+impl ClassSaturatedPayload {
+    /// Packet bytes emitted by a node whose subtree holds `subtree_backends`
+    /// leaf daemons: per-edge membership bit vectors sized by the *saturated*
+    /// subtree task count, plus the frame-name table.
+    pub fn bytes(&self, subtree_backends: u32) -> u64 {
+        let subtree_tasks = (subtree_backends as u64 * self.tasks_per_daemon).min(self.tasks);
+        let saturated = subtree_tasks.min(self.saturation_tasks);
+        self.tree_edges * (saturated.div_ceil(8) + 8) + self.frame_names_bytes
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +370,53 @@ mod tests {
         // Flat: the front end pushes 128 copies serially.  2-deep: 12 copies from the
         // front end, then ~11 per comm process in parallel.
         assert!(flat_b > deep_b);
+    }
+
+    #[test]
+    fn saturated_payloads_flatten_past_the_knee() {
+        let p = ClassSaturatedPayload {
+            tree_edges: 24,
+            frame_names_bytes: 420,
+            tasks: 1 << 26,
+            tasks_per_daemon: 64,
+            saturation_tasks: 1 << 20,
+        };
+        // Below the knee the payload tracks the subtree linearly...
+        assert!(p.bytes(64) < p.bytes(512));
+        assert!(p.bytes(512) < p.bytes(4_096));
+        // ...and above it every subtree emits the same saturated packet.
+        let at_knee = p.bytes((1 << 20) / 64);
+        assert_eq!(p.bytes(1 << 18), at_knee);
+        assert_eq!(p.bytes(1 << 20), at_knee);
+        // The job-size cap still applies when saturation exceeds the job.
+        let small = ClassSaturatedPayload {
+            saturation_tasks: u64::MAX,
+            tasks: 1_024,
+            ..p
+        };
+        assert_eq!(small.bytes(1 << 18), small.bytes(16));
+    }
+
+    #[test]
+    fn saturation_reveals_the_depth_crossover() {
+        // Under the unsaturated model the flat tree's frontend fan-in is painful
+        // but its single level keeps the critical path competitive at moderate
+        // scale; under saturation constant-size packets make fan-in the whole
+        // story and depth wins decisively — the cost.rs doctest physics.
+        let net = Interconnect::bluegene_l();
+        let daemons = 8_192u32;
+        let p = ClassSaturatedPayload {
+            tree_edges: 24,
+            frame_names_bytes: 420,
+            tasks: daemons as u64 * 128,
+            tasks_per_daemon: 128,
+            saturation_tasks: 4_096,
+        };
+        let shallow = Topology::build(TreeShape::two_deep(daemons, 64));
+        let deep = Topology::build(TreeShape::uniform_with_depth(daemons, 10, 4));
+        let shallow_cost = model(&shallow, &net).reduce(&|_, s| p.bytes(s));
+        let deep_cost = model(&deep, &net).reduce(&|_, s| p.bytes(s));
+        assert!(deep_cost.critical_path < shallow_cost.critical_path);
     }
 
     #[test]

@@ -10,7 +10,8 @@
 
 use std::collections::BTreeSet;
 
-use crate::packet::EndpointId;
+use crate::filter::Filter;
+use crate::packet::{EndpointId, Packet};
 use crate::topology::{Topology, TreeNodeRole, TreeShape};
 
 /// Tracks which endpoints have failed and what remains usable.
@@ -175,9 +176,111 @@ impl FaultTracker {
     }
 }
 
+/// How a faulty interior node corrupts the packet its filter emits.
+///
+/// Daemon loss (handled by [`FaultTracker`]) removes a subtree cleanly; the nastier
+/// failure mode a production TBON meets is a *mid-tree* process whose filter state
+/// has gone bad — it keeps participating in the reduction but forwards a damaged
+/// merge of its subtree.  These are the corruption shapes the campaign suite
+/// injects to check that the verdict machinery catches them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FilterFaultKind {
+    /// The node's output payload is replaced with garbage bytes (a wild write over
+    /// the filter's output buffer).
+    Garbage,
+    /// The node's output payload is cut to its first half (a partial flush of the
+    /// filter's output buffer).
+    Truncate,
+}
+
+/// One injected mid-tree filter fault: *which* interior node misbehaves and *how*.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FilterFault {
+    /// The tree node whose filter output is corrupted.
+    pub node: EndpointId,
+    /// The corruption applied to that node's output packets.
+    pub kind: FilterFaultKind,
+}
+
+/// A [`Filter`] wrapper that delegates to an inner filter and corrupts the output
+/// of designated tree nodes — the TBON-side hook for mid-tree fault injection.
+///
+/// The wrapper is transparent at every healthy node, so a reduction with an empty
+/// fault list is byte-identical to one without the wrapper.
+///
+/// ```
+/// use tbon::fault::{CorruptingFilter, FilterFault, FilterFaultKind};
+/// use tbon::filter::{Filter, IdentityFilter};
+/// use tbon::packet::{EndpointId, Packet, PacketTag};
+///
+/// let faults = [FilterFault { node: EndpointId(1), kind: FilterFaultKind::Garbage }];
+/// let filter = CorruptingFilter::new(&IdentityFilter, &faults);
+/// let input = [Packet::new(PacketTag::Custom(0), EndpointId(2), vec![1, 2, 3])];
+///
+/// // A healthy node passes the inner filter's output through unchanged...
+/// assert_eq!(filter.reduce(EndpointId(0), &input).payload, vec![1, 2, 3]);
+/// // ...while the faulty node's output no longer resembles its inputs.
+/// assert_ne!(filter.reduce(EndpointId(1), &input).payload, vec![1, 2, 3]);
+/// ```
+pub struct CorruptingFilter<'a> {
+    inner: &'a dyn Filter,
+    faults: &'a [FilterFault],
+}
+
+impl std::fmt::Debug for CorruptingFilter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorruptingFilter")
+            .field("inner", &self.inner.name())
+            .field("faults", &self.faults)
+            .finish()
+    }
+}
+
+impl<'a> CorruptingFilter<'a> {
+    /// Wrap `inner`, corrupting the output of every node named in `faults`.
+    pub fn new(inner: &'a dyn Filter, faults: &'a [FilterFault]) -> Self {
+        CorruptingFilter { inner, faults }
+    }
+
+    fn fault_at(&self, node: EndpointId) -> Option<FilterFaultKind> {
+        self.faults.iter().find(|f| f.node == node).map(|f| f.kind)
+    }
+}
+
+impl Filter for CorruptingFilter<'_> {
+    fn reduce(&self, node: EndpointId, inputs: &[Packet]) -> Packet {
+        let mut out = self.inner.reduce(node, inputs);
+        match self.fault_at(node) {
+            None => out,
+            Some(FilterFaultKind::Garbage) => {
+                // Keep the length plausible so the damage is semantic, not
+                // structural: the parent sees a normal-looking packet whose
+                // bytes decode to nonsense.
+                let len = out.payload.len().max(8);
+                let garbage: Vec<u8> = (0..len)
+                    .map(|i| (i as u8).wrapping_mul(0xA5) ^ 0x5A)
+                    .collect();
+                out.payload = garbage.into();
+                out
+            }
+            Some(FilterFaultKind::Truncate) => {
+                let keep = out.payload.len() / 2;
+                out.payload = out.payload.slice(0..keep);
+                out
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "corrupting"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::filter::{IdentityFilter, SumFilter};
+    use crate::packet::PacketTag;
     use crate::topology::TreeShape;
 
     fn tracker(backends: u32, comm: u32) -> FaultTracker {
@@ -261,6 +364,30 @@ mod tests {
     }
 
     #[test]
+    fn pruned_depth_four_shapes_account_for_every_backend() {
+        // At depth ≥ 4 a mid-level comm-process failure orphans a whole
+        // multi-level subtree; the pruned shape's surviving daemons plus the
+        // report's lost daemons must still account for every original one,
+        // and the coverage fraction must agree with that arithmetic.
+        let topo = Topology::build(TreeShape::uniform_with_depth(64, 4, 4));
+        assert!(topo.levels().len() >= 5, "shape is not 4 deep");
+        let mut t = FaultTracker::new(topo);
+        let mid = t.topology().levels()[2][0];
+        let report = t.fail(mid);
+        let lost = report.lost_backends.len();
+        assert!(lost > 0, "a mid-level failure must orphan daemons");
+
+        let degraded = t.degraded_shape().expect("survivors remain");
+        assert_eq!(degraded.backends() as usize + lost, 64);
+        assert!((t.coverage() - degraded.backends() as f64 / 64.0).abs() < 1e-12);
+        assert_eq!(t.surviving_backend_indices().len() + lost, 64);
+
+        // The pruned shape still builds a valid topology of the same depth.
+        let rebuilt = Topology::build(degraded);
+        assert_eq!(rebuilt.backends().len() + lost, 64);
+    }
+
+    #[test]
     fn degraded_shape_is_none_when_the_session_dies() {
         let mut t = tracker(8, 2);
         t.fail(t.topology().frontend());
@@ -270,6 +397,84 @@ mod tests {
         let backends = t.topology().backends().to_vec();
         t.fail_many(&backends);
         assert!(t.degraded_shape().is_none());
+    }
+
+    #[test]
+    fn degraded_shape_is_none_when_all_backends_die_individually() {
+        // Satellite coverage: every daemon failing one by one (not via a comm
+        // cascade) must also leave no degraded shape.
+        let mut t = tracker(6, 3);
+        for b in t.topology().backends().to_vec() {
+            t.fail(b);
+        }
+        assert_eq!(t.coverage(), 0.0);
+        assert!(t.degraded_shape().is_none());
+        assert!(t.surviving_backend_indices().is_empty());
+    }
+
+    #[test]
+    fn degraded_shape_resanitises_down_to_a_single_survivor() {
+        // Kill every backend but one: the pruned shape must still be a valid tree
+        // with exactly one leaf, and the surviving index must be the survivor's.
+        let mut t = tracker(8, 4);
+        let backends = t.topology().backends().to_vec();
+        t.fail_many(&backends[..7]);
+        let shape = t.degraded_shape().expect("one survivor keeps the session");
+        assert_eq!(shape.backends(), 1);
+        assert_eq!(*shape.level_widths.first().unwrap(), 1, "frontend intact");
+        // Every interior level was re-sanitised to width >= 1 and never widens
+        // on the way down — the shape builds into a real topology.
+        for w in &shape.level_widths {
+            assert!(*w >= 1);
+        }
+        let rebuilt = Topology::build(shape);
+        assert_eq!(rebuilt.backends().len(), 1);
+        assert_eq!(t.surviving_backend_indices(), vec![7]);
+    }
+
+    #[test]
+    fn corrupting_filter_is_transparent_without_faults() {
+        let inputs = [
+            Packet::new(PacketTag::Custom(1), EndpointId(2), vec![1, 2]),
+            Packet::new(PacketTag::Custom(1), EndpointId(3), vec![3]),
+        ];
+        let clean = IdentityFilter.reduce(EndpointId(0), &inputs);
+        let wrapped = CorruptingFilter::new(&IdentityFilter, &[]).reduce(EndpointId(0), &inputs);
+        assert_eq!(clean.payload, wrapped.payload);
+        assert_eq!(clean.tag, wrapped.tag);
+    }
+
+    #[test]
+    fn corrupting_filter_hits_only_the_designated_node() {
+        let faults = [FilterFault {
+            node: EndpointId(5),
+            kind: FilterFaultKind::Garbage,
+        }];
+        let f = CorruptingFilter::new(&SumFilter, &faults);
+        let inputs = [
+            Packet::new(PacketTag::Custom(1), EndpointId(8), SumFilter::encode(40)),
+            Packet::new(PacketTag::Custom(1), EndpointId(9), SumFilter::encode(2)),
+        ];
+        assert_eq!(SumFilter::decode(&f.reduce(EndpointId(4), &inputs)), 42);
+        let corrupted = f.reduce(EndpointId(5), &inputs);
+        assert_ne!(SumFilter::decode(&corrupted), 42);
+        assert!(!corrupted.payload.is_empty());
+    }
+
+    #[test]
+    fn truncation_halves_the_payload() {
+        let faults = [FilterFault {
+            node: EndpointId(1),
+            kind: FilterFaultKind::Truncate,
+        }];
+        let f = CorruptingFilter::new(&IdentityFilter, &faults);
+        let inputs = [Packet::new(
+            PacketTag::Custom(1),
+            EndpointId(2),
+            vec![9; 10],
+        )];
+        assert_eq!(f.reduce(EndpointId(1), &inputs).payload.len(), 5);
+        assert_eq!(f.name(), "corrupting");
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod stream;
 pub mod topology;
 
 pub use cost::{ReductionCost, ReductionCostModel};
-pub use fault::{FaultTracker, PruneReport};
+pub use fault::{CorruptingFilter, FaultTracker, FilterFault, FilterFaultKind, PruneReport};
 pub use filter::{Filter, IdentityFilter, SumFilter};
 pub use network::{ChannelInput, ExecutionMode, InProcessTbon, ReductionOutcome, TbonError};
 pub use packet::{EndpointId, Packet, PacketTag};

@@ -47,6 +47,11 @@ pub struct PlannerConfig {
     pub tree_edges_3d: u64,
     /// Bytes of frame names carried once per packet.
     pub frame_names_bytes: u64,
+    /// Optional class-saturation knee: when set, subtrees holding more tasks
+    /// than this emit packets no larger than a subtree at the knee (the
+    /// [`ClassSaturatedPayload`](crate::cost::ClassSaturatedPayload) model).
+    /// `None` keeps the unsaturated worst-case payload the planner always used.
+    pub class_saturation_tasks: Option<u64>,
 }
 
 impl Default for PlannerConfig {
@@ -57,6 +62,7 @@ impl Default for PlannerConfig {
             tree_edges_2d: 24,
             tree_edges_3d: 60,
             frame_names_bytes: 420,
+            class_saturation_tasks: None,
         }
     }
 }
@@ -275,9 +281,10 @@ impl TopologyPlanner {
         let edges = self.config.tree_edges_2d + self.config.tree_edges_3d;
         let frame_bytes = self.config.frame_names_bytes;
         let tasks_per_daemon = plan.tasks_per_daemon.max(1) as u64;
+        let saturation = self.config.class_saturation_tasks.unwrap_or(u64::MAX);
         let cost = model.reduce(&|_id, subtree_backends| {
             let subtree_tasks = (subtree_backends as u64 * tasks_per_daemon).min(tasks);
-            edges * (subtree_tasks.div_ceil(8) + 8) + frame_bytes
+            edges * (subtree_tasks.min(saturation).div_ceil(8) + 8) + frame_bytes
         });
 
         let comm = shape.comm_processes();
@@ -425,6 +432,34 @@ mod tests {
             pick.bound_by,
             Some(PlanConstraint::FrontEndFanOut { .. })
         ));
+    }
+
+    #[test]
+    fn class_saturation_shifts_the_pick_toward_depth() {
+        // At 64M simulated tasks the unsaturated worst-case payload punishes
+        // extra filter hops (every level re-ships near-job-sized bit vectors),
+        // while the saturated model makes packets constant-size past the knee
+        // so fan-in dominates and the planner goes deeper — the crossover the
+        // campaign surface records.
+        let cluster = Cluster::bluegene_l(BglMode::VirtualNode);
+        let tasks = 67_108_864;
+        let flat_world = TopologyPlanner::new(cluster.clone()).plan(tasks);
+        let saturated = TopologyPlanner::new(cluster)
+            .with_config(PlannerConfig {
+                class_saturation_tasks: Some(1 << 20),
+                ..PlannerConfig::default()
+            })
+            .plan(tasks);
+        assert!(
+            saturated.shape.depth() >= flat_world.shape.depth(),
+            "saturation must never make the planner shallower: {:?} vs {:?}",
+            saturated.shape,
+            flat_world.shape
+        );
+        assert!(
+            saturated.predicted < flat_world.predicted,
+            "saturated payloads must price the same job cheaper"
+        );
     }
 
     #[test]

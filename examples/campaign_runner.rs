@@ -1,0 +1,85 @@
+//! Run a seeded fault campaign and print its verdict-stability surface — the
+//! randomized, multi-axis companion to `scenario_gallery`.
+//!
+//! Where the gallery walks the deterministic catalogue once, the campaign sweeps
+//! catalogue *and* seed-derived randomized scenarios (random fault ranks, random
+//! fault flavors, random daemon loss, random mid-tree filter corruption) across
+//! overlay depths and degraded overlays, judging every cell through the real
+//! `Session` pipeline.  Mid-tree corruption cells are judged inverted: they pass
+//! only when the poison is *detected*.
+//!
+//! ```text
+//! cargo run --example campaign_runner            # 1,024 tasks
+//! cargo run --example campaign_runner -- 256     # any job size (CI smoke)
+//! ```
+//!
+//! Exits non-zero if any deterministic catalogue cell fails — same contract as
+//! `scenario_gallery`.
+
+use appsim::FrameVocabulary;
+use machine::Cluster;
+use stat_core::prelude::Representation;
+use statbench::campaign::{run_campaign, CampaignConfig};
+
+fn main() {
+    let tasks: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_024);
+    let cluster = Cluster::test_cluster(((tasks / 8).max(1)) as u32, 8);
+    let config = CampaignConfig {
+        cluster,
+        vocab: FrameVocabulary::BlueGeneL,
+        seeds: vec![1, 2, 3],
+        scales: vec![tasks],
+        depths: vec![2, 3],
+        samples_per_task: 2,
+        randomized_per_seed: 2,
+        include_degraded: true,
+        include_catalogue: true,
+        catalogue_filter: None,
+        representation: Representation::HierarchicalTaskList,
+    };
+
+    let surface = run_campaign(&config);
+    println!(
+        "seeded fault campaign at {tasks} tasks: seeds {:?}, depths {:?}, {} cells\n",
+        config.seeds,
+        config.depths,
+        surface.cells.len()
+    );
+    println!(
+        "{:<34} {:>6} {:>6} {:<9} {:<6}  outcome",
+        "scenario (seed)", "tasks", "depth", "overlay", "kind"
+    );
+    for cell in &surface.cells {
+        println!(
+            "{:<34} {:>6} {:>6} {:<9} {:<6}  {}",
+            match cell.seed {
+                Some(seed) => format!("{} (s{seed})", cell.scenario),
+                None => cell.scenario.clone(),
+            },
+            cell.tasks,
+            cell.depth,
+            if cell.degraded { "degraded" } else { "healthy" },
+            if cell.corrupting { "poison" } else { "plain" },
+            match (cell.passed, cell.corrupting) {
+                (true, true) => "PASS (corruption detected)",
+                (true, false) => "PASS",
+                (false, true) => "FAIL (corruption undetected)",
+                (false, false) => "FAIL",
+            },
+        );
+    }
+    println!("\n{}", surface.to_markdown());
+
+    let catalogue_failures = surface
+        .catalogue_cells()
+        .iter()
+        .filter(|c| !c.passed)
+        .count();
+    assert_eq!(
+        catalogue_failures, 0,
+        "{catalogue_failures} deterministic catalogue cells failed"
+    );
+}
