@@ -1,0 +1,33 @@
+//! Fixture: condvar-discipline — a lone Condvar declaration and a naked wait,
+//! next to the shapes the lint accepts.  Never compiled.
+
+struct BadPool {
+    queue: Vec<u64>,
+    cv: Condvar, // FINDING: condvar-discipline (no Mutex declared nearby)
+}
+
+fn spacer_so_the_pairing_window_cannot_reach() {}
+
+struct FinePool {
+    lock: Mutex<Vec<u64>>,
+    cv: Condvar, // clean: declared beside its Mutex
+}
+
+fn bad_wait(pair: &(Mutex<bool>, Condvar)) {
+    let guard = pair.0.lock().ok();
+    let _woken = pair.1.wait(guard); // FINDING: condvar-discipline (no predicate loop)
+}
+
+fn fine_wait(pair: &(Mutex<bool>, Condvar)) {
+    let mut guard = pair.0.lock().ok();
+    loop {
+        if ready() {
+            break;
+        }
+        guard = pair.1.wait(guard).ok(); // clean: predicate re-checked in a loop
+    }
+}
+
+fn fine_wait_while(pair: &(Mutex<bool>, Condvar)) {
+    let _woken = pair.1.wait_while(pair.0.lock().ok(), |q| !*q); // clean: loops internally
+}

@@ -1,0 +1,26 @@
+//! Fixture: discarded-result — the two discard shapes (a `let _ =` and a bare
+//! statement), next to the handled forms.  Never compiled.
+
+fn bad_let_discard(tx: &Sender<u64>) {
+    let _ = tx.send(7); // FINDING: discarded-result (drops the SendError)
+}
+
+fn bad_bare_statement(stream: &mut TcpStream, buf: &[u8]) {
+    stream.write(buf); // FINDING: discarded-result (drops the io::Result)
+}
+
+fn fine_question_mark(stream: &mut TcpStream, buf: &[u8]) -> Result<(), Error> {
+    stream.write_all(buf)?; // clean: propagated
+    Ok(())
+}
+
+fn fine_inspected(tx: &Sender<u64>) {
+    if tx.send(7).is_err() {
+        log_backpressure(); // clean: the error is examined
+    }
+}
+
+fn fine_named_binding(tx: &Sender<u64>) {
+    let outcome = tx.send(7); // clean: bound to a real name, usable later
+    report(outcome);
+}

@@ -1,0 +1,40 @@
+//! Fixture: hot-path-panic — every construct the lint flags, plus the edges it
+//! must not flag.  Never compiled; parsed as text by the analyzer's tests.
+
+fn bad_unwrap(x: Option<u64>) -> u64 {
+    x.unwrap() // FINDING: hot-path-panic
+}
+
+fn bad_expect(x: Option<u64>) -> u64 {
+    x.expect("always set") // FINDING: hot-path-panic
+}
+
+fn bad_macros() {
+    panic!("boom"); // FINDING: hot-path-panic
+    todo!(); // FINDING: hot-path-panic
+    unreachable!(); // FINDING: hot-path-panic
+}
+
+fn bad_index(v: &[u64]) -> u64 {
+    v[0] // FINDING: hot-path-panic (hidden panic)
+}
+
+fn fine_unwrap_or(x: Option<u64>) -> u64 {
+    x.unwrap_or(0) // clean: unwrap_or is a different identifier
+}
+
+fn fine_array_literal() -> [u8; 4] {
+    [0, 1, 2, 3] // clean: array type and literal, not indexing
+}
+
+fn waived_index(v: &[u64]) -> u64 {
+    // stat-analyzer: allow(hot-path-panic) — callers pass a non-empty slice by construction
+    v[0]
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt() {
+        None::<u64>.unwrap(); // clean: cfg(test) code is exempt
+    }
+}

@@ -1,0 +1,23 @@
+//! Fixture: lock-hold-hygiene — a dyn-trait filter invoked under a live queue
+//! guard, next to the take-then-drop shapes the pool actually uses.  Never
+//! compiled.
+
+fn bad_call_under_guard(queue: &Mutex<Vec<u64>>, filter: &dyn Filter) {
+    let guard = queue.lock().ok();
+    filter.reduce(0, &guard); // FINDING: lock-hold-hygiene
+}
+
+fn fine_scope_block(queue: &Mutex<Vec<u64>>, filter: &dyn Filter) {
+    let batch = {
+        let mut guard = queue.lock().ok();
+        guard.take()
+    };
+    filter.reduce(0, &batch); // clean: the guard died with its block
+}
+
+fn fine_explicit_drop(queue: &Mutex<Vec<u64>>, filter: &dyn Filter) {
+    let guard = queue.lock().ok();
+    let batch = guard.clone();
+    drop(guard);
+    filter.reduce(0, &batch); // clean: the guard was dropped first
+}

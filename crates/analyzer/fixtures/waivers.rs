@@ -1,0 +1,32 @@
+//! Fixture: the waiver machinery itself — a used line waiver, a used fn-scope
+//! waiver, an unused waiver, a bare (reasonless) allow, and the cfg(test)
+//! exemption that makes waivers unnecessary in test code.  Never compiled.
+
+fn used_line_waiver(x: Option<u64>) -> u64 {
+    x.unwrap() // stat-analyzer: allow(hot-path-panic) — trailing waiver with a reason suppresses this line
+}
+
+// stat-analyzer: allow(hot-path-panic) — nothing on the next line actually panics
+fn unused_waiver_here() {} // FINDING: unused-waiver (stale waivers misdocument the code)
+
+fn bare_allow(x: Option<u64>) -> u64 {
+    x.unwrap() // stat-analyzer: allow(hot-path-panic)
+} // FINDINGS: invalid-waiver (no reason given) AND the hot-path-panic survives
+
+// stat-analyzer: allow(hot-path-panic, fn) — the loop header bounds every index below
+fn fn_scope_waiver(v: &[u64]) -> u64 {
+    let mut sum = 0;
+    let mut i = 0;
+    while i < v.len() {
+        sum += v[i];
+        i += 1;
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt_without_any_waiver(x: Option<u64>) -> u64 {
+        x.unwrap() // clean: cfg(test) code needs no waiver
+    }
+}

@@ -1,0 +1,440 @@
+//! A lightweight Rust lexer — just enough token structure to classify lines.
+//!
+//! The analyzer runs in an offline container with a fixed vendored dependency set,
+//! so it cannot use `syn`/`proc-macro2`.  It does not need to: every lint in the
+//! registry is a *lexical* discipline check (is this `.expect(` outside a test
+//! region?  is this `.wait(` inside a `loop`?), and for those a faithful token
+//! stream with line numbers beats a full AST — it never rejects code the compiler
+//! accepts, and it keeps the tool's own hot path trivially panic-free.
+//!
+//! The lexer understands the things that would otherwise corrupt token
+//! classification: line and (nested) block comments, string/raw-string/byte-string
+//! literals, char literals vs. lifetimes, raw identifiers, and numeric literals.
+//! Everything else is an identifier or a single-character punctuation token.
+
+/// One lexed token kind.
+///
+/// Keywords are not distinguished from identifiers — lints match on the text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (including `_` and raw identifiers, without the `r#`).
+    Ident(String),
+    /// A lifetime such as `'a` or `'static` (text excludes the quote).
+    Lifetime(String),
+    /// A string, raw-string, byte-string or C-string literal (contents dropped).
+    Str,
+    /// A character or byte-character literal (contents dropped).
+    Char,
+    /// A numeric literal (text kept loosely, suffix included).
+    Num(String),
+    /// Any other single character: punctuation, brackets, operators.
+    Punct(char),
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number.
+    pub line: u32,
+    /// Token kind and text.
+    pub tok: Tok,
+}
+
+/// A comment with the 1-based source line it starts on.
+///
+/// Comments are kept out of the token stream (so lints never trip over commented
+/// code) but preserved here because waivers live in them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line number the comment starts on.
+    pub line: u32,
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// Whether any non-comment token occurs earlier on the same line.
+    pub trailing: bool,
+}
+
+/// Lex a source file into tokens and comments.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    src: std::marker::PhantomData<&'a ()>,
+    tokens: Vec<Token>,
+    comments: Vec<Comment>,
+    last_token_line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            src: std::marker::PhantomData,
+            tokens: Vec::new(),
+            comments: Vec::new(),
+            last_token_line: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, line: u32, tok: Tok) {
+        self.last_token_line = line.max(self.last_token_line);
+        self.tokens.push(Token { line, tok });
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Comment>) {
+        while let Some(c) = self.peek() {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek_at(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek_at(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_literal();
+                    self.push(line, Tok::Str);
+                }
+                'r' | 'b' | 'c' if self.literal_prefix() => {
+                    // r"..", r#".."#, b"..", br#".."#, b'x', c"..": consume the
+                    // prefix letters, then dispatch on what follows.
+                    self.prefixed_literal(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(line, Tok::Punct(c));
+                }
+            }
+        }
+        (self.tokens, self.comments)
+    }
+
+    /// Whether the current position starts a literal with an `r`/`b`/`c` prefix
+    /// (raw string, byte string, byte char) rather than a plain identifier.
+    fn literal_prefix(&self) -> bool {
+        let mut ahead = 1;
+        // Allow compound prefixes: br, rb (not real Rust, but harmless), cr, br#.
+        while matches!(self.peek_at(ahead), Some('r') | Some('b') | Some('c')) && ahead < 3 {
+            ahead += 1;
+        }
+        let mut hashes = 0;
+        while self.peek_at(ahead + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek_at(ahead + hashes) {
+            Some('"') => true,
+            Some('\'') if hashes == 0 => true,
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, line: u32) {
+        let mut is_char = false;
+        let mut raw = false;
+        while let Some(c) = self.peek() {
+            match c {
+                'r' => {
+                    raw = true;
+                    self.bump();
+                }
+                'b' | 'c' => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let mut hashes = 0;
+        while self.peek() == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        match self.peek() {
+            Some('"') => {
+                self.bump();
+                if raw || hashes > 0 {
+                    self.raw_string_tail(hashes);
+                } else {
+                    self.string_literal();
+                }
+                self.push(line, Tok::Str);
+            }
+            Some('\'') => {
+                self.bump();
+                is_char = true;
+                self.char_literal_tail();
+            }
+            _ => {}
+        }
+        if is_char {
+            self.push(line, Tok::Char);
+        }
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let trailing = self.last_token_line == line;
+        self.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let start = self.pos;
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let trailing = self.last_token_line == line;
+        self.comments.push(Comment {
+            line,
+            text,
+            trailing,
+        });
+    }
+
+    fn string_literal(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn raw_string_tail(&mut self, hashes: usize) {
+        // Already past the opening quote; scan for `"` followed by `hashes` hashes.
+        while let Some(c) = self.bump() {
+            if c == '"' {
+                let mut seen = 0;
+                while seen < hashes && self.peek() == Some('#') {
+                    self.bump();
+                    seen += 1;
+                }
+                if seen == hashes {
+                    break;
+                }
+            }
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening quote
+                     // `'a` / `'static` (lifetime) vs `'a'` / `'\n'` (char literal): a lifetime
+                     // is an identifier run NOT followed by a closing quote.
+        if let Some(c) = self.peek() {
+            if c == '\\' {
+                self.char_literal_tail();
+                self.push(line, Tok::Char);
+                return;
+            }
+            if c == '_' || c.is_alphanumeric() {
+                let start = self.pos;
+                let mut ahead = 0;
+                while matches!(self.peek_at(ahead), Some(x) if x == '_' || x.is_alphanumeric()) {
+                    ahead += 1;
+                }
+                if self.peek_at(ahead) == Some('\'') {
+                    // Char literal like 'a'.
+                    self.char_literal_tail();
+                    self.push(line, Tok::Char);
+                } else {
+                    for _ in 0..ahead {
+                        self.bump();
+                    }
+                    let name: String = self.chars[start..self.pos].iter().collect();
+                    self.push(line, Tok::Lifetime(name));
+                }
+            } else {
+                // Punctuation char literal like ',' or '{'.
+                self.char_literal_tail();
+                self.push(line, Tok::Char);
+            }
+        }
+    }
+
+    /// Consume the remainder of a char literal (after the opening quote).
+    fn char_literal_tail(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else if c == '.'
+                && matches!(self.peek_at(1), Some(d) if d.is_ascii_digit())
+                && self.peek_at(1) != Some('.')
+            {
+                // Decimal point, but never swallow a `..` range.
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(line, Tok::Num(text));
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == '_' || c.is_alphanumeric() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        self.push(line, Tok::Ident(text));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+            let x = "unwrap() inside a string";
+            // unwrap() inside a comment
+            /* expect( inside /* a nested */ block comment */
+            let y = r#"panic!( in a raw string"#;
+        "##;
+        let names = idents(src);
+        assert!(!names.iter().any(|n| n == "unwrap"));
+        assert!(!names.iter().any(|n| n == "expect"));
+        assert!(!names.iter().any(|n| n == "panic"));
+        let (_, comments) = lex(src);
+        assert_eq!(comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_the_rest_of_the_file() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }";
+        let names = idents(src);
+        assert!(names.contains(&"str".to_string()));
+        let (tokens, _) = lex(src);
+        assert!(tokens
+            .iter()
+            .any(|t| t.tok == Tok::Lifetime("static".into())));
+    }
+
+    #[test]
+    fn char_literals_are_not_lifetimes() {
+        let src = "let c = 'a'; let n = '\\n'; let p = ','; let l: &'x str = s;";
+        let (tokens, _) = lex(src);
+        let chars = tokens.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifetimes = tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Lifetime(_)))
+            .count();
+        assert_eq!(chars, 3);
+        assert_eq!(lifetimes, 1);
+    }
+
+    #[test]
+    fn numbers_stop_before_ranges() {
+        let src = "for i in 0..64 { let x = 1.5e3; let h = 0x5354_4154u32; }";
+        let (tokens, _) = lex(src);
+        let nums: Vec<&Tok> = tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Tok::Num(_)))
+            .map(|t| &t.tok)
+            .collect();
+        assert_eq!(nums[0], &Tok::Num("0".into()));
+        assert_eq!(nums[1], &Tok::Num("64".into()));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let src = "a\nb\n\nc";
+        let (tokens, _) = lex(src);
+        let lines: Vec<u32> = tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn trailing_comments_are_distinguished_from_standalone() {
+        let src = "let x = 1; // trailing\n// standalone\nlet y = 2;";
+        let (_, comments) = lex(src);
+        assert!(comments[0].trailing);
+        assert!(!comments[1].trailing);
+    }
+}

@@ -1,0 +1,35 @@
+//! `stat-analyzer` — the workspace's source-level static-analysis pass.
+//!
+//! The SC'08 paper's core claim is that a debugger for 208K cores must itself be
+//! engineered to survive 208K cores: the tool cannot panic, convoy, or silently
+//! drop errors at the exact moment it is diagnosing someone else's panic, convoy
+//! or dropped error.  This crate turns that claim into a CI gate.  It carries a
+//! small hand-rolled Rust lexer (no `syn`; the container is offline and the
+//! vendored dependency set is fixed), a line classifier that understands
+//! `#[cfg(test)]` regions, and five token-level lints aimed at the TBON hot path:
+//!
+//! | lint | rule |
+//! |------|------|
+//! | `hot-path-panic`    | no `unwrap`/`expect`/`panic!`-family/slice-index in designated hot-path modules |
+//! | `condvar-discipline`| `Condvar::wait` sits in a predicate loop; condvar declared beside its mutex |
+//! | `lock-hold-hygiene` | no `dyn`-trait (user filter) call while a `MutexGuard` is live |
+//! | `discarded-result`  | no `let _ =` / bare-statement discard of fallible calls |
+//! | `truncating-cast`   | no bare narrowing `as` casts in the word-math modules |
+//!
+//! Findings are suppressed only by an inline waiver carrying a reason —
+//! `// stat-analyzer: allow(<lint>) — <why this site is sound>` — and the total
+//! waiver count per lint is capped by a committed budget
+//! ([`config::Config::waiver_budgets`]), so the analyzer can only be silenced by
+//! a reviewed diff.  Run it as `cargo run -p stat-analyzer -- --deny`.
+
+pub mod config;
+pub mod driver;
+pub mod lexer;
+pub mod lints;
+pub mod report;
+pub mod source;
+pub mod waiver;
+
+pub use config::Config;
+pub use driver::{analyze_paths, analyze_sources, discover_workspace_files};
+pub use report::{Finding, Report, WaiverUsage};

@@ -1,0 +1,213 @@
+//! Lint: **discarded-result** — fallible calls must not be silently dropped.
+//!
+//! The SC'08 lesson behind this rule: at 208K cores a dropped send/recv/write
+//! error is not noise, it is the first (and often only) symptom of the partition
+//! the tool exists to diagnose.  `let _ = fallible()` compiles clean even under
+//! `#[must_use]`, so the compiler cannot catch it — this lint does.
+//!
+//! Two shapes are flagged in non-test code:
+//!
+//! 1. `let _ = <expr containing a call>;` — the explicit discard.  (`let _ =
+//!    some_var;` without a call is a borrow-shortening idiom and stays legal.)
+//! 2. A bare statement `recv(..)` / `x.send(..);` whose final call is one of the
+//!    configured Result-returning methods ([`Config::result_methods`]) — rustc's
+//!    `unused_must_use` already covers most of these, but only when the type is
+//!    `#[must_use]`; the configured list is enforced regardless.
+
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::{is_keyword, Lint};
+
+/// See the module docs.
+pub struct DiscardedResult;
+
+const ID: &str = "discarded-result";
+
+impl Lint for DiscardedResult {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn summary(&self) -> &'static str {
+        "no `let _ =` (or bare-statement) discard of fallible calls in non-test code"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        let mut i = 0;
+        while i < file.tokens.len() {
+            if file.ident(i) == Some("let")
+                && file.ident(i + 1) == Some("_")
+                && file.punct(i + 2) == Some('=')
+                && file.punct(i + 3) != Some('=')
+                && !file.is_test(i)
+            {
+                let (has_call, end) = rhs_has_call(file, i + 3);
+                if has_call {
+                    out.push(Finding::new(
+                        ID,
+                        file,
+                        file.tokens[i].line,
+                        "`let _ =` discards a fallible call: at scale the dropped Err is the \
+                         event under diagnosis; handle it, `?` it, or match on why the discard \
+                         is sound"
+                            .to_string(),
+                    ));
+                }
+                i = end;
+                continue;
+            }
+            if let Some(finding) = bare_result_statement(file, config, i) {
+                out.push(finding);
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Scan the expression starting at `start` up to its `;` at balance 0; report
+/// whether it contains a call (a `(` preceded by an identifier, `]`, `)`, `>` or
+/// `!`) and return the index just past the `;`.
+fn rhs_has_call(file: &SourceFile, start: usize) -> (bool, usize) {
+    let mut depth = 0i32;
+    let mut has_call = false;
+    let mut i = start;
+    while i < file.tokens.len() {
+        match file.punct(i) {
+            Some('(' | '[' | '{') => {
+                if file.punct(i) == Some('(') && i > 0 {
+                    let callish = match &file.tokens[i - 1].tok {
+                        Tok::Ident(name) => !is_keyword(name),
+                        Tok::Punct(']' | ')' | '>' | '!') => true,
+                        _ => false,
+                    };
+                    if callish {
+                        has_call = true;
+                    }
+                }
+                depth += 1;
+            }
+            Some(')' | ']' | '}') => depth -= 1,
+            Some(';') if depth == 0 => return (has_call, i + 1),
+            _ => {}
+        }
+        i += 1;
+    }
+    (has_call, i)
+}
+
+/// Detect a bare statement whose last call before the terminating `;` is one of
+/// the configured Result-returning methods: `x.send(v);`, `out.flush();`.
+/// The statement must not contain `let`/`return`/`?`/`=`/`match` at balance 0 —
+/// any of those means the value is consumed, not discarded.
+fn bare_result_statement(file: &SourceFile, config: &Config, i: usize) -> Option<Finding> {
+    // Anchor on the method name token.
+    let name = match &file.tokens[i].tok {
+        Tok::Ident(n) if config.result_methods.iter().any(|m| m == n) => n.clone(),
+        _ => return None,
+    };
+    if file.punct(i + 1) != Some('(') || file.is_test(i) {
+        return None;
+    }
+    // Must be a call or method call, not a definition (`fn send(`).
+    if i > 0 && file.ident(i - 1) == Some("fn") {
+        return None;
+    }
+    // Walk forward past the argument list; the statement is a bare discard only if
+    // the call's parens are immediately followed by `;`.
+    let after_args = super::skip_group(file, i + 1);
+    if file.punct(after_args) != Some(';') {
+        return None;
+    }
+    // Walk backwards to the start of the statement; consuming constructs disqualify.
+    let mut j = i;
+    let mut depth = 0i32;
+    loop {
+        match &file.tokens[j].tok {
+            Tok::Punct(')' | ']' | '}') => depth += 1,
+            Tok::Punct('(' | '[') => depth -= 1,
+            Tok::Punct('{') if depth == 0 => break,
+            Tok::Punct('{') => depth -= 1,
+            Tok::Punct(';') if depth == 0 => break,
+            Tok::Punct('=' | '?') if depth == 0 => return None,
+            Tok::Ident(kw)
+                if depth == 0
+                    && matches!(kw.as_str(), "let" | "return" | "match" | "if" | "while") =>
+            {
+                return None;
+            }
+            _ => {}
+        }
+        if j == 0 {
+            break;
+        }
+        j -= 1;
+    }
+    Some(Finding::new(
+        ID,
+        file,
+        file.tokens[i].line,
+        format!(
+            "bare `{name}(..);` statement discards its Result: a dropped channel/IO error \
+             at this layer silently loses the failure the overlay is reporting"
+        ),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/x/src/a.rs", src, &[ID]);
+        let mut out = Vec::new();
+        DiscardedResult.check(&file, &Config::workspace(), &mut out);
+        out
+    }
+
+    #[test]
+    fn let_underscore_call_is_flagged() {
+        let findings = run("fn f() { let _ = tx.send(v); }\n");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("let _ ="));
+    }
+
+    #[test]
+    fn let_underscore_macro_call_is_flagged() {
+        assert_eq!(run("fn f() { let _ = writeln!(out, \"x\"); }\n").len(), 1);
+    }
+
+    #[test]
+    fn let_underscore_plain_ident_is_clean() {
+        // Borrow-shortening `let _ = guard;` has no call and is legal.
+        assert!(run("fn f() { let _ = guard; }\n").is_empty());
+    }
+
+    #[test]
+    fn bare_send_statement_is_flagged() {
+        let findings = run("fn f() { tx.send(v); }\n");
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("send"));
+    }
+
+    #[test]
+    fn consumed_results_are_clean() {
+        assert!(run(
+            "fn f() -> Result<(), E> {\n  tx.send(v)?;\n  let r = tx.send(w);\n  \
+             return tx.send(u);\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn fn_definitions_are_not_calls() {
+        assert!(run("impl T {\n  fn send(&self, v: u64);\n}\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(run("#[cfg(test)]\nmod tests {\n  fn t() { let _ = tx.send(v); }\n}\n").is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! The lint registry and the shared token-walking helpers lints build on.
+//!
+//! Each lint is a small struct implementing [`Lint`]; [`registry`] returns the
+//! catalogue in a stable order.  Lints only *emit* findings — waiver application,
+//! budgets and report assembly happen in the driver, so every lint stays a pure
+//! function of one file's token stream.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+mod condvar_discipline;
+mod discarded_result;
+mod hot_path_panic;
+mod lock_hold_hygiene;
+mod truncating_cast;
+
+pub use condvar_discipline::CondvarDiscipline;
+pub use discarded_result::DiscardedResult;
+pub use hot_path_panic::HotPathPanic;
+pub use lock_hold_hygiene::LockHoldHygiene;
+pub use truncating_cast::TruncatingCast;
+
+/// A single static-analysis rule.
+pub trait Lint {
+    /// Stable kebab-case id, used in reports and waivers.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-lints` and the report header.
+    fn summary(&self) -> &'static str;
+    /// Run over one file, appending findings.
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>);
+}
+
+/// Pseudo-lint id for malformed waiver comments (never waivable).
+pub const INVALID_WAIVER: &str = "invalid-waiver";
+/// Pseudo-lint id for waivers that suppress nothing (never waivable).
+pub const UNUSED_WAIVER: &str = "unused-waiver";
+
+/// The five project lints, in report order.
+pub fn registry() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(HotPathPanic),
+        Box::new(CondvarDiscipline),
+        Box::new(LockHoldHygiene),
+        Box::new(DiscardedResult),
+        Box::new(TruncatingCast),
+    ]
+}
+
+/// The waivable lint ids (what a waiver comment may name).
+pub fn known_lint_ids() -> Vec<&'static str> {
+    registry().iter().map(|l| l.id()).collect()
+}
+
+// ---------------------------------------------------------------------------------
+// Shared token helpers
+// ---------------------------------------------------------------------------------
+
+/// Rust keywords that can directly precede a `[` without forming an index
+/// expression (`&mut [u64]`, `dyn [..]`, `as [T; 2]`, ...).
+pub(crate) fn is_keyword(word: &str) -> bool {
+    matches!(
+        word,
+        "as" | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+/// Walk `tokens[start..]` and return the index just past the `]`/`)`/`}` that
+/// closes the delimiter opened at `start` (which must be an open delimiter).
+pub(crate) fn skip_group(file: &SourceFile, start: usize) -> usize {
+    let open = match file.punct(start) {
+        Some(c @ ('(' | '[' | '{')) => c,
+        _ => return start + 1,
+    };
+    let close = match open {
+        '(' => ')',
+        '[' => ']',
+        _ => '}',
+    };
+    let mut depth = 0usize;
+    let mut i = start;
+    while i < file.tokens.len() {
+        match file.punct(i) {
+            Some(c) if c == open => depth += 1,
+            Some(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    file.tokens.len()
+}

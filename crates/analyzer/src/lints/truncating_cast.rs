@@ -1,0 +1,105 @@
+//! Lint: **truncating-cast** — no silent narrowing in the word-math modules.
+//!
+//! The task-set and prefix-tree word math packs member ranks into 64-bit words;
+//! a bare `as u32` / `as usize` there truncates silently the day someone runs a
+//! topology past 2^32 endpoints — precisely the scaling cliff the paper's tool
+//! exists to survive.  In the configured word-math modules every narrowing `as`
+//! must be replaced with `try_from` (typed error) or carry a waiver stating the
+//! bound that keeps the value in range.
+//!
+//! Only *narrowing* targets are flagged (`u8`/`u16`/`u32`/`usize`/`i8`/`i16`/
+//! `i32`/`isize`); widening casts (`as u64`, `as u128`) are always safe and pass.
+
+use crate::config::Config;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+use super::Lint;
+
+/// See the module docs.
+pub struct TruncatingCast;
+
+const ID: &str = "truncating-cast";
+
+/// Cast targets that can lose bits from a `u64`/`usize` source.
+const NARROW: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
+
+impl Lint for TruncatingCast {
+    fn id(&self) -> &'static str {
+        ID
+    }
+
+    fn summary(&self) -> &'static str {
+        "no bare narrowing `as` casts in word-math modules; use try_from or waive the bound"
+    }
+
+    fn check(&self, file: &SourceFile, config: &Config, out: &mut Vec<Finding>) {
+        if !config.is_word_math(&file.rel_path) {
+            return;
+        }
+        for (i, token) in file.tokens.iter().enumerate() {
+            if file.ident(i) != Some("as") || file.is_test(i) {
+                continue;
+            }
+            let Some(target) = file.ident(i + 1) else {
+                continue;
+            };
+            if NARROW.contains(&target) {
+                out.push(Finding::new(
+                    ID,
+                    file,
+                    token.line,
+                    format!(
+                        "bare `as {target}` in word math truncates silently past the type's \
+                         range: use try_from with a typed error, or waive with the bound that \
+                         keeps the value in range"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let file = SourceFile::parse("crates/core/src/taskset.rs", src, &[ID]);
+        let mut out = Vec::new();
+        TruncatingCast.check(&file, &Config::workspace(), &mut out);
+        out
+    }
+
+    #[test]
+    fn narrowing_casts_are_flagged() {
+        let findings = run("fn f(x: u64) { let a = x as u32; let b = x as usize; }\n");
+        assert_eq!(findings.len(), 2);
+        assert!(findings[0].message.contains("as u32"));
+    }
+
+    #[test]
+    fn widening_casts_are_clean() {
+        assert!(run("fn f(x: u32) { let a = x as u64; let b = x as u128; }\n").is_empty());
+    }
+
+    #[test]
+    fn use_as_rename_is_not_a_cast() {
+        assert!(run("use std::sync::Mutex as Lock;\nfn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        assert!(
+            run("#[cfg(test)]\nmod tests {\n  fn t(x: u64) { let a = x as u32; }\n}\n").is_empty()
+        );
+    }
+
+    #[test]
+    fn non_word_math_files_are_ignored() {
+        let file = SourceFile::parse("crates/x/src/other.rs", "fn f(x: u64) { x as u32; }", &[ID]);
+        let mut out = Vec::new();
+        TruncatingCast.check(&file, &Config::workspace(), &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! CLI for the workspace static-analysis pass.
+//!
+//! ```text
+//! cargo run -p stat-analyzer --             # report findings, exit 0
+//! cargo run -p stat-analyzer -- --deny      # exit 1 on any finding / budget breach
+//! cargo run -p stat-analyzer -- --json      # machine-readable report
+//! cargo run -p stat-analyzer -- --list-lints
+//! cargo run -p stat-analyzer -- --root DIR  # analyze another workspace root
+//! cargo run -p stat-analyzer -- FILE...     # analyze explicit files only
+//! ```
+//!
+//! Exit codes: 0 clean (or findings without `--deny`), 1 findings or budget
+//! breach under `--deny`, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stat_analyzer::driver::{analyze_paths, analyze_sources, discover_workspace_files};
+use stat_analyzer::lints::registry;
+use stat_analyzer::Config;
+
+struct Args {
+    deny: bool,
+    json: bool,
+    list_lints: bool,
+    root: PathBuf,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        json: false,
+        list_lints: false,
+        root: PathBuf::from("."),
+        files: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--json" => args.json = true,
+            "--list-lints" => args.list_lints = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root requires a directory argument")?;
+                args.root = PathBuf::from(dir);
+            }
+            "--help" | "-h" => {
+                return Err("usage: stat-analyzer [--deny] [--json] [--list-lints] \
+                            [--root DIR] [FILE...]"
+                    .to_string());
+            }
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag `{flag}` (try --help)"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_lints {
+        for lint in registry() {
+            println!("{:<20} {}", lint.id(), lint.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let config = Config::workspace();
+    let report = if args.files.is_empty() {
+        if !args.root.join("crates").is_dir() {
+            eprintln!(
+                "stat-analyzer: `{}` does not look like the workspace root (no crates/ \
+                 directory); pass --root",
+                args.root.display()
+            );
+            return ExitCode::from(2);
+        }
+        match discover_workspace_files(&args.root) {
+            Ok(sources) => analyze_sources(&sources, &config),
+            Err(err) => {
+                eprintln!("stat-analyzer: discovery failed: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        match analyze_paths(&args.files, &args.root, &config) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("stat-analyzer: {err}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if args.json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+
+    if args.deny && !report.is_clean() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

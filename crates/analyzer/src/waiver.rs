@@ -1,0 +1,208 @@
+//! Waiver parsing: the one sanctioned way to silence a lint.
+//!
+//! A waiver is an ordinary comment of the form
+//!
+//! ```text
+//! // stat-analyzer: allow(<lint>) — <reason>
+//! // stat-analyzer: allow(<lint>, fn) — <reason>
+//! ```
+//!
+//! The reason is **required**: a bare `allow(<lint>)` is rejected as an
+//! `invalid-waiver` finding rather than silently honoured, because the entire point
+//! of a waiver is the written argument for why the invariant holds.  The `fn` form
+//! must appear on its own line directly before a function item and covers that
+//! function's whole body — for code like the prefix-tree arena where one invariant
+//! ("indices are handed out by push and never removed") justifies every index in
+//! the function.  The separator may be an em-dash (`—`), `--`, or `:`.
+
+use std::ops::Range;
+
+use crate::lexer::Comment;
+
+/// How much source a waiver covers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WaiverScope {
+    /// The comment's own line (trailing) or the next code line (standalone).
+    Line,
+    /// The body of the next `fn` item.
+    Fn,
+}
+
+/// A parsed, resolved waiver.
+#[derive(Clone, Debug)]
+pub struct Waiver {
+    /// The lint id this waiver silences.
+    pub lint: String,
+    /// Line/fn scope.
+    pub scope: WaiverScope,
+    /// 1-based line of the waiver comment itself.
+    pub line: u32,
+    /// The written justification (non-empty by construction).
+    pub reason: String,
+    /// Resolved 1-based line range the waiver covers (filled by the source model).
+    pub covers: Range<u32>,
+}
+
+/// Outcome of trying to read a comment as a waiver.
+#[derive(Debug)]
+pub enum WaiverParse {
+    /// The comment does not mention the analyzer at all.
+    NotAWaiver,
+    /// The comment addresses the analyzer but is malformed; the string explains how.
+    Invalid(String),
+    /// A well-formed waiver.
+    Valid(Waiver),
+}
+
+impl Waiver {
+    /// Try to parse a comment as a waiver directive.
+    pub fn parse(comment: &Comment, known_lints: &[&str]) -> WaiverParse {
+        const MARKER: &str = "stat-analyzer:";
+        let text = comment.text.trim_start_matches('/').trim();
+        let Some(at) = text.find(MARKER) else {
+            return WaiverParse::NotAWaiver;
+        };
+        let directive = text[at + MARKER.len()..].trim();
+        let Some(rest) = directive.strip_prefix("allow") else {
+            return WaiverParse::Invalid(format!(
+                "unknown stat-analyzer directive `{directive}`; only `allow(<lint>) — <reason>` is supported"
+            ));
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix('(') else {
+            return WaiverParse::Invalid("malformed waiver: expected `allow(<lint>)`".to_string());
+        };
+        let Some(close) = rest.find(')') else {
+            return WaiverParse::Invalid("malformed waiver: unclosed `allow(`".to_string());
+        };
+        let inside = &rest[..close];
+        let after = rest[close + 1..].trim_start();
+
+        let mut parts = inside.split(',').map(str::trim);
+        let lint = parts.next().unwrap_or("").to_string();
+        let scope = match parts.next() {
+            None => WaiverScope::Line,
+            Some("fn") => WaiverScope::Fn,
+            Some(other) => {
+                return WaiverParse::Invalid(format!(
+                    "unknown waiver scope `{other}`; use `allow(<lint>)` or `allow(<lint>, fn)`"
+                ));
+            }
+        };
+        if parts.next().is_some() {
+            return WaiverParse::Invalid(
+                "malformed waiver: too many arguments to allow(...)".to_string(),
+            );
+        }
+        if !known_lints.contains(&lint.as_str()) {
+            return WaiverParse::Invalid(format!(
+                "waiver names unknown lint `{lint}` (known: {})",
+                known_lints.join(", ")
+            ));
+        }
+        if scope == WaiverScope::Fn && comment.trailing {
+            return WaiverParse::Invalid(
+                "fn-scoped waivers must sit on their own line directly before the function"
+                    .to_string(),
+            );
+        }
+
+        // The reason: whatever follows the separator.  A bare allow is rejected.
+        let reason = after
+            .strip_prefix('—')
+            .or_else(|| after.strip_prefix("--"))
+            .or_else(|| after.strip_prefix(':'))
+            .map(str::trim)
+            .unwrap_or("");
+        if reason.is_empty() {
+            return WaiverParse::Invalid(format!(
+                "bare `allow({lint})` rejected: a waiver must carry a reason (`allow({lint}) — <why this is safe>`)"
+            ));
+        }
+        WaiverParse::Valid(Waiver {
+            lint,
+            scope,
+            line: comment.line,
+            reason: reason.to_string(),
+            covers: comment.line..comment.line,
+        })
+    }
+
+    /// Whether this waiver suppresses a finding of `lint` at `line`.
+    pub fn suppresses(&self, lint: &str, line: u32) -> bool {
+        self.lint == lint && self.covers.contains(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str) -> Comment {
+        Comment {
+            line: 7,
+            text: text.to_string(),
+            trailing: false,
+        }
+    }
+
+    const LINTS: &[&str] = &["hot-path-panic", "discarded-result"];
+
+    #[test]
+    fn parses_the_canonical_form() {
+        let c =
+            comment("// stat-analyzer: allow(hot-path-panic) — index bounded by the level walk");
+        match Waiver::parse(&c, LINTS) {
+            WaiverParse::Valid(w) => {
+                assert_eq!(w.lint, "hot-path-panic");
+                assert_eq!(w.scope, WaiverScope::Line);
+                assert_eq!(w.reason, "index bounded by the level walk");
+            }
+            other => panic!("expected valid waiver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn accepts_ascii_separators() {
+        for sep in ["--", ":"] {
+            let c = comment(&format!(
+                "// stat-analyzer: allow(discarded-result) {sep} fmt to String is infallible"
+            ));
+            assert!(
+                matches!(Waiver::parse(&c, LINTS), WaiverParse::Valid(_)),
+                "sep {sep}"
+            );
+        }
+    }
+
+    #[test]
+    fn fn_scope_parses() {
+        let c = comment("// stat-analyzer: allow(hot-path-panic, fn) — arena indices never dangle");
+        match Waiver::parse(&c, LINTS) {
+            WaiverParse::Valid(w) => assert_eq!(w.scope, WaiverScope::Fn),
+            other => panic!("expected valid waiver, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_fn_scope_is_rejected() {
+        let mut c = comment("// stat-analyzer: allow(hot-path-panic, fn) — nope");
+        c.trailing = true;
+        assert!(matches!(Waiver::parse(&c, LINTS), WaiverParse::Invalid(_)));
+    }
+
+    #[test]
+    fn bare_allow_is_rejected_with_guidance() {
+        let c = comment("// stat-analyzer: allow(hot-path-panic)");
+        match Waiver::parse(&c, LINTS) {
+            WaiverParse::Invalid(msg) => assert!(msg.contains("must carry a reason")),
+            other => panic!("expected invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let c = comment("// the analyzer would flag this, but it's fine");
+        assert!(matches!(Waiver::parse(&c, LINTS), WaiverParse::NotAWaiver));
+    }
+}

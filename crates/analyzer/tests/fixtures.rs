@@ -1,0 +1,114 @@
+//! Per-lint expectations over the intentionally-bad fixture files.
+//!
+//! Each fixture under `fixtures/` packs one lint's flagged shapes next to the
+//! near-miss shapes it must stay quiet on; these tests pin the exact finding
+//! counts so a lint that goes blind (or trigger-happy) fails loudly, with the
+//! full report in the assertion message.
+
+use std::fs;
+use std::path::Path;
+
+use stat_analyzer::{analyze_sources, Config, Report};
+
+fn analyze_fixture(name: &str) -> Report {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    analyze_sources(&[(format!("fixtures/{name}"), src)], &Config::fixtures())
+}
+
+fn count(report: &Report, lint: &str) -> usize {
+    report.findings.iter().filter(|f| f.lint == lint).count()
+}
+
+fn used(report: &Report, lint: &str) -> usize {
+    report
+        .waivers
+        .iter()
+        .find(|w| w.lint == lint)
+        .map(|w| w.used)
+        .unwrap_or(0)
+}
+
+#[test]
+fn hot_path_panic_fixture() {
+    let report = analyze_fixture("hot_path_panic.rs");
+    assert_eq!(
+        count(&report, "hot-path-panic"),
+        6,
+        "unwrap, expect, panic!, todo!, unreachable!, and one index:\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 6, "{}", report.human());
+    assert_eq!(used(&report, "hot-path-panic"), 1, "the waived index");
+}
+
+#[test]
+fn condvar_discipline_fixture() {
+    let report = analyze_fixture("condvar_discipline.rs");
+    assert_eq!(
+        count(&report, "condvar-discipline"),
+        2,
+        "the lone Condvar and the naked wait:\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 2, "{}", report.human());
+}
+
+#[test]
+fn lock_hold_hygiene_fixture() {
+    let report = analyze_fixture("lock_hold_hygiene.rs");
+    assert_eq!(
+        count(&report, "lock-hold-hygiene"),
+        1,
+        "only the call under the live guard:\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 1, "{}", report.human());
+}
+
+#[test]
+fn discarded_result_fixture() {
+    let report = analyze_fixture("discarded_result.rs");
+    assert_eq!(
+        count(&report, "discarded-result"),
+        2,
+        "the `let _ =` and the bare statement:\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 2, "{}", report.human());
+}
+
+#[test]
+fn truncating_cast_fixture() {
+    let report = analyze_fixture("truncating_cast.rs");
+    assert_eq!(
+        count(&report, "truncating-cast"),
+        2,
+        "the two bare narrowings (not the widening, waived cast, or use-rename):\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 2, "{}", report.human());
+    assert_eq!(used(&report, "truncating-cast"), 1);
+}
+
+#[test]
+fn waiver_machinery_fixture() {
+    let report = analyze_fixture("waivers.rs");
+    assert_eq!(count(&report, "unused-waiver"), 1, "{}", report.human());
+    assert_eq!(count(&report, "invalid-waiver"), 1, "{}", report.human());
+    assert_eq!(
+        count(&report, "hot-path-panic"),
+        1,
+        "a bare allow() must NOT suppress — the unwrap it decorated survives:\n{}",
+        report.human()
+    );
+    assert_eq!(report.findings.len(), 3, "{}", report.human());
+    assert_eq!(
+        used(&report, "hot-path-panic"),
+        2,
+        "the trailing line waiver and the fn-scope waiver"
+    );
+}

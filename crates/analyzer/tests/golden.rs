@@ -1,0 +1,58 @@
+//! Golden test for the JSON report shape.
+//!
+//! The JSON output is the analyzer's machine interface (CI consumes it); this
+//! test pins it byte-for-byte over the full fixture set, so any change to the
+//! shape — field names, ordering, escaping, waiver accounting — is a conscious,
+//! reviewed diff of `fixtures/golden_report.json`.
+//!
+//! To regenerate after an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p stat-analyzer --test golden
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+use stat_analyzer::{analyze_sources, Config};
+
+#[test]
+fn fixture_report_matches_golden_json() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut names: Vec<String> = fs::read_dir(&dir)
+        .expect("list fixtures/")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.ends_with(".rs"))
+        .collect();
+    names.sort();
+    assert!(
+        names.len() >= 6,
+        "expected one fixture per lint plus the waiver fixture, found {names:?}"
+    );
+    let sources: Vec<(String, String)> = names
+        .iter()
+        .map(|n| {
+            let src = fs::read_to_string(dir.join(n)).expect("read fixture");
+            (format!("fixtures/{n}"), src)
+        })
+        .collect();
+    let json = analyze_sources(&sources, &Config::fixtures()).json();
+
+    let golden_path = dir.join("golden_report.json");
+    if std::env::var_os("BLESS").is_some() {
+        fs::write(&golden_path, &json).expect("write golden");
+        return;
+    }
+    let golden = fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e}\n(run `BLESS=1 cargo test -p stat-analyzer --test golden` to create it)",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        json, golden,
+        "JSON report drifted from the golden; if intentional, re-bless with \
+         `BLESS=1 cargo test -p stat-analyzer --test golden` and review the diff"
+    );
+}

@@ -1,0 +1,38 @@
+//! The analyzer run over the live workspace, as a test.
+//!
+//! This is the same analysis CI runs via `cargo run -p stat-analyzer -- --deny`,
+//! wired into `cargo test` so a hot-path panic or lock-discipline regression
+//! fails the ordinary test suite too — nobody has to remember the extra command.
+
+use std::path::Path;
+
+use stat_analyzer::{analyze_sources, discover_workspace_files, Config};
+
+#[test]
+fn the_workspace_is_clean_under_the_committed_policy() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let sources = discover_workspace_files(&root).expect("discover workspace sources");
+    assert!(
+        sources.len() > 50,
+        "discovery looks broken: only {} files found under {}",
+        sources.len(),
+        root.display()
+    );
+    let report = analyze_sources(&sources, &Config::workspace());
+    assert!(
+        report.is_clean(),
+        "the workspace has unwaived findings or blown waiver budgets:\n{}",
+        report.human()
+    );
+    // Budgets are pinned to the exact current usage: a deleted waiver must
+    // shrink its budget in config.rs (and results/ANALYSIS.md) in the same diff,
+    // so the committed inventory never overstates how much is waived.
+    for w in &report.waivers {
+        assert_eq!(
+            w.used, w.budget,
+            "waiver budget for `{}` is {} but only {} are in use; \
+             tighten Config::workspace() to match",
+            w.lint, w.budget, w.used
+        );
+    }
+}

@@ -23,7 +23,6 @@
 //! * [`vocab`] — the frame vocabularies (Linux/Atlas vs. BG/L) so that traces look
 //!   like the platform they were "collected" on, exactly as in Figure 1.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod app;

@@ -2,6 +2,9 @@
 //! `cargo bench` exercises every experiment path end to end (full sweeps live in the
 //! `fig*` binaries and `make_all`).
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use launch::{BglCiodLauncher, CiodPatchLevel, LaunchMonLauncher, Launcher};

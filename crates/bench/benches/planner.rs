@@ -6,6 +6,9 @@
 //! attach path.  Timed at the paper's scales and beyond: 64K tasks, the 208K
 //! headline point, and the extrapolated million-core machine.
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use machine::cluster::{BglMode, Cluster};

@@ -1,6 +1,9 @@
 //! Criterion micro-benchmarks of the prefix-tree operations every experiment rests
 //! on: building daemon-local trees, merging them, and serialising them for the TBON.
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
 use appsim::{Application, FrameVocabulary, RingHangApp};

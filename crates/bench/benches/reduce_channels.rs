@@ -12,6 +12,9 @@
 //! times); on a real distributed TBON each extra walk would also pay the full
 //! per-level network latency again.
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 use tbon::filter::{Filter, IdentityFilter};

@@ -1,6 +1,9 @@
 //! Criterion micro-benchmarks of the task-set representations: union, concatenation
 //! (rebase) and the front-end remap step.
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use stat_core::prelude::*;

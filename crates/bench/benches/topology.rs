@@ -1,5 +1,8 @@
 //! Criterion micro-benchmarks of topology construction and the in-process TBON.
 
+// Benches are not public API; criterion_group! generates undocumented items.
+#![allow(missing_docs)]
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use tbon::filter::SumFilter;

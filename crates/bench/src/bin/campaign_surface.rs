@@ -13,7 +13,6 @@
 //! `STATBENCH_FAST=1` shrinks the grid (fewer seeds, one scale) for smoke runs;
 //! the committed artifacts come from the full grid.
 
-use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
 
@@ -23,6 +22,16 @@ use simkit::stats::SeriesTable;
 use stat_core::prelude::Representation;
 use statbench::campaign::{run_campaign, CampaignConfig};
 use statbench::{sweep_tree_shapes, sweep_tree_shapes_saturated};
+
+/// `writeln!` into a report `String` without a `Result` to discard (appending
+/// to a `String` cannot fail; the per-line `format!` allocation is noise next
+/// to running the campaign itself).
+macro_rules! out_line {
+    ($out:expr, $($arg:tt)*) => {{
+        $out.push_str(&format!($($arg)*));
+        $out.push('\n');
+    }};
+}
 
 /// Minimum-cost series label at one scale of a tree-shape sweep.
 fn winner(table: &SeriesTable, tasks: u64) -> (String, f64) {
@@ -71,15 +80,15 @@ fn main() {
     let saturated = sweep_tree_shapes_saturated(&cluster, &scales, knee);
 
     let mut crossover = String::new();
-    let _ = writeln!(
+    out_line!(
         crossover,
         "| tasks | unsaturated winner | predicted (s) | saturated winner | predicted (s) |"
     );
-    let _ = writeln!(crossover, "|---|---|---|---|---|");
+    out_line!(crossover, "|---|---|---|---|---|");
     for &tasks in &scales {
         let (p_label, p_cost) = winner(&plain, tasks);
         let (s_label, s_cost) = winner(&saturated, tasks);
-        let _ = writeln!(
+        out_line!(
             crossover,
             "| {tasks} | {p_label} | {p_cost:.3} | {s_label} | {s_cost:.3} |"
         );
@@ -87,8 +96,8 @@ fn main() {
 
     // ---- the report --------------------------------------------------------------
     let mut md = String::new();
-    let _ = writeln!(md, "# Randomized fault campaigns\n");
-    let _ = writeln!(
+    out_line!(md, "# Randomized fault campaigns\n");
+    out_line!(
         md,
         "A campaign sweeps the deterministic fault-scenario catalogue *and* \
          seed-derived randomized scenarios (random fault ranks and flavors, random \
@@ -100,8 +109,8 @@ fn main() {
          failed verdict or a typed decode error), never when the poisoned diagnosis \
          sails through clean.\n"
     );
-    let _ = writeln!(md, "## Seed protocol\n");
-    let _ = writeln!(
+    out_line!(md, "## Seed protocol\n");
+    out_line!(
         md,
         "Randomized scenarios come from `appsim::randomized_scenarios(tasks, vocab, \
          seed, count)`: draw `i` forks a child RNG from the campaign seed \
@@ -118,8 +127,8 @@ fn main() {
         config.samples_per_task,
         config.randomized_per_seed
     );
-    let _ = writeln!(md, "## Reproducing a cell\n");
-    let _ = writeln!(
+    out_line!(md, "## Reproducing a cell\n");
+    out_line!(
         md,
         "Each row of [`campaign_surface.csv`](campaign_surface.csv) names its \
          scenario, seed, scale, depth and overlay.  To re-run one cell: regenerate \
@@ -134,8 +143,8 @@ fn main() {
          grid and prints every cell.\n"
     );
     md.push_str(&surface.to_markdown());
-    let _ = writeln!(md, "## Depth crossover under class-saturated payloads\n");
-    let _ = writeln!(
+    out_line!(md, "## Depth crossover under class-saturated payloads\n");
+    out_line!(
         md,
         "Under the unsaturated worst-case payload model, packets grow with subtree \
          task counts forever and the flat(ter) tree wins at every scale the front \
@@ -146,7 +155,7 @@ fn main() {
          overtake the flat-world winner past 16M simulated cores:\n"
     );
     md.push_str(&crossover);
-    let _ = writeln!(
+    out_line!(
         md,
         "\nThe crossover is inside the swept range: at 16M tasks the saturated \
          model still agrees with the flat-world pick, at 33M it flips to a deep \

@@ -3,7 +3,7 @@
 use std::fs;
 use std::path::Path;
 
-fn write(dir: &Path, name: &str, contents: &str) {
+fn emit(dir: &Path, name: &str, contents: &str) {
     let path = dir.join(format!("{name}.txt"));
     fs::write(&path, contents).expect("write result file");
     println!("{contents}");
@@ -15,68 +15,68 @@ fn main() {
     fs::create_dir_all(dir).expect("create results directory");
 
     let (dot, summary) = stat_bench::fig01_prefix_tree(1_024);
-    write(dir, "fig01_prefix_tree", &format!("{summary}\n{dot}"));
-    write(
+    emit(dir, "fig01_prefix_tree", &format!("{summary}\n{dot}"));
+    emit(
         dir,
         "fig02_startup_atlas",
         &stat_bench::fig02_startup_atlas().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig03_startup_bgl",
         &stat_bench::fig03_startup_bgl().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig04_merge_atlas",
         &stat_bench::fig04_merge_atlas().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig05_merge_bgl",
         &stat_bench::fig05_merge_bgl().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig06_bitvector_demo",
         &stat_bench::fig06_bitvector_demo().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig07_merge_optimized",
         &stat_bench::fig07_merge_optimized().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig08_sampling_atlas",
         &stat_bench::fig08_sampling_atlas().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig09_sampling_bgl",
         &stat_bench::fig09_sampling_bgl().to_string(),
     );
-    write(
+    emit(
         dir,
         "fig10_sampling_sbrs",
         &stat_bench::fig10_sampling_sbrs().to_string(),
     );
-    write(
+    emit(
         dir,
         "ablation_topology",
         &stat_bench::ablation_topology(65_536).to_string(),
     );
-    write(
+    emit(
         dir,
         "ablation_bitvector",
         &stat_bench::ablation_bitvector().to_string(),
     );
-    write(
+    emit(
         dir,
         "ablation_proctable",
         &stat_bench::ablation_proctable().to_string(),
     );
-    write(
+    emit(
         dir,
         "ablation_threads",
         &stat_bench::ablation_threads().to_string(),

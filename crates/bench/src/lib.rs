@@ -10,7 +10,6 @@
 //! checks — and what EXPERIMENTS.md records — is the *shape*: which configuration
 //! wins, by roughly what factor, and where failures and crossovers occur.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;

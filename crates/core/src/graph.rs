@@ -148,24 +148,40 @@ impl<S: TaskSetOps> PrefixTree<S> {
         0
     }
 
+    /// The arena accessor every traversal goes through.  `NodeIdx` values are
+    /// minted by `add_child_with_tasks` against this same arena and nodes are
+    /// never removed, so a stored index (parent link, child list, child-index
+    /// probe, worklist entry) is always in range — the one place that invariant
+    /// is relied on for indexing is here, not scattered across the file.
+    fn entry(&self, node: NodeIdx) -> &TreeEntry<S> {
+        // stat-analyzer: allow(hot-path-panic) — arena indices are minted by this tree and nodes are never removed
+        &self.nodes[node]
+    }
+
+    /// Mutable twin of [`Self::entry`]; same invariant.
+    fn entry_mut(&mut self, node: NodeIdx) -> &mut TreeEntry<S> {
+        // stat-analyzer: allow(hot-path-panic) — arena indices are minted by this tree and nodes are never removed
+        &mut self.nodes[node]
+    }
+
     /// The frame of a node (`None` for the root).
     pub fn frame(&self, node: NodeIdx) -> Option<FrameId> {
-        self.nodes[node].frame
+        self.entry(node).frame
     }
 
     /// The parent of a node (`None` for the root).
     pub fn parent(&self, node: NodeIdx) -> Option<NodeIdx> {
-        self.nodes[node].parent
+        self.entry(node).parent
     }
 
     /// The children of a node.
     pub fn children(&self, node: NodeIdx) -> &[NodeIdx] {
-        &self.nodes[node].children
+        &self.entry(node).children
     }
 
     /// The task set labelling the edge into a node (for the root: every task seen).
     pub fn tasks(&self, node: NodeIdx) -> &S {
-        &self.nodes[node].tasks
+        &self.entry(node).tasks
     }
 
     /// Maximum depth (frames) of any path in the tree.
@@ -184,8 +200,11 @@ impl<S: TaskSetOps> PrefixTree<S> {
 
     /// Leaf node indices, in a stable order.
     pub fn leaves(&self) -> Vec<NodeIdx> {
-        (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].children.is_empty() && i != 0)
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(i, node)| node.children.is_empty() && *i != 0)
+            .map(|(i, _)| i)
             .collect()
     }
 
@@ -194,10 +213,10 @@ impl<S: TaskSetOps> PrefixTree<S> {
         let mut path = Vec::new();
         let mut cur = Some(node);
         while let Some(idx) = cur {
-            if let Some(frame) = self.nodes[idx].frame {
+            if let Some(frame) = self.entry(idx).frame {
                 path.push(frame);
             }
-            cur = self.nodes[idx].parent;
+            cur = self.entry(idx).parent;
         }
         path.reverse();
         path
@@ -220,7 +239,7 @@ impl<S: TaskSetOps> PrefixTree<S> {
             children: Vec::new(),
             tasks,
         });
-        self.nodes[parent].children.push(idx);
+        self.entry_mut(parent).children.push(idx);
         self.child_index.insert((parent, frame), idx);
         idx
     }
@@ -228,14 +247,15 @@ impl<S: TaskSetOps> PrefixTree<S> {
     /// Add one stack trace observed from task position `index` (a global rank for
     /// global trees, a subtree-local position for subtree trees).
     pub fn add_trace(&mut self, trace: &StackTrace, index: u64) {
-        self.nodes[0].tasks.insert(index);
-        let mut cur = self.root();
+        let root = self.root();
+        self.entry_mut(root).tasks.insert(index);
+        let mut cur = root;
         for &frame in trace.frames() {
             let next = match self.child_with_frame(cur, frame) {
                 Some(c) => c,
                 None => self.add_child(cur, frame),
             };
-            self.nodes[next].tasks.insert(index);
+            self.entry_mut(next).tasks.insert(index);
             cur = next;
         }
     }
@@ -306,14 +326,18 @@ impl<S: TaskSetOps> PrefixTree<S> {
         let mut work: Vec<(NodeIdx, NodeIdx, bool)> = vec![(self.root(), other.root(), false)];
         while let Some((sn, on, grafted)) = work.pop() {
             if !grafted {
-                self.nodes[sn]
+                self.entry_mut(sn)
                     .tasks
-                    .union_shifted(&other.nodes[on].tasks, offset);
+                    .union_shifted(&other.entry(on).tasks, offset);
             }
-            for ci in 0..other.nodes[on].children.len() {
-                let oc = other.nodes[on].children[ci];
-                let frame = other.nodes[oc]
+            // `other` is consumed, so its child lists can be taken wholesale —
+            // this also keeps the loop free of index arithmetic.
+            let other_children = std::mem::take(&mut other.entry_mut(on).children);
+            for oc in other_children {
+                let frame = other
+                    .entry(oc)
                     .frame
+                    // stat-analyzer: allow(hot-path-panic) — oc came off a parent's child list, and only the root (never anyone's child) lacks a frame
                     .expect("non-root nodes always carry a frame");
                 let matched = if grafted {
                     None
@@ -323,7 +347,8 @@ impl<S: TaskSetOps> PrefixTree<S> {
                 match matched {
                     Some(sc) => work.push((sc, oc, false)),
                     None => {
-                        let mut tasks = std::mem::replace(&mut other.nodes[oc].tasks, S::empty(0));
+                        let mut tasks =
+                            std::mem::replace(&mut other.entry_mut(oc).tasks, S::empty(0));
                         tasks.rebase(offset, new_width);
                         let sc = self.add_child_with_tasks(sn, frame, tasks);
                         work.push((sc, oc, true));
@@ -350,7 +375,7 @@ impl<S: TaskSetOps> PrefixTree<S> {
 
     /// Replace the task set of a node wholesale (used by packet deserialisation).
     pub(crate) fn replace_tasks(&mut self, node: NodeIdx, tasks: S) {
-        self.nodes[node].tasks = tasks;
+        self.entry_mut(node).tasks = tasks;
     }
 
     /// Append a node under `parent` with an empty task set (used by packet
@@ -360,12 +385,13 @@ impl<S: TaskSetOps> PrefixTree<S> {
     }
 
     /// Iterate `(node, frame, parent)` over non-root nodes in index order.
+    // stat-analyzer: allow(hot-path-panic, fn) — index 0 (the only frameless, parentless node) is skipped; every non-root node is constructed with both
     pub fn iter_nodes(&self) -> impl Iterator<Item = (NodeIdx, FrameId, NodeIdx)> + '_ {
-        (1..self.nodes.len()).map(move |i| {
+        self.nodes.iter().enumerate().skip(1).map(|(i, node)| {
             (
                 i,
-                self.nodes[i].frame.expect("non-root node has a frame"),
-                self.nodes[i].parent.expect("non-root node has a parent"),
+                node.frame.expect("non-root node has a frame"),
+                node.parent.expect("non-root node has a parent"),
             )
         })
     }
@@ -405,13 +431,17 @@ impl SubtreePrefixTree {
             "rank map must cover every position in the merged tree"
         );
         let mut out = GlobalPrefixTree::new_global(total_tasks);
-        out.nodes[0].tasks = self
+        let out_root = out.root();
+        out.entry_mut(out_root).tasks = self
             .tasks(self.root())
             .remap_to_dense(position_to_rank, total_tasks);
-        let mut work: Vec<(NodeIdx, NodeIdx)> = vec![(self.root(), 0)];
+        let mut work: Vec<(NodeIdx, NodeIdx)> = vec![(self.root(), out_root)];
         while let Some((src_node, dst_node)) = work.pop() {
             for &child in self.children(src_node) {
-                let frame = self.frame(child).expect("non-root has frame");
+                let frame = self
+                    .frame(child)
+                    // stat-analyzer: allow(hot-path-panic) — `child` came off a child list; only the root lacks a frame
+                    .expect("non-root has frame");
                 let tasks = self
                     .tasks(child)
                     .remap_to_dense(position_to_rank, total_tasks);

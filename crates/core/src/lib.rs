@@ -41,7 +41,6 @@
 //! assert_eq!(report.gather.attach_set().len(), 3);
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod daemon;

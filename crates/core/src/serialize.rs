@@ -133,24 +133,32 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
     fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
-        if self.pos + n > self.buf.len() {
-            return Err(DecodeError::Truncated { offset: self.pos });
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = DecodeError::Truncated { offset: self.pos };
+        let end = self.pos.checked_add(n).ok_or(truncated.clone())?;
+        let s = self.buf.get(self.pos..end).ok_or(truncated)?;
+        self.pos = end;
         Ok(s)
     }
+    /// A fixed-size read; the length mismatch arm is unreachable (`take(N)`
+    /// returns exactly `N` bytes) but decodes to `Truncated` rather than a panic.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        let offset = self.pos;
+        self.take(N)?
+            .try_into()
+            .map_err(|_| DecodeError::Truncated { offset })
+    }
     fn u8(&mut self) -> Result<u8, DecodeError> {
-        Ok(self.take(1)?[0])
+        let [b] = self.array()?;
+        Ok(b)
     }
     fn u16(&mut self) -> Result<u16, DecodeError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.array()?))
     }
     fn u32(&mut self) -> Result<u32, DecodeError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
     fn u64(&mut self) -> Result<u64, DecodeError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 }
 
@@ -188,6 +196,7 @@ pub fn encode_tree<S: WireTaskSet>(tree: &PrefixTree<S>, table: &FrameTable) -> 
     encode_set(&mut out, tree.tasks(tree.root()));
     for (idx, frame, parent) in tree.iter_nodes() {
         out.extend_from_slice(&(parent as u32).to_le_bytes());
+        // stat-analyzer: allow(hot-path-panic) — every frame id this loop sees was inserted by the collection pass over the same iterator above
         out.extend_from_slice(&local_of[&frame].to_le_bytes());
         encode_set(&mut out, tree.tasks(idx));
     }
@@ -266,13 +275,19 @@ pub fn decode_tree<S: WireTaskSet>(
         let node_offset = r.pos;
         let parent = r.u32()? as usize;
         let frame_local = r.u32()? as usize;
-        if parent >= idx || frame_local >= frames.len() {
+        if parent >= idx {
             return Err(DecodeError::BadIndex {
                 offset: node_offset,
             });
         }
+        let frame = frames
+            .get(frame_local)
+            .copied()
+            .ok_or(DecodeError::BadIndex {
+                offset: node_offset,
+            })?;
         let set = read_set(&mut r)?;
-        let node = tree.append_node(parent, frames[frame_local]);
+        let node = tree.append_node(parent, frame);
         tree.replace_tasks(node, set);
     }
     Ok(tree)

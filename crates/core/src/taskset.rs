@@ -109,6 +109,7 @@ impl<'a> MemberIter<'a> {
             words,
             word_idx: 0,
             current: words.first().copied().unwrap_or(0),
+            // stat-analyzer: allow(truncating-cast) — count_ones of a u64 is at most 64
             remaining: words.iter().map(|w| w.count_ones() as usize).sum(),
         }
     }
@@ -120,10 +121,7 @@ impl Iterator for MemberIter<'_> {
     fn next(&mut self) -> Option<u64> {
         while self.current == 0 {
             self.word_idx += 1;
-            if self.word_idx >= self.words.len() {
-                return None;
-            }
-            self.current = self.words[self.word_idx];
+            self.current = *self.words.get(self.word_idx)?;
         }
         let bit = self.current.trailing_zeros() as u64;
         self.current &= self.current - 1;
@@ -143,13 +141,42 @@ impl ExactSizeIterator for MemberIter<'_> {}
 // ---------------------------------------------------------------------------------
 
 fn words_for(width: u64) -> usize {
+    // stat-analyzer: allow(truncating-cast) — a domain whose words fit in memory has ≤ usize::MAX words; wider domains fail at Vec allocation, not silently
     width.div_ceil(64) as usize
+}
+
+/// Word index of a bit position.  The one audited `u64`→`usize` cast for word
+/// indexing: any position that can address an in-memory `Vec<u64>` of words
+/// satisfies `bit / 64 < words.len()`, and `words.len()` is a `usize`.
+fn word_of(bit: u64) -> usize {
+    // stat-analyzer: allow(truncating-cast) — quotient is bounded by the word vector's usize length
+    (bit / 64) as usize
+}
+
+/// Offset of a bit position within its word — always `< 64`.
+fn bit_of(bit: u64) -> u32 {
+    // stat-analyzer: allow(truncating-cast) — a remainder mod 64 fits any integer type
+    (bit % 64) as u32
+}
+
+/// Set one bit; out-of-range positions are a no-op (callers assert range first).
+fn set_bit(words: &mut [u64], index: u64) {
+    if let Some(w) = words.get_mut(word_of(index)) {
+        *w |= 1u64 << bit_of(index);
+    }
+}
+
+/// Test one bit; out-of-range positions read as unset.
+fn get_bit(words: &[u64], index: u64) -> bool {
+    words
+        .get(word_of(index))
+        .is_some_and(|w| w & (1u64 << bit_of(index)) != 0)
 }
 
 /// Zero any bits at or above `width` in the last word, so a malformed packet can
 /// never corrupt `count`/`members`.
 fn mask_stray_bits(width: u64, words: &mut [u64]) {
-    let used = (width % 64) as u32;
+    let used = bit_of(width);
     if used != 0 {
         if let Some(last) = words.last_mut() {
             *last &= (1u64 << used) - 1;
@@ -161,9 +188,10 @@ fn mask_stray_bits(width: u64, words: &mut [u64]) {
 /// Requires `dst` to be wide enough for every set bit of `src` shifted by `offset`
 /// (callers assert the domain arithmetic; `src` carries no stray bits above its
 /// width by construction).
+// stat-analyzer: allow(hot-path-panic, fn) — every caller asserts offset + src domain ≤ dst domain before calling, so word_off + src.len() ≤ dst.len()
 fn or_shifted(dst: &mut [u64], src: &[u64], offset: u64) {
-    let word_off = (offset / 64) as usize;
-    let bit_off = (offset % 64) as u32;
+    let word_off = word_of(offset);
+    let bit_off = bit_of(offset);
     if bit_off == 0 {
         for (d, &s) in dst[word_off..].iter_mut().zip(src.iter()) {
             *d |= s;
@@ -228,7 +256,7 @@ impl TaskSetOps for DenseBitVector {
             "rank {index} out of range for a {}-task job",
             self.width
         );
-        self.words[(index / 64) as usize] |= 1u64 << (index % 64);
+        set_bit(&mut self.words, index);
     }
 
     fn width(&self) -> u64 {
@@ -243,7 +271,7 @@ impl TaskSetOps for DenseBitVector {
         if index >= self.width {
             return false;
         }
-        self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
+        get_bit(&self.words, index)
     }
 
     fn iter_members(&self) -> MemberIter<'_> {
@@ -351,23 +379,32 @@ impl SubtreeTaskList {
             if word == u64::MAX {
                 // Whole word populated: check whether the map carries this block as
                 // one ascending run (a single vectorisable scan of 64 entries).
-                let seg = &position_to_rank[base as usize..base as usize + 64];
-                let start = seg[0];
-                if start + 64 <= total_tasks
-                    && seg
-                        .iter()
-                        .enumerate()
-                        .all(|(i, &rank)| rank == start + i as u64)
-                {
-                    or_shifted(&mut dense.words, std::slice::from_ref(&u64::MAX), start);
-                    continue;
+                let seg = usize::try_from(base).ok().and_then(|b| {
+                    let end = b.checked_add(64)?;
+                    position_to_rank.get(b..end)
+                });
+                if let Some((&start, seg)) = seg.and_then(|seg| seg.split_first()) {
+                    if start + 64 <= total_tasks
+                        && seg
+                            .iter()
+                            .enumerate()
+                            .all(|(i, &rank)| rank == start + 1 + i as u64)
+                    {
+                        or_shifted(&mut dense.words, std::slice::from_ref(&u64::MAX), start);
+                        continue;
+                    }
                 }
             }
             let mut w = word;
             while w != 0 {
                 let bit = w.trailing_zeros() as u64;
                 w &= w - 1;
-                dense.insert(position_to_rank[(base + bit) as usize]);
+                let rank = usize::try_from(base + bit)
+                    .ok()
+                    .and_then(|p| position_to_rank.get(p));
+                if let Some(&rank) = rank {
+                    dense.insert(rank);
+                }
             }
         }
         dense
@@ -388,7 +425,7 @@ impl TaskSetOps for SubtreeTaskList {
             "position {index} out of range for a {}-task subtree",
             self.width
         );
-        self.words[(index / 64) as usize] |= 1u64 << (index % 64);
+        set_bit(&mut self.words, index);
     }
 
     fn width(&self) -> u64 {
@@ -403,7 +440,7 @@ impl TaskSetOps for SubtreeTaskList {
         if index >= self.width {
             return false;
         }
-        self.words[(index / 64) as usize] & (1u64 << (index % 64)) != 0
+        get_bit(&self.words, index)
     }
 
     fn iter_members(&self) -> MemberIter<'_> {
@@ -443,11 +480,13 @@ impl TaskSetOps for SubtreeTaskList {
         }
         if offset.is_multiple_of(64) {
             // Word-aligned shift: move the words up in place, zero the gap.
-            let word_off = (offset / 64) as usize;
+            let word_off = word_of(offset);
             let old_len = self.words.len();
             self.words.resize(words_for(new_width), 0);
             self.words.copy_within(0..old_len, word_off);
-            self.words[..word_off.min(old_len)].fill(0);
+            if let Some(gap) = self.words.get_mut(..word_off.min(old_len)) {
+                gap.fill(0);
+            }
             self.width = new_width;
             return;
         }

@@ -21,7 +21,6 @@
 //! and indexed packing routines let the ablation benchmarks demonstrate the `strcat`
 //! pathology on real data rather than taking the paper's word for it.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bgl;

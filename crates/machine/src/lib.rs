@@ -21,7 +21,6 @@
 //! by a [`cluster::Cluster`] value.  Nothing here executes "for real": the real
 //! algorithmic work (prefix trees, task sets, filters) lives in `stat-core`.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cluster;

@@ -20,7 +20,6 @@
 //! [`interpose`] implements the redirect table for real; [`relocate`] implements the
 //! planning and the broadcast/fetch cost model.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod interpose;

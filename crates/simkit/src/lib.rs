@@ -39,7 +39,6 @@
 //! assert!(sim.now() >= SimTime::from_millis(4.0));
 //! ```
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod engine;

@@ -15,7 +15,6 @@
 //!   reproduces the paper's Section VI findings: symbol-table parsing against shared
 //!   file systems is what makes "node-local" sampling scale badly.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod frame;

@@ -32,6 +32,19 @@ use stat_core::prelude::{Representation, StatError};
 
 use crate::emulator::EmulatedJob;
 
+/// `writeln!` into a report `String`, with `fmt::Write`'s infallibility for
+/// `String` stated once here instead of a discarded `Result` at every call site.
+macro_rules! out_line {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($arg:tt)*) => {{
+        // stat-analyzer: allow(discarded-result) — fmt::Write to a String is infallible
+        let _ = $out.write_fmt(format_args!($($arg)*));
+        $out.push('\n');
+    }};
+}
+
 /// The grid a campaign sweeps.  Every axis is explicit so a surface can be
 /// reproduced cell-by-cell from the config alone.
 #[derive(Clone, Debug)]
@@ -245,7 +258,7 @@ impl StabilitySurface {
                 .unwrap_or("")
                 .replace(',', ";")
                 .replace('\n', " ");
-            let _ = writeln!(
+            out_line!(
                 out,
                 "{},{},{},{},{},{},{},{},{},{}",
                 c.scenario,
@@ -268,8 +281,8 @@ impl StabilitySurface {
     /// the check-level failure histogram.
     pub fn to_markdown(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "## Verdict-stability surface\n");
-        let _ = writeln!(
+        out_line!(out, "## Verdict-stability surface\n");
+        out_line!(
             out,
             "{} cells, pass rate {:.1}% ({} failed)\n",
             self.cells.len(),
@@ -277,21 +290,21 @@ impl StabilitySurface {
             self.cells.iter().filter(|c| !c.passed).count()
         );
         let frontier = self.first_flip_frontier();
-        let _ = writeln!(out, "### first-flip frontier\n");
+        out_line!(out, "### first-flip frontier\n");
         if frontier.is_empty() {
-            let _ = writeln!(
+            out_line!(
                 out,
                 "No flips: every scenario's verdict was stable across all swept \
                  scales, depths and overlays.\n"
             );
         } else {
-            let _ = writeln!(
+            out_line!(
                 out,
                 "| scenario | depth | degraded | first failing tasks | last passing tasks |"
             );
-            let _ = writeln!(out, "|---|---|---|---|---|");
+            out_line!(out, "|---|---|---|---|---|");
             for f in &frontier {
-                let _ = writeln!(
+                out_line!(
                     out,
                     "| {} | {} | {} | {} | {} |",
                     f.scenario,
@@ -303,19 +316,19 @@ impl StabilitySurface {
                         .unwrap_or_else(|| "never passed".into()),
                 );
             }
-            let _ = writeln!(out);
+            out_line!(out);
         }
         let histogram = self.check_failure_histogram();
-        let _ = writeln!(out, "### check-level failure histogram\n");
+        out_line!(out, "### check-level failure histogram\n");
         if histogram.is_empty() {
-            let _ = writeln!(out, "No check failures.\n");
+            out_line!(out, "No check failures.\n");
         } else {
-            let _ = writeln!(out, "| check | failures |");
-            let _ = writeln!(out, "|---|---|");
+            out_line!(out, "| check | failures |");
+            out_line!(out, "|---|---|");
             for (check, count) in &histogram {
-                let _ = writeln!(out, "| {check} | {count} |");
+                out_line!(out, "| {check} | {count} |");
             }
-            let _ = writeln!(out);
+            out_line!(out);
         }
         out
     }

@@ -27,7 +27,6 @@
 //! explored the regime *between* what they could run interactively and the full
 //! machine — exactly the regime this reproduction lives in.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod campaign;

@@ -22,7 +22,6 @@
 //!   interconnect and per-level payload size, used by the figure generators and the
 //!   planner to model configurations with millions of endpoints.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cost;

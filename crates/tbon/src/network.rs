@@ -56,6 +56,30 @@ pub enum TbonError {
         /// Filters supplied.
         filters: usize,
     },
+    /// The reduction pool's queue lock or results channel was poisoned by a
+    /// worker failure.  The walk aborts with this instead of unwrapping the
+    /// poison and taking the whole session down.
+    PoolPoisoned {
+        /// What the pool was doing when the poisoning surfaced.
+        context: &'static str,
+    },
+    /// A user filter panicked during the walk.  The panic is caught at the
+    /// invocation site and surfaced as this error so a bad filter can neither
+    /// strand the level barrier nor abort the front end.
+    FilterPanicked {
+        /// The tree node whose invocation panicked.
+        node: u32,
+        /// Index of the channel whose filter panicked.
+        channel: usize,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// An internal invariant of the level walk failed (a packet slot that must
+    /// be full was empty, or a result arrived for an unknown channel).
+    WalkInvariant {
+        /// The violated invariant.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for TbonError {
@@ -76,6 +100,20 @@ impl fmt::Display for TbonError {
                 "{channels} channels were given {filters} filters; each channel needs \
                  exactly one"
             ),
+            TbonError::PoolPoisoned { context } => {
+                write!(f, "reduction pool poisoned while {context}")
+            }
+            TbonError::FilterPanicked {
+                node,
+                channel,
+                message,
+            } => write!(
+                f,
+                "filter for channel {channel} panicked at node {node}: {message}"
+            ),
+            TbonError::WalkInvariant { context } => {
+                write!(f, "reduction walk invariant violated: {context}")
+            }
         }
     }
 }
@@ -205,7 +243,9 @@ impl InProcessTbon {
     ) -> Result<ReductionOutcome, TbonError> {
         let mut outcomes =
             self.reduce_channels(vec![ChannelInput::new("default", leaf_payloads)], &[filter])?;
-        Ok(outcomes.pop().expect("one channel in, one outcome out"))
+        outcomes.pop().ok_or(TbonError::WalkInvariant {
+            context: "one channel in, one outcome out",
+        })
     }
 
     /// Carry several tagged channels up the tree in **one** bottom-up level walk.
@@ -251,7 +291,12 @@ impl InProcessTbon {
             .map(|channel| {
                 let mut slots: Vec<Option<Packet>> = vec![None; self.topology.len()];
                 for (&backend, packet) in backends.iter().zip(channel.leaves) {
-                    slots[backend.0 as usize] = Some(packet);
+                    // Backend ids index the topology that minted them; if that
+                    // ever breaks, the walk reports the empty slot as a typed
+                    // WalkInvariant instead of panicking here.
+                    if let Some(slot) = slots.get_mut(backend.0 as usize) {
+                        *slot = Some(packet);
+                    }
                 }
                 slots
             })
@@ -274,7 +319,10 @@ impl InProcessTbon {
         // (the old per-level spawn capped the same way); a 1-worker pool degrades
         // to the sequential walk without the pool machinery.
         let levels = self.topology.levels();
-        let widest_wave = levels[..levels.len().saturating_sub(1)]
+        let widest_wave = levels
+            .split_last()
+            .map(|(_, above_leaves)| above_leaves)
+            .unwrap_or(&[])
             .iter()
             .map(|ids| {
                 ids.iter()
@@ -297,82 +345,108 @@ impl InProcessTbon {
                 let queue = (Mutex::new(PoolQueue::default()), Condvar::new());
                 std::thread::scope(|scope| {
                     let pool = WorkerPool::spawn(scope, workers, filters, &queue);
-                    self.walk_levels(&mut produced, &mut accounting, filters, &mut |items| {
-                        pool.run_level(items)
-                    });
-                });
+                    self.walk_levels(
+                        &mut produced,
+                        &mut accounting,
+                        filters.len(),
+                        &mut |items| pool.run_level(items),
+                    )
+                })?;
             }
             ExecutionMode::Sequential | ExecutionMode::LevelParallel => {
-                self.walk_levels(&mut produced, &mut accounting, filters, &mut |items| {
-                    items
-                        .into_iter()
-                        .map(|(id, channel, inputs)| {
-                            let r = Self::reduce_one(id, inputs, filters[channel]);
-                            (id, channel, r)
-                        })
-                        .collect()
-                });
+                self.walk_levels(
+                    &mut produced,
+                    &mut accounting,
+                    filters.len(),
+                    &mut |items| {
+                        items
+                            .into_iter()
+                            .map(|(id, channel, inputs)| {
+                                let filter =
+                                    *filters.get(channel).ok_or(TbonError::WalkInvariant {
+                                        context: "wave queued for a channel with no filter",
+                                    })?;
+                                let r = Self::reduce_one_caught(id, channel, inputs, filter)?;
+                                Ok((id, channel, r))
+                            })
+                            .collect()
+                    },
+                )?;
             }
         }
 
         let frontend = self.topology.frontend().0 as usize;
-        Ok(accounting
-            .into_iter()
-            .zip(labels)
-            .enumerate()
-            .map(|(channel, (acc, label))| ReductionOutcome {
+        let mut outcomes = Vec::with_capacity(accounting.len());
+        for (channel, (acc, label)) in accounting.into_iter().zip(labels).enumerate() {
+            let result = produced
+                .get_mut(channel)
+                .and_then(|slots| slots.get_mut(frontend))
+                .and_then(|slot| slot.take())
+                .ok_or(TbonError::WalkInvariant {
+                    context: "front end must have produced a result for every channel",
+                })?;
+            outcomes.push(ReductionOutcome {
                 channel: label,
-                result: produced[channel][frontend]
-                    .take()
-                    .expect("front end must have produced a result"),
+                result,
                 filter_time: acc.filter_wall,
                 filter_invocations: acc.filter_invocations,
                 frontend_bytes_in: acc.frontend_bytes_in,
                 max_node_bytes_in: acc.max_node_bytes_in,
                 total_link_bytes: acc.total_link_bytes,
-            })
-            .collect())
+            });
+        }
+        Ok(outcomes)
     }
 
     /// The bottom-up level walk shared by both execution modes: build each level's
     /// owned input waves, hand them to `dispatch`, and absorb the results into the
     /// slot table and the per-channel accounting before moving up a level.
+    ///
+    /// Any failure — a poisoned pool, a panicking filter, an empty slot that must
+    /// be full — aborts the walk with a typed error instead of panicking.
     fn walk_levels(
         &self,
         produced: &mut [Vec<Option<Packet>>],
         accounting: &mut [ChannelAccounting],
-        filters: &[&dyn Filter],
-        dispatch: &mut dyn FnMut(Vec<InputWave>) -> Vec<(EndpointId, usize, NodeChannelResult)>,
-    ) {
+        channels: usize,
+        dispatch: &mut dyn FnMut(Vec<InputWave>) -> Result<BatchResults, TbonError>,
+    ) -> Result<(), TbonError> {
         let levels = self.topology.levels();
         for level in (0..levels.len().saturating_sub(1)).rev() {
-            let node_ids: Vec<EndpointId> = levels[level]
+            let node_ids: Vec<EndpointId> = levels
+                .get(level)
+                .map(|ids| ids.as_slice())
+                .unwrap_or(&[])
                 .iter()
                 .copied()
                 .filter(|&id| self.topology.node(id).role != TreeNodeRole::BackEnd)
                 .collect();
             // Node-major order: every channel fires at a node before the next node.
-            let items: Vec<InputWave> = node_ids
-                .iter()
-                .flat_map(|&id| (0..filters.len()).map(move |channel| (id, channel)))
-                .map(|(id, channel)| {
-                    let inputs: Vec<Packet> = self
-                        .topology
-                        .node(id)
-                        .children
-                        .iter()
-                        .map(|&c| {
-                            produced[channel][c.0 as usize]
-                                .take()
-                                .expect("child must have produced a packet before its parent runs")
-                        })
-                        .collect();
-                    (id, channel, inputs)
-                })
-                .collect();
+            let mut items: Vec<InputWave> = Vec::with_capacity(node_ids.len() * channels);
+            for &id in &node_ids {
+                for channel in 0..channels {
+                    let kids = &self.topology.node(id).children;
+                    let mut inputs: Vec<Packet> = Vec::with_capacity(kids.len());
+                    for &c in kids {
+                        let packet = produced
+                            .get_mut(channel)
+                            .and_then(|slots| slots.get_mut(c.0 as usize))
+                            .and_then(|slot| slot.take())
+                            .ok_or(TbonError::WalkInvariant {
+                                context: "child must have produced a packet before its parent runs",
+                            })?;
+                        inputs.push(packet);
+                    }
+                    items.push((id, channel, inputs));
+                }
+            }
 
-            for (id, channel, (packet, bytes_in, wall)) in dispatch(items) {
-                let acc = &mut accounting[channel];
+            for (id, channel, (packet, bytes_in, wall)) in dispatch(items)? {
+                let acc = accounting
+                    .get_mut(channel)
+                    .ok_or(TbonError::WalkInvariant {
+                        context: "result arrived for a channel with no accounting",
+                    })?;
                 acc.filter_invocations += 1;
                 acc.max_node_bytes_in = acc.max_node_bytes_in.max(bytes_in);
                 acc.total_link_bytes += bytes_in;
@@ -380,9 +454,16 @@ impl InProcessTbon {
                 if id == self.topology.frontend() {
                     acc.frontend_bytes_in = bytes_in;
                 }
-                produced[channel][id.0 as usize] = Some(packet);
+                let slot = produced
+                    .get_mut(channel)
+                    .and_then(|slots| slots.get_mut(id.0 as usize))
+                    .ok_or(TbonError::WalkInvariant {
+                        context: "result arrived for a node outside the topology",
+                    })?;
+                *slot = Some(packet);
             }
         }
+        Ok(())
     }
 
     /// Run one channel's filter at one node over its owned input wave.
@@ -392,14 +473,45 @@ impl InProcessTbon {
         let packet = filter.reduce(id, &inputs);
         (packet, bytes_in, start.elapsed())
     }
+
+    /// [`Self::reduce_one`] with the filter invocation fenced by `catch_unwind`:
+    /// a panicking user filter becomes [`TbonError::FilterPanicked`] instead of
+    /// unwinding through the walk (or a pooled worker).
+    fn reduce_one_caught(
+        id: EndpointId,
+        channel: usize,
+        inputs: Vec<Packet>,
+        filter: &dyn Filter,
+    ) -> Result<NodeChannelResult, TbonError> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Self::reduce_one(id, inputs, filter)
+        }))
+        .map_err(|payload| TbonError::FilterPanicked {
+            node: id.0,
+            channel,
+            message: panic_message(payload.as_ref()),
+        })
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A batch of node×channel waves queued for the pool, and what comes back.
 type WaveBatch = Vec<InputWave>;
 type BatchResults = Vec<(EndpointId, usize, NodeChannelResult)>;
-/// A batch outcome: the results, or the payload of a panicking filter (re-raised on
-/// the caller's thread so a bad filter cannot strand the level barrier).
-type BatchOutcome = Result<BatchResults, Box<dyn std::any::Any + Send>>;
+/// A batch outcome: the results, or the typed error of the first wave that failed
+/// (a panicking filter is caught in the worker and converted, so a bad filter can
+/// neither strand the level barrier nor abort the process).
+type BatchOutcome = Result<BatchResults, TbonError>;
 
 /// The queue the pool's workers pull from.
 #[derive(Default)]
@@ -442,7 +554,11 @@ impl<'scope> WorkerPool<'scope> {
                 let (lock, available) = queue;
                 loop {
                     let batch = {
-                        let mut q = lock.lock().expect("reduction pool queue poisoned");
+                        // A poisoned queue means another thread already failed;
+                        // this worker just leaves — the caller observes the
+                        // failure as PoolPoisoned when the level's results stop
+                        // arriving, instead of a second panic here.
+                        let Ok(mut q) = lock.lock() else { return };
                         loop {
                             if let Some(batch) = q.batches.pop_front() {
                                 break batch;
@@ -450,22 +566,25 @@ impl<'scope> WorkerPool<'scope> {
                             if q.shutdown {
                                 return;
                             }
-                            q = available.wait(q).expect("reduction pool queue poisoned");
+                            let Ok(woken) = available.wait(q) else { return };
+                            q = woken;
                         }
                     };
-                    // A panicking filter must not strand the caller at the level
-                    // barrier: catch it and ship the payload back so `run_level`
-                    // can resume the unwind on the caller's thread — the behaviour
-                    // the old per-level spawn/join had.
-                    let results = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        batch
-                            .into_iter()
-                            .map(|(id, channel, inputs)| {
-                                let r = InProcessTbon::reduce_one(id, inputs, filters[channel]);
-                                (id, channel, r)
-                            })
-                            .collect::<BatchResults>()
-                    }));
+                    // Each wave's filter invocation is fenced by catch_unwind in
+                    // reduce_one_caught: a panicking filter becomes a typed
+                    // FilterPanicked error shipped back through the results
+                    // channel, so the caller at the level barrier always hears
+                    // the outcome.
+                    let results: BatchOutcome = batch
+                        .into_iter()
+                        .map(|(id, channel, inputs)| {
+                            let filter = *filters.get(channel).ok_or(TbonError::WalkInvariant {
+                                context: "wave queued for a channel with no filter",
+                            })?;
+                            let r = InProcessTbon::reduce_one_caught(id, channel, inputs, filter)?;
+                            Ok((id, channel, r))
+                        })
+                        .collect();
                     if tx.send(results).is_err() {
                         return;
                     }
@@ -481,16 +600,22 @@ impl<'scope> WorkerPool<'scope> {
 
     /// Reduce one level's waves on the pool and wait for all of them — the
     /// per-level barrier of the bottom-up walk.
-    fn run_level(&self, items: Vec<InputWave>) -> BatchResults {
+    ///
+    /// A failed wave (panicking filter, poisoned queue) surfaces as the typed
+    /// error of the first failure; the remaining batches are still drained so no
+    /// worker is left blocked on a channel nobody reads.
+    fn run_level(&self, items: Vec<InputWave>) -> Result<BatchResults, TbonError> {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         // A few batches per worker balances load without flooding the queue.
         let batch_size = items.len().div_ceil(self.workers * 4).max(1);
         let mut pending = 0usize;
         {
             let (lock, available) = self.queue;
-            let mut q = lock.lock().expect("reduction pool queue poisoned");
+            let mut q = lock.lock().map_err(|_| TbonError::PoolPoisoned {
+                context: "enqueueing a level's waves",
+            })?;
             let mut items = items.into_iter();
             loop {
                 let batch: WaveBatch = items.by_ref().take(batch_size).collect();
@@ -504,31 +629,44 @@ impl<'scope> WorkerPool<'scope> {
             available.notify_all();
         }
         let mut out: BatchResults = Vec::new();
+        let mut first_err: Option<TbonError> = None;
         for _ in 0..pending {
-            match self
-                .results
-                .recv()
-                .expect("a reduction worker disappeared mid-level")
-            {
-                Ok(results) => out.extend(results),
-                Err(payload) => {
-                    // Unpark the surviving workers so the scope can join them,
-                    // then re-raise the filter's panic on the caller's thread.
-                    let (lock, available) = self.queue;
-                    lock.lock().expect("reduction pool queue poisoned").shutdown = true;
-                    available.notify_all();
-                    std::panic::resume_unwind(payload);
+            match self.results.recv() {
+                Ok(Ok(results)) => out.extend(results),
+                Ok(Err(err)) => {
+                    // Keep draining: the other batches are still in flight and
+                    // their workers must not block on an abandoned channel.
+                    first_err.get_or_insert(err);
+                }
+                Err(_) => {
+                    // Every worker hung up mid-level: a thread died outside the
+                    // catch_unwind fence (or the queue poisoned under it).
+                    first_err.get_or_insert(TbonError::PoolPoisoned {
+                        context: "waiting for a level's results",
+                    });
+                    break;
                 }
             }
         }
-        out
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
     }
 }
 
 impl Drop for WorkerPool<'_> {
     fn drop(&mut self) {
         let (lock, available) = self.queue;
-        lock.lock().expect("reduction pool queue poisoned").shutdown = true;
+        // Never panic in Drop: a poisoned queue still carries a usable shutdown
+        // flag, so strip the poison and set it — the workers must be released
+        // for the enclosing thread::scope to join them.
+        let mut q = match lock.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.shutdown = true;
+        drop(q);
         available.notify_all();
     }
 }
@@ -763,32 +901,74 @@ mod tests {
         assert!(!threads.contains(&std::thread::current().id()));
     }
 
-    #[test]
-    fn a_panicking_filter_propagates_instead_of_stranding_the_walk() {
-        // A filter that dies on a malformed wave must re-raise on the caller's
-        // thread (as the old per-level spawn/join did), not leave reduce_channels
-        // blocked forever at the level barrier.  Forcing 4 workers exercises the
-        // pooled path even on a single-CPU host.
-        struct PanickingFilter;
-        impl Filter for PanickingFilter {
-            fn reduce(&self, _node: EndpointId, _inputs: &[Packet]) -> Packet {
-                panic!("malformed wave");
-            }
+    /// A filter that panics at every invocation.
+    struct PanickingFilter;
+    impl Filter for PanickingFilter {
+        fn reduce(&self, _node: EndpointId, _inputs: &[Packet]) -> Packet {
+            panic!("malformed wave");
         }
+    }
+
+    #[test]
+    fn a_panicking_filter_surfaces_as_a_typed_error_from_the_pool() {
+        // A filter that dies on a malformed wave must surface as Err from
+        // reduce_channels — not strand the level barrier in a deadlock, and not
+        // abort the front end by unwinding through it.  Forcing 4 workers
+        // exercises the pooled path even on a single-CPU host.
         let net = InProcessTbon::new(Topology::build(TreeShape::two_deep(16, 4))).with_workers(4);
         let leaves = leaf_packets(net.topology(), |i| i as u64);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            net.reduce(leaves, &PanickingFilter)
-        }));
-        let payload = outcome.expect_err("the filter panic must propagate");
-        assert_eq!(
-            payload.downcast_ref::<&str>().copied(),
-            Some("malformed wave")
-        );
-        // The network object is still usable afterwards.
+        let err = net
+            .reduce(leaves, &PanickingFilter)
+            .expect_err("the filter panic must surface as an error");
+        match &err {
+            TbonError::FilterPanicked {
+                channel, message, ..
+            } => {
+                assert_eq!(*channel, 0);
+                assert!(message.contains("malformed wave"), "{message}");
+            }
+            other => panic!("expected FilterPanicked, got {other:?}"),
+        }
+        assert!(err.to_string().contains("panicked at node"));
+        // The network object is still usable afterwards: the pool shut down
+        // cleanly and a fresh walk spawns a fresh pool.
         let leaves = leaf_packets(net.topology(), |i| i as u64);
         let out = net.reduce(leaves, &SumFilter).unwrap();
         assert_eq!(SumFilter::decode(&out.result), (0..16).sum::<u64>());
+    }
+
+    #[test]
+    fn a_panicking_filter_surfaces_as_a_typed_error_sequentially() {
+        // Sequential mode takes the non-pooled dispatch path; it must report the
+        // same typed error, keeping the two modes behaviourally identical.
+        let net = InProcessTbon::new(Topology::build(TreeShape::flat(4)))
+            .with_mode(ExecutionMode::Sequential);
+        let leaves = leaf_packets(net.topology(), |i| i as u64);
+        let err = net.reduce(leaves, &PanickingFilter).unwrap_err();
+        assert!(matches!(err, TbonError::FilterPanicked { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn one_bad_channel_does_not_take_down_its_siblings_diagnosis() {
+        // Multi-channel walk where one channel's filter panics: the error names
+        // the offending channel index, which at 208K cores is the difference
+        // between "the tool crashed" and "channel 1's filter is broken".
+        let net = InProcessTbon::new(Topology::build(TreeShape::two_deep(16, 4))).with_workers(2);
+        let good = leaf_packets(net.topology(), |i| i as u64);
+        let bad = leaf_packets(net.topology(), |i| i as u64);
+        let err = net
+            .reduce_channels(
+                vec![
+                    ChannelInput::new("good", good),
+                    ChannelInput::new("bad", bad),
+                ],
+                &[&SumFilter, &PanickingFilter],
+            )
+            .unwrap_err();
+        match err {
+            TbonError::FilterPanicked { channel, .. } => assert_eq!(channel, 1),
+            other => panic!("expected FilterPanicked, got {other:?}"),
+        }
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! * [`machine`] — the Atlas and BlueGene/L machine models;
 //! * [`simkit`] — the deterministic discrete-event simulation engine underneath.
 
-#![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub use appsim;
