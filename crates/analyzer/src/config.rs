@@ -34,6 +34,8 @@ impl Config {
                 "crates/core/src/graph.rs",
                 "crates/core/src/taskset.rs",
                 "crates/core/src/serialize.rs",
+                "crates/tbon/src/delta.rs",
+                "crates/core/src/streaming.rs",
             ]),
             word_math_modules: s(&["crates/core/src/taskset.rs", "crates/core/src/graph.rs"]),
             result_methods: s(&[

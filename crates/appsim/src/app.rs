@@ -53,12 +53,29 @@ pub fn gather_samples_for_ranks(
     samples: u32,
     table: &mut FrameTable,
 ) -> Vec<TaskSamples> {
+    gather_samples_for_ranks_from(app, ranks, 0, samples, table)
+}
+
+/// [`gather_samples_for_ranks`] starting at sample index `base` instead of 0.
+///
+/// Streaming sessions advance the sample clock across waves: wave `w` of a
+/// session taking `samples` traces per wave observes sample indices
+/// `base = w * samples` onward, so a time-varying application (a straggler
+/// drifting, a hang developing) shows each wave a *later* slice of its
+/// behaviour rather than replaying sample 0 forever.
+pub fn gather_samples_for_ranks_from(
+    app: &dyn Application,
+    ranks: &[u64],
+    base: u32,
+    samples: u32,
+    table: &mut FrameTable,
+) -> Vec<TaskSamples> {
     let mut walker = Walker::new();
     ranks
         .iter()
         .map(|&rank| {
             let mut traces = Vec::with_capacity(samples as usize * app.threads_per_task() as usize);
-            for sample in 0..samples {
+            for sample in base..base.saturating_add(samples) {
                 for thread in 0..app.threads_per_task() {
                     let path = app.call_path(rank, thread, sample);
                     let path_refs: Vec<&str> = path.to_vec();

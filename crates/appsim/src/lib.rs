@@ -18,6 +18,10 @@
 //!   injected-fault description, a machine-checkable [`scenario::GroundTruth`] and
 //!   a [`scenario::Verdict`] checker, so the test suite can assert that the tool
 //!   *diagnoses* each fault instead of merely merging trees.
+//! * [`streaming`] — wave-emitting sources for continuous sessions: a
+//!   [`streaming::WaveSource`] hands out per-wave behaviour, and a
+//!   [`streaming::FaultSchedule`] makes any catalogue fault first appear at
+//!   wave *k*, so a hang can be watched *developing* mid-stream.
 //! * [`app`] — the [`app::Application`] trait they all implement, plus helpers to
 //!   gather [`stackwalk::TaskSamples`] from any application via the real walker.
 //! * [`vocab`] — the frame vocabularies (Linux/Atlas vs. BG/L) so that traces look
@@ -29,16 +33,20 @@ pub mod app;
 pub mod progress;
 pub mod ring;
 pub mod scenario;
+pub mod streaming;
 pub mod vocab;
 pub mod workloads;
 
-pub use app::{gather_samples, gather_samples_for_ranks, Application};
+pub use app::{
+    gather_samples, gather_samples_for_ranks, gather_samples_for_ranks_from, Application,
+};
 pub use progress::{CheckpointStormApp, IterativeSolverApp, StragglerApp};
 pub use ring::RingHangApp;
 pub use scenario::{
     catalogue, randomized_scenarios, Diagnosis, FaultScenario, GroundTruth, MidTreeCorruption,
     MidTreeFault, OverlayFault, Verdict,
 };
+pub use streaming::{healthy_truth, FaultSchedule, SteadySource, WaveSource};
 pub use vocab::FrameVocabulary;
 pub use workloads::{
     AllEquivalentApp, CollectiveMismatchApp, ComputeSpreadApp, CorruptedStackApp, DeadlockPairApp,

@@ -65,6 +65,8 @@ fn main() {
         include_catalogue: true,
         catalogue_filter: None,
         representation: Representation::HierarchicalTaskList,
+        latency_waves: 4,
+        latency_fault_wave: 2,
     };
     let surface = run_campaign(&config);
 

@@ -367,6 +367,148 @@ impl<S: TaskSetOps> PrefixTree<S> {
         self.merge(other.clone());
     }
 
+    /// Union another tree into this one **over the same domain** — no domain
+    /// concatenation for either representation.  Matched edge labels union at
+    /// offset zero and unmatched subtrees move their task sets across.
+    ///
+    /// This is the fold step of the streaming delta path: a wave tree or a
+    /// [`PrefixTree::delta_from`] delta describes the *same* task positions as the
+    /// accumulated tree it folds into (a daemon's own local domain, or one tree
+    /// node's already-concatenated subtree domain), so the hierarchical
+    /// representation must not widen here the way [`PrefixTree::merge`] does.
+    pub fn merge_aligned(&mut self, mut other: PrefixTree<S>) {
+        assert_eq!(
+            self.concatenating, other.concatenating,
+            "cannot merge trees with different representations"
+        );
+        assert_eq!(
+            self.width, other.width,
+            "aligned merge requires one shared task domain"
+        );
+        let mut work: Vec<(NodeIdx, NodeIdx, bool)> = vec![(self.root(), other.root(), false)];
+        while let Some((sn, on, grafted)) = work.pop() {
+            if !grafted {
+                self.entry_mut(sn)
+                    .tasks
+                    .union_shifted(&other.entry(on).tasks, 0);
+            }
+            let other_children = std::mem::take(&mut other.entry_mut(on).children);
+            for oc in other_children {
+                // Only the root (never anyone's child) lacks a frame; a frameless
+                // child would be malformed input, and skipping it is the
+                // panic-free response on this hot path.
+                let Some(frame) = other.entry(oc).frame else {
+                    continue;
+                };
+                let matched = if grafted {
+                    None
+                } else {
+                    self.child_with_frame(sn, frame)
+                };
+                match matched {
+                    Some(sc) => work.push((sc, oc, false)),
+                    None => {
+                        let tasks = std::mem::replace(&mut other.entry_mut(oc).tasks, S::empty(0));
+                        let sc = self.add_child_with_tasks(sn, frame, tasks);
+                        work.push((sc, oc, true));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The tree of members `self` adds over `prev`: every node of `self` is
+    /// matched against `prev` by path, and the delta keeps exactly the nodes
+    /// whose task sets carry members absent from the matched node (plus nodes
+    /// with no match at all, and the ancestors needed to reach them), labelled
+    /// with only those **new** members.
+    ///
+    /// Applying the result to `prev` with [`PrefixTree::merge_aligned`]
+    /// reconstructs `prev ∪ self` — the streaming invariant the daemons rely on
+    /// when they ship one delta per wave instead of the whole accumulated tree.
+    /// A fully quiescent wave (`self ⊆ prev`) deltas to a lone empty root.
+    pub fn delta_from(&self, prev: &PrefixTree<S>) -> PrefixTree<S> {
+        assert_eq!(
+            self.concatenating, prev.concatenating,
+            "cannot delta trees with different representations"
+        );
+        assert_eq!(
+            self.width, prev.width,
+            "delta requires one shared task domain"
+        );
+        let n = self.nodes.len();
+
+        // Pass 1, index order (parents precede children by construction): match
+        // each node of `self` to its path-equivalent in `prev` and compute the
+        // members it adds.
+        let mut matched: Vec<Option<NodeIdx>> = Vec::with_capacity(n);
+        let mut new_bits: Vec<S> = Vec::with_capacity(n);
+        for (i, node) in self.nodes.iter().enumerate() {
+            let prev_node = if i == 0 {
+                Some(prev.root())
+            } else {
+                node.parent
+                    .and_then(|p| matched.get(p).copied().flatten())
+                    .and_then(|pp| node.frame.and_then(|f| prev.child_with_frame(pp, f)))
+            };
+            let mut bits = node.tasks.clone();
+            if let Some(pn) = prev_node {
+                bits.subtract(prev.tasks(pn));
+            }
+            matched.push(prev_node);
+            new_bits.push(bits);
+        }
+
+        // Pass 2, reverse index order (children before parents): a node is kept
+        // when it adds members, has no match in `prev` (new structure), or must
+        // stay as scaffold above a kept descendant.
+        let mut include: Vec<bool> = new_bits
+            .iter()
+            .zip(matched.iter())
+            .map(|(bits, m)| !bits.is_empty_set() || m.is_none())
+            .collect();
+        for i in (1..n).rev() {
+            if include.get(i).copied().unwrap_or(false) {
+                if let Some(parent) = self.nodes.get(i).and_then(|node| node.parent) {
+                    if let Some(slot) = include.get_mut(parent) {
+                        *slot = true;
+                    }
+                }
+            }
+        }
+
+        // Pass 3, index order again: build the delta tree (parents first, so the
+        // parent's delta index always exists before its children need it).
+        let mut out = PrefixTree::new(self.width, self.concatenating);
+        let mut out_idx: Vec<Option<NodeIdx>> = Vec::with_capacity(n);
+        for (i, ((bits, &kept), node)) in new_bits
+            .into_iter()
+            .zip(include.iter())
+            .zip(self.nodes.iter())
+            .enumerate()
+        {
+            if i == 0 {
+                let root = out.root();
+                out.entry_mut(root).tasks = bits;
+                out_idx.push(Some(root));
+                continue;
+            }
+            if !kept {
+                out_idx.push(None);
+                continue;
+            }
+            let parent = node.parent.and_then(|p| out_idx.get(p).copied().flatten());
+            let placed = match (parent, node.frame) {
+                (Some(op), Some(frame)) => Some(out.add_child_with_tasks(op, frame, bits)),
+                // Unreachable for a well-formed arena (ancestors of kept nodes
+                // are kept); dropping the node is the panic-free fallback.
+                _ => None,
+            };
+            out_idx.push(placed);
+        }
+        out
+    }
+
     /// Total bytes of task-set labels a serialised copy of this tree carries — the
     /// quantity that differs so dramatically between the two representations.
     pub fn label_bytes(&self) -> u64 {
@@ -588,6 +730,107 @@ mod tests {
             .unwrap();
         // positions: d0 task0 = 0, d1 tasks = 2, 3
         assert_eq!(merged.tasks(barrier_leaf).members(), vec![0, 2, 3]);
+    }
+
+    /// Canonical content view: every node's interned path plus its members,
+    /// sorted, so trees built in different orders compare structurally.
+    fn shape_of<S: TaskSetOps>(tree: &PrefixTree<S>) -> Vec<(Vec<FrameId>, Vec<u64>)> {
+        let mut shape: Vec<(Vec<FrameId>, Vec<u64>)> = (0..tree.node_count())
+            .map(|node| (tree.path_to(node), tree.tasks(node).members()))
+            .collect();
+        shape.sort();
+        shape
+    }
+
+    #[test]
+    fn aligned_merge_unions_without_widening() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let stall = trace(&mut table, &["_start", "main", "do_SendOrStall"]);
+
+        // Dense: two wave views of the same 16-task job.
+        let mut acc = GlobalPrefixTree::new_global(16);
+        for rank in 0..8 {
+            acc.add_trace(&barrier, rank);
+        }
+        let mut wave = GlobalPrefixTree::new_global(16);
+        for rank in 6..16 {
+            wave.add_trace(if rank == 9 { &stall } else { &barrier }, rank);
+        }
+        acc.merge_aligned(wave);
+        assert_eq!(acc.width(), 16, "aligned merge must not widen the domain");
+        assert_eq!(acc.tasks(acc.root()).count(), 16);
+        assert_eq!(acc.leaves().len(), 2);
+
+        // Hierarchical: same-domain union (a daemon folding wave trees locally).
+        let mut sub_acc = SubtreePrefixTree::new_subtree(4);
+        sub_acc.add_trace(&barrier, 0);
+        let mut sub_wave = SubtreePrefixTree::new_subtree(4);
+        sub_wave.add_trace(&barrier, 1);
+        sub_wave.add_trace(&stall, 3);
+        sub_acc.merge_aligned(sub_wave);
+        assert_eq!(sub_acc.width(), 4);
+        assert_eq!(sub_acc.tasks(sub_acc.root()).members(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn delta_applied_to_previous_reconstructs_the_union() {
+        let mut table = FrameTable::new();
+        let prev = ring_like_global(&mut table, 32);
+        // The next wave keeps the old branches for some ranks and sends rank 7
+        // somewhere new.
+        let compute = trace(&mut table, &["_start", "main", "compute_interior"]);
+        let mut wave = ring_like_global(&mut table, 32);
+        wave.add_trace(&compute, 7);
+
+        let delta = wave.delta_from(&prev);
+        // Only the new chain (plus scaffold ancestors) rides the wire: the delta
+        // is strictly smaller than the wave tree it summarises.
+        assert!(delta.node_count() < wave.node_count());
+        assert_eq!(delta.width(), 32);
+
+        let mut expected = prev.clone();
+        expected.merge_ref(&wave);
+        let mut folded = prev.clone();
+        folded.merge_aligned(delta);
+        assert_eq!(shape_of(&folded), shape_of(&expected));
+    }
+
+    #[test]
+    fn quiescent_wave_deltas_to_a_lone_empty_root() {
+        let mut table = FrameTable::new();
+        let prev = ring_like_global(&mut table, 64);
+        let delta = prev.delta_from(&prev);
+        assert_eq!(delta.node_count(), 1);
+        assert!(delta.tasks(delta.root()).is_empty_set());
+
+        let mut folded = prev.clone();
+        folded.merge_aligned(delta);
+        assert_eq!(shape_of(&folded), shape_of(&prev));
+    }
+
+    #[test]
+    fn subtree_delta_round_trips_over_a_fixed_domain() {
+        let mut table = FrameTable::new();
+        let barrier = trace(&mut table, &["_start", "main", "MPI_Barrier"]);
+        let stall = trace(&mut table, &["_start", "main", "do_SendOrStall"]);
+
+        let mut prev = SubtreePrefixTree::new_subtree(8);
+        for pos in 0..6 {
+            prev.add_trace(&barrier, pos);
+        }
+        let mut wave = SubtreePrefixTree::new_subtree(8);
+        for pos in 0..8 {
+            wave.add_trace(if pos == 2 { &stall } else { &barrier }, pos);
+        }
+
+        let delta = wave.delta_from(&prev);
+        let mut expected = prev.clone();
+        expected.merge_aligned(wave);
+        let mut folded = prev;
+        folded.merge_aligned(delta);
+        assert_eq!(shape_of(&folded), shape_of(&expected));
+        assert_eq!(folded.width(), 8);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod scenario;
 pub mod serialize;
 pub mod session;
 pub mod strategy;
+pub mod streaming;
 pub mod taskset;
 pub mod threads;
 
@@ -80,6 +81,7 @@ pub mod prelude {
         MergeEstimate, PhaseEstimator, PhaseTimings, Session, SessionBuilder, SessionReport,
     };
     pub use crate::strategy::{MergedTrees, RepresentationStrategy};
+    pub use crate::streaming::{CanonicalTree, StreamingBuilder, StreamingSession, WaveReport};
     pub use crate::taskset::{
         format_rank_ranges, DenseBitVector, MemberIter, SubtreeTaskList, TaskSetOps,
     };

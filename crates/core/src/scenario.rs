@@ -228,7 +228,10 @@ pub fn run_scenario_in(
 /// `BackendFromEnd(7)` on a 4-daemon tree indistinguishable from
 /// `BackendFromEnd(3)`, so a campaign sweeping fault indices across scales
 /// would quietly re-run the same fault.
-fn resolve_fault(topology: &Topology, fault: OverlayFault) -> Result<EndpointId, StatError> {
+pub(crate) fn resolve_fault(
+    topology: &Topology,
+    fault: OverlayFault,
+) -> Result<EndpointId, StatError> {
     match fault {
         OverlayFault::BackendFromEnd(i) => {
             let backends = topology.backends();

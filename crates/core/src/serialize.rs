@@ -293,6 +293,27 @@ pub fn decode_tree<S: WireTaskSet>(
     Ok(tree)
 }
 
+/// The exact size in bytes [`encode_tree`] would produce, without building the
+/// buffer.
+///
+/// The streaming path uses this to report, per wave, what a *full* tree packet
+/// would have cost next to the delta actually shipped — pricing both sides of
+/// the comparison with the same wire format.  O(nodes) plus one pass over the
+/// referenced frame names.
+pub fn encoded_tree_size<S: WireTaskSet>(tree: &PrefixTree<S>, table: &FrameTable) -> usize {
+    let mut seen: std::collections::HashSet<FrameId> = std::collections::HashSet::new();
+    let mut frame_bytes = 0usize;
+    for (_, frame, _) in tree.iter_nodes() {
+        if seen.insert(frame) {
+            frame_bytes += 2 + table.name(frame).len();
+        }
+    }
+    let words_per_set = tree.width().div_ceil(64) as usize;
+    // magic + tag + width + nframes, the name records, nnodes, then per node:
+    // parent u32 + frame u32 + the bitmap words.
+    4 + 1 + 8 + 4 + frame_bytes + 4 + tree.node_count() * (8 + words_per_set * 8)
+}
+
 /// Encode a daemon-order rank map (the RankMap packets that let the front end remap).
 pub fn encode_rank_map(ranks: &[u64]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + ranks.len() * 8);
@@ -467,6 +488,33 @@ mod tests {
         assert!(
             dense_bytes > 20 * subtree_bytes,
             "dense {dense_bytes} vs subtree {subtree_bytes}"
+        );
+    }
+
+    #[test]
+    fn encoded_size_helper_matches_the_encoder_exactly() {
+        let mut table = FrameTable::new();
+        let tree = sample_global(&mut table);
+        assert_eq!(
+            encoded_tree_size(&tree, &table),
+            encode_tree(&tree, &table).len()
+        );
+
+        let barrier = StackTrace::new(table.intern_path(&["_start", "main", "MPI_Barrier"]));
+        let mut subtree = SubtreePrefixTree::new_subtree(200);
+        for pos in 0..200 {
+            subtree.add_trace(&barrier, pos);
+        }
+        assert_eq!(
+            encoded_tree_size(&subtree, &table),
+            encode_tree(&subtree, &table).len()
+        );
+
+        // Degenerate root-only tree (a quiescent wave's delta).
+        let empty = GlobalPrefixTree::new_global(64);
+        assert_eq!(
+            encoded_tree_size(&empty, &table),
+            encode_tree(&empty, &table).len()
         );
     }
 

@@ -77,6 +77,11 @@ pub struct SessionReport {
     pub traces_gathered: u64,
     /// Per-phase wall-clock breakdown.
     pub phases: PhaseTimings,
+    /// Total bytes that entered the TBON at the leaves: every daemon's serialised
+    /// 2D and 3D trees plus — for representations that ship one — its rank-map
+    /// packet.  This is the per-gather ingress volume streaming sessions compare
+    /// their per-wave deltas against.
+    pub packet_bytes: u64,
     /// Largest serialised contribution (2D + 3D trees) any single daemon produced.
     pub max_daemon_packet_bytes: u64,
     /// Mean serialised contribution (2D + 3D trees) across daemons.
@@ -157,6 +162,15 @@ impl SessionBuilder {
     pub fn filter_faults(mut self, faults: Vec<FilterFault>) -> Self {
         self.filter_faults = faults;
         self
+    }
+
+    /// Turn this configuration into a *streaming* session builder: instead of one
+    /// attach-and-exit gather, the session will sample in waves of
+    /// `samples_per_wave` traces per task, ship per-wave deltas through the
+    /// overlay and maintain a rolling job-wide merge.  See
+    /// [`crate::streaming::StreamingSession`].
+    pub fn streaming(self, samples_per_wave: u32) -> crate::streaming::StreamingBuilder {
+        crate::streaming::StreamingBuilder::new(self.samples_per_task(samples_per_wave).build())
     }
 
     /// Finish the builder.
@@ -263,16 +277,25 @@ impl Session {
         let traces_gathered = contributions.iter().map(|c| c.traces_gathered).sum();
         let sample: Duration = contributions.iter().map(|c| c.sample_wall).sum();
         let local_merge: Duration = contributions.iter().map(|c| c.local_merge_wall).sum();
-        let packet_bytes: Vec<u64> = contributions
+        let per_daemon_bytes: Vec<u64> = contributions
             .iter()
             .map(|c| (c.tree_2d.size_bytes() + c.tree_3d.size_bytes()) as u64)
             .collect();
-        let max_daemon_packet_bytes = packet_bytes.iter().copied().max().unwrap_or(0);
-        let mean_daemon_packet_bytes = if packet_bytes.is_empty() {
+        let max_daemon_packet_bytes = per_daemon_bytes.iter().copied().max().unwrap_or(0);
+        let mean_daemon_packet_bytes = if per_daemon_bytes.is_empty() {
             0
         } else {
-            packet_bytes.iter().sum::<u64>() / packet_bytes.len() as u64
+            per_daemon_bytes.iter().sum::<u64>() / per_daemon_bytes.len() as u64
         };
+        let rank_map_bytes: u64 = if strategy.needs_rank_map() {
+            contributions
+                .iter()
+                .map(|c| c.rank_map.size_bytes() as u64)
+                .sum()
+        } else {
+            0
+        };
+        let packet_bytes = per_daemon_bytes.iter().sum::<u64>() + rank_map_bytes;
 
         let (gather, mut phases) = self.merge_through(&topology, contributions, tasks)?;
         phases.sample = sample;
@@ -284,6 +307,7 @@ impl Session {
             topology: spec,
             traces_gathered,
             phases,
+            packet_bytes,
             max_daemon_packet_bytes,
             mean_daemon_packet_bytes,
         })
@@ -306,8 +330,10 @@ impl Session {
         Ok(gather)
     }
 
-    /// The single-pass reduce → remap → classify tail of the pipeline.
-    fn merge_through(
+    /// The single-pass reduce → remap → classify tail of the pipeline.  Shared
+    /// with the streaming path, which reduces each wave's view through the same
+    /// machinery over its (possibly pruned) current topology.
+    pub(crate) fn merge_through(
         &self,
         topology: &Topology,
         contributions: Vec<DaemonContribution>,

@@ -73,6 +73,14 @@ pub trait TaskSetOps: Clone + fmt::Debug {
     /// Union with another set over the same domain.
     fn union_in_place(&mut self, other: &Self);
 
+    /// Remove `other`'s members from this set (set difference over the same
+    /// domain) — one AND-NOT per word.  This is the delta computation of the
+    /// streaming path: the bits a wave added are `wave & !previous`.
+    fn subtract(&mut self, other: &Self);
+
+    /// Whether the set has no members (O(words), no popcount accumulation).
+    fn is_empty_set(&self) -> bool;
+
     /// OR `other`'s members into this set, shifted up by `offset` positions — the
     /// word-level concatenation step of the hierarchical merge (O(words), not
     /// O(members)).  Requires `offset + other.width() <= self.width()`.  The dense
@@ -288,6 +296,20 @@ impl TaskSetOps for DenseBitVector {
         }
     }
 
+    fn subtract(&mut self, other: &Self) {
+        assert_eq!(
+            self.width, other.width,
+            "dense bit vectors must share the job-wide domain"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    fn is_empty_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
     fn union_shifted(&mut self, other: &Self, offset: u64) {
         // The dense representation's domain is the whole job; a shifted union only
         // makes sense at offset zero, where it is a plain union.
@@ -455,6 +477,20 @@ impl TaskSetOps for SubtreeTaskList {
         for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
             *a |= *b;
         }
+    }
+
+    fn subtract(&mut self, other: &Self) {
+        assert_eq!(
+            self.width, other.width,
+            "subtree task lists must be rebased to a common domain before subtract"
+        );
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    fn is_empty_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
     }
 
     fn union_shifted(&mut self, other: &Self, offset: u64) {
@@ -806,6 +842,36 @@ mod tests {
             }
             assert_eq!(dense.members(), expected.members());
         }
+    }
+
+    #[test]
+    fn subtract_is_per_word_and_not() {
+        fn check<S: TaskSetOps>() {
+            let mut a = S::empty(200);
+            for i in [0u64, 63, 64, 65, 128, 199] {
+                a.insert(i);
+            }
+            let mut b = S::empty(200);
+            for i in [63u64, 65, 199, 100] {
+                b.insert(i);
+            }
+            a.subtract(&b);
+            assert_eq!(a.members(), vec![0, 64, 128]);
+            assert!(!a.is_empty_set());
+            let clone = a.clone();
+            a.subtract(&clone);
+            assert!(a.is_empty_set());
+            assert!(S::empty(200).is_empty_set());
+        }
+        check::<DenseBitVector>();
+        check::<SubtreeTaskList>();
+    }
+
+    #[test]
+    #[should_panic(expected = "common domain before subtract")]
+    fn subtree_subtract_rejects_mismatched_domains() {
+        let mut a = SubtreeTaskList::empty(8);
+        a.subtract(&SubtreeTaskList::empty(9));
     }
 
     #[test]

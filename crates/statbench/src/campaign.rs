@@ -77,6 +77,14 @@ pub struct CampaignConfig {
     pub catalogue_filter: Option<Vec<String>>,
     /// Task-set representation every cell uses.
     pub representation: Representation,
+    /// Waves a streamed variant of every non-corrupting cell is observed for
+    /// *after* its fault appears, to measure verdict latency (see
+    /// [`CampaignCell::verdict_latency`]).  `0` disables the streamed runs and
+    /// leaves the latency column empty.
+    pub latency_waves: u32,
+    /// Wave at which a streamed cell's fault first appears (pre-fault waves
+    /// observe the healthy baseline).
+    pub latency_fault_wave: u32,
 }
 
 impl CampaignConfig {
@@ -106,6 +114,8 @@ impl CampaignConfig {
             include_catalogue: true,
             catalogue_filter: None,
             representation: Representation::HierarchicalTaskList,
+            latency_waves: 3,
+            latency_fault_wave: 2,
         }
     }
 }
@@ -139,6 +149,14 @@ pub struct CampaignCell {
     /// Pipeline error, if the run did not complete.  For corrupting cells a
     /// decode/merge error *is* the expected detection and the cell passes.
     pub error: Option<String>,
+    /// Verdict latency of the cell's *streamed* variant: how many waves after
+    /// the fault first appeared the per-wave verdict first passed **and stayed
+    /// passing** through the end of the observation window (`0` = diagnosed in
+    /// the very wave the fault appeared).  `None` when latency measurement is
+    /// off ([`CampaignConfig::latency_waves`] = 0), for corrupting cells (their
+    /// inverted judgement has no latency), or when the verdict never
+    /// stabilised inside the window.
+    pub verdict_latency: Option<u32>,
 }
 
 /// One entry of the first-flip frontier: the smallest scale at which a
@@ -245,13 +263,34 @@ impl StabilitySurface {
         histogram
     }
 
-    /// The surface as CSV, one row per cell.
+    /// Verdict-latency distribution per scale over the measured cells:
+    /// `tasks -> (latency in waves -> cell count)`.  Cells whose latency is
+    /// `None` (unmeasured or never stabilised) are not counted.
+    pub fn verdict_latency_by_scale(&self) -> BTreeMap<u64, BTreeMap<u32, usize>> {
+        let mut by_scale: BTreeMap<u64, BTreeMap<u32, usize>> = BTreeMap::new();
+        for cell in &self.cells {
+            if let Some(latency) = cell.verdict_latency {
+                *by_scale
+                    .entry(cell.tasks)
+                    .or_default()
+                    .entry(latency)
+                    .or_insert(0) += 1;
+            }
+        }
+        by_scale
+    }
+
+    /// The surface as CSV, one row per cell.  The `verdict_latency` column is
+    /// in waves-after-fault (empty = unmeasured or never stabilised; see
+    /// [`CampaignCell::verdict_latency`]).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,seed,tasks,depth,samples,degraded,corrupting,passed,failed_checks,error\n",
+            "scenario,seed,tasks,depth,samples,degraded,corrupting,passed,verdict_latency,\
+             failed_checks,error\n",
         );
         for c in &self.cells {
             let seed = c.seed.map(|s| s.to_string()).unwrap_or_default();
+            let latency = c.verdict_latency.map(|w| w.to_string()).unwrap_or_default();
             let error = c
                 .error
                 .as_deref()
@@ -260,7 +299,7 @@ impl StabilitySurface {
                 .replace('\n', " ");
             out_line!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{},{},{},{},{},{},{},{},{}",
                 c.scenario,
                 seed,
                 c.tasks,
@@ -269,6 +308,7 @@ impl StabilitySurface {
                 c.degraded,
                 c.corrupting,
                 c.passed,
+                latency,
                 c.failed_checks.join(";"),
                 error
             );
@@ -318,6 +358,29 @@ impl StabilitySurface {
             }
             out_line!(out);
         }
+        let latency = self.verdict_latency_by_scale();
+        out_line!(out, "### verdict latency\n");
+        if latency.is_empty() {
+            out_line!(out, "No streamed cells were measured.\n");
+        } else {
+            out_line!(
+                out,
+                "Waves between the fault first appearing mid-stream and a stable \
+                 correct verdict (0 = diagnosed in the same wave), per scale:\n"
+            );
+            out_line!(out, "| tasks | latency (waves) → cells | measured |");
+            out_line!(out, "|---|---|---|");
+            for (tasks, histogram) in &latency {
+                let measured: usize = histogram.values().sum();
+                let spread = histogram
+                    .iter()
+                    .map(|(waves, count)| format!("{waves} → {count}"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                out_line!(out, "| {tasks} | {spread} | {measured} |");
+            }
+            out_line!(out);
+        }
         let histogram = self.check_failure_histogram();
         out_line!(out, "### check-level failure histogram\n");
         if histogram.is_empty() {
@@ -332,6 +395,47 @@ impl StabilitySurface {
         }
         out
     }
+}
+
+/// The wave at which a streamed run's verdict became *stable*: the smallest
+/// wave index `w >= fault_wave` whose verdict passed and whose every later
+/// observed wave also passed.  `None` when the verdict never stabilised (or no
+/// post-fault waves were observed).
+pub fn stable_wave(reports: &[stat_core::prelude::WaveReport], fault_wave: u32) -> Option<u32> {
+    let mut stable = None;
+    for report in reports.iter().filter(|r| r.wave >= fault_wave) {
+        if report.verdict.passed() {
+            if stable.is_none() {
+                stable = Some(report.wave);
+            }
+        } else {
+            stable = None;
+        }
+    }
+    stable
+}
+
+/// Measure one cell's verdict latency by re-running it as a continuous stream
+/// (fault first appearing at [`CampaignConfig::latency_fault_wave`], observed
+/// for [`CampaignConfig::latency_waves`] further waves).  Corrupting cells and
+/// streams that error out (e.g. a prune that kills the session) are unmeasured.
+fn measure_latency(
+    config: &CampaignConfig,
+    job: &EmulatedJob,
+    scenario: &FaultScenario,
+) -> Option<u32> {
+    if config.latency_waves == 0 || scenario.is_corrupting() {
+        return None;
+    }
+    let reports = job
+        .stream_scenario(
+            scenario,
+            config.vocab,
+            config.latency_fault_wave,
+            config.latency_waves,
+        )
+        .ok()?;
+    stable_wave(&reports, config.latency_fault_wave).map(|w| w - config.latency_fault_wave)
 }
 
 /// Judge one scenario run as a campaign cell.
@@ -393,6 +497,7 @@ fn run_cell(
         .with_tree_depth(depth)
         .with_samples_per_task(config.samples_per_task);
     let (passed, failed_checks, error) = judge(scenario, job.run_scenario(scenario));
+    let verdict_latency = measure_latency(config, &job, scenario);
     CampaignCell {
         scenario: scenario.name.clone(),
         seed,
@@ -404,6 +509,7 @@ fn run_cell(
         passed,
         failed_checks,
         error,
+        verdict_latency,
     }
 }
 
@@ -584,5 +690,57 @@ mod tests {
         let csv = surface.to_csv();
         assert_eq!(csv.lines().count(), surface.cells.len() + 1);
         assert!(csv.starts_with("scenario,seed,tasks,depth"));
+        assert!(csv.lines().next().unwrap().contains("verdict_latency"));
+    }
+
+    #[test]
+    fn streamed_cells_measure_their_verdict_latency() {
+        let mut config = tiny_config();
+        config.include_catalogue = true;
+        config.seeds = vec![];
+        config.catalogue_filter = Some(vec!["ring_hang".into(), "all_equivalent".into()]);
+        let surface = run_campaign(&config);
+        // Every cell here is non-corrupting and stable at this scale, so every
+        // streamed run stabilises inside the window — and the catalogue's
+        // hand-picked faults are diagnosed in the very wave they appear.
+        assert!(!surface.cells.is_empty());
+        for cell in &surface.cells {
+            assert_eq!(
+                cell.verdict_latency,
+                Some(0),
+                "cell {} (degraded={}) latency",
+                cell.scenario,
+                cell.degraded
+            );
+        }
+        assert!(!surface.verdict_latency_by_scale().is_empty());
+        assert!(surface.to_markdown().contains("verdict latency"));
+
+        // With the latency axis off, the column stays empty.
+        config.latency_waves = 0;
+        let off = run_campaign(&config);
+        assert!(off.cells.iter().all(|c| c.verdict_latency.is_none()));
+    }
+
+    #[test]
+    fn stable_wave_requires_the_verdict_to_stay_passing() {
+        let job = EmulatedJob::new(Cluster::test_cluster(16, 8), 128).with_samples_per_task(2);
+        let scenarios = catalogue(128, FrameVocabulary::Linux);
+        let ring = scenarios.iter().find(|s| s.name == "ring_hang").unwrap();
+        let mut reports = job
+            .stream_scenario(ring, FrameVocabulary::Linux, 1, 3)
+            .expect("stream runs");
+        assert_eq!(stable_wave(&reports, 1), Some(1));
+        // A later failing wave invalidates an earlier pass.
+        if let Some(last) = reports.last_mut() {
+            last.verdict.checks.clear();
+            last.verdict.checks.push(appsim::scenario::Check {
+                name: "class-count",
+                passed: false,
+                detail: "forced flip".into(),
+            });
+        }
+        assert_eq!(stable_wave(&reports, 1), None);
+        assert_eq!(stable_wave(&reports, 99), None);
     }
 }

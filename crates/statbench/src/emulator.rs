@@ -13,6 +13,8 @@
 
 use std::time::Duration;
 
+use appsim::scenario::FaultScenario;
+use appsim::{FaultSchedule, FrameVocabulary};
 use machine::cluster::Cluster;
 use machine::placement::PlacementPlan;
 use stat_core::prelude::*;
@@ -118,6 +120,37 @@ impl EmulatedJob {
         run_scenario_in(&session, scenario)
     }
 
+    /// Run one catalogue scenario as a **continuous stream**: the job starts
+    /// healthy, the scenario's fault first appears at wave `fault_wave`, and the
+    /// stream is observed for `post_fault_waves` further waves.  Any overlay
+    /// faults the scenario carries are applied at wave 0, so a degraded overlay
+    /// is degraded for the whole stream.  Returns every per-wave report, in
+    /// wave order — the raw material for verdict-latency measurement (see
+    /// [`crate::campaign::stable_wave`]).
+    pub fn stream_scenario(
+        &self,
+        scenario: &FaultScenario,
+        vocab: FrameVocabulary,
+        fault_wave: u32,
+        post_fault_waves: u32,
+    ) -> Result<Vec<WaveReport>, StatError> {
+        let mut builder = Session::builder(self.cluster.clone())
+            .representation(self.representation)
+            .topology(self.topology())
+            .streaming(self.samples_per_task);
+        for &fault in &scenario.overlay_faults {
+            builder = builder.overlay_fault_at(0, fault);
+        }
+        let source = FaultSchedule::new(scenario.clone(), vocab, fault_wave);
+        let mut stream = builder.open(Box::new(source))?;
+        let total = fault_wave.saturating_add(post_fault_waves.max(1));
+        let mut reports = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            reports.push(stream.advance()?);
+        }
+        Ok(reports)
+    }
+
     /// Run the emulation and collect the report.
     ///
     /// The synthetic application is handed to the *real* session pipeline — daemon
@@ -146,6 +179,7 @@ impl EmulatedJob {
             total_link_bytes: report.gather.metrics.total_link_bytes,
             max_daemon_packet_bytes: report.max_daemon_packet_bytes,
             mean_daemon_packet_bytes: report.mean_daemon_packet_bytes,
+            packet_bytes: report.packet_bytes,
         }
     }
 }
@@ -176,6 +210,9 @@ pub struct EmulationReport {
     pub max_daemon_packet_bytes: u64,
     /// Mean daemon packet size (2D + 3D).
     pub mean_daemon_packet_bytes: u64,
+    /// Total bytes entering the TBON at the leaves (every daemon's 2D + 3D
+    /// trees, plus rank-map packets for representations that ship one).
+    pub packet_bytes: u64,
 }
 
 impl EmulationReport {
@@ -263,6 +300,35 @@ mod tests {
                 run.verdict
             );
         }
+    }
+
+    #[test]
+    fn stream_scenario_watches_the_fault_develop() {
+        let job = EmulatedJob::new(small_cluster(), 256).with_samples_per_task(2);
+        let scenarios = appsim::scenario::catalogue(256, appsim::FrameVocabulary::Linux);
+        let ring = scenarios.iter().find(|s| s.name == "ring_hang").unwrap();
+        let reports = job
+            .stream_scenario(ring, appsim::FrameVocabulary::Linux, 2, 2)
+            .expect("the stream advances");
+        assert_eq!(reports.len(), 4);
+        for report in &reports[..2] {
+            assert!(
+                report.verdict.passed(),
+                "pre-fault wave: {}",
+                report.verdict
+            );
+            assert_eq!(report.classes, 1);
+        }
+        for report in &reports[2..] {
+            assert!(
+                report.verdict.passed(),
+                "post-fault wave: {}",
+                report.verdict
+            );
+            assert!(report.classes >= 3);
+        }
+        // The leaf ingress column is populated on every wave.
+        assert!(reports.iter().all(|r| r.packet_bytes > 0));
     }
 
     #[test]

@@ -34,7 +34,9 @@ pub mod emulator;
 pub mod generator;
 pub mod sweep;
 
-pub use campaign::{run_campaign, CampaignCell, CampaignConfig, FlipFrontier, StabilitySurface};
+pub use campaign::{
+    run_campaign, stable_wave, CampaignCell, CampaignConfig, FlipFrontier, StabilitySurface,
+};
 pub use emulator::{EmulatedJob, EmulationReport};
 pub use generator::{SyntheticApp, TraceShape};
 pub use sweep::{

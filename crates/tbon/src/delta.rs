@@ -1,0 +1,352 @@
+//! Incremental (delta) reduction: fold per-wave deltas into per-node resident
+//! state instead of re-reducing every wave from scratch.
+//!
+//! A one-shot gather ships every daemon's whole local tree up the overlay each
+//! time it runs.  A *streaming* session runs every few seconds for the life of
+//! the job, and between waves almost nothing changes — most daemons' wave trees
+//! are subsets of what the front end already knows.  The continuous-profiler
+//! architecture (agents push small batches, the server folds them into a rolling
+//! call tree) maps onto the TBON like this:
+//!
+//! * each daemon diffs its wave against the last acknowledged wave and ships a
+//!   [`PacketTag::TreeDelta`] packet carrying only the *new* subtrees and
+//!   task-set words;
+//! * each interior node merges its children's deltas with the ordinary channel
+//!   filter — the merge of deltas over disjoint child domains *is* the delta of
+//!   the merge — folds the result into its own resident state, and forwards the
+//!   merged delta upward;
+//! * the front end folds the final delta into the job-wide resident tree, which
+//!   therefore always equals what one batched merge of every wave would have
+//!   produced (the equivalence property `tests/properties.rs` pins down).
+//!
+//! The walk is deliberately sequential: quiescent-wave deltas are root-only
+//! packets a few dozen bytes long, and the interesting quantity is bytes moved
+//! and state touched, not thread-pool throughput.  `statbench`'s `streaming`
+//! benchmark measures this path against a full re-reduce at 64K endpoints.
+//!
+//! The crate knows nothing about prefix trees; resident state is abstracted
+//! behind [`ResidentState`]/[`StateFactory`], which `stat-core` implements with
+//! its serialised-tree fold.
+
+use std::time::{Duration, Instant};
+
+use crate::filter::Filter;
+use crate::network::{panic_message, TbonError};
+use crate::packet::{Packet, PacketTag};
+use crate::topology::{Topology, TreeNodeRole};
+
+/// Per-node accumulated state the incremental walk folds merged deltas into.
+pub trait ResidentState {
+    /// Fold one merged delta packet into the state.  An `Err` message becomes
+    /// [`TbonError::DeltaFold`] with the folding node attached.
+    fn fold(&mut self, delta: &Packet) -> Result<(), String>;
+
+    /// Approximate resident footprint in bytes, for reporting.
+    fn resident_bytes(&self) -> usize;
+}
+
+/// Builds the initial (empty) resident state for a node.
+pub trait StateFactory {
+    /// The state type held at each interior node and the front end.
+    type State: ResidentState;
+
+    /// A fresh, empty state.
+    fn new_state(&self) -> Self::State;
+}
+
+/// What one [`IncrementalTbon::fold_wave`] walk produced.
+#[derive(Clone, Debug)]
+pub struct WaveOutcome {
+    /// The merged delta that reached the front end (already folded into the
+    /// front end's resident state).
+    pub frontend_delta: Packet,
+    /// Bytes of delta payload that crossed any link this wave (each
+    /// child-to-parent packet counted once).
+    pub delta_link_bytes: u64,
+    /// The largest per-node input wave, in bytes — the hot-spot quantity.
+    pub max_node_bytes_in: u64,
+    /// Wall-clock spent in filter invocations and state folds.
+    pub fold_wall: Duration,
+    /// Filter invocations performed (one per interior node and the front end).
+    pub filter_invocations: u32,
+}
+
+/// A TBON whose interior nodes and front end hold resident state across waves.
+///
+/// Construct one per streaming session (and a fresh one after a mid-stream
+/// topology rebuild — re-seed it by folding each survivor's full tree as a
+/// delta against empty state).  [`Self::fold_wave`] then accepts one delta
+/// packet per back-end daemon and returns the merged front-end delta plus the
+/// byte/latency accounting for the wave.
+pub struct IncrementalTbon<F: StateFactory> {
+    topology: Topology,
+    factory: F,
+    /// Resident state per endpoint id; only interior nodes and the front end
+    /// ever hold `Some` (back ends are the daemons' own concern).
+    states: Vec<Option<F::State>>,
+    waves_folded: u64,
+}
+
+impl<F: StateFactory> IncrementalTbon<F> {
+    /// A delta network over `topology` with empty resident state everywhere.
+    pub fn new(topology: Topology, factory: F) -> Self {
+        let mut states = Vec::new();
+        states.resize_with(topology.len(), || None);
+        IncrementalTbon {
+            topology,
+            factory,
+            states,
+            waves_folded: 0,
+        }
+    }
+
+    /// The topology the network folds over.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Waves folded so far.
+    pub fn waves_folded(&self) -> u64 {
+        self.waves_folded
+    }
+
+    /// The front end's resident state — the rolling job-wide merge.  `None`
+    /// until the first wave folds.
+    pub fn frontend_state(&self) -> Option<&F::State> {
+        let id = self.topology.frontend();
+        self.states.get(id.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Total resident footprint across every node holding state, in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.states
+            .iter()
+            .flatten()
+            .map(|s| s.resident_bytes())
+            .sum()
+    }
+
+    /// Fold one wave of per-daemon deltas up the tree.
+    ///
+    /// `leaf_deltas` must supply exactly one packet per back-end daemon, in
+    /// [`Topology::backends`] order (the same contract as `reduce`).  Every
+    /// daemon reports every wave — a quiescent daemon ships its root-only empty
+    /// delta, which keeps hierarchical domain offsets stable at every merge.
+    pub fn fold_wave(
+        &mut self,
+        leaf_deltas: Vec<Packet>,
+        filter: &dyn Filter,
+    ) -> Result<WaveOutcome, TbonError> {
+        let backends = self.topology.backends();
+        if leaf_deltas.len() != backends.len() {
+            return Err(TbonError::LeafCountMismatch {
+                channel: "tree-delta",
+                expected: backends.len(),
+                actual: leaf_deltas.len(),
+            });
+        }
+
+        // Inbox per endpoint: packets arriving from children, in child order.
+        let mut inbox: Vec<Vec<Packet>> = Vec::new();
+        inbox.resize_with(self.topology.len(), Vec::new);
+        let mut delta_link_bytes = 0u64;
+        let mut deliver =
+            |inbox: &mut Vec<Vec<Packet>>, parent: u32, packet: Packet| -> Result<(), TbonError> {
+                delta_link_bytes += packet.size_bytes() as u64;
+                inbox
+                    .get_mut(parent as usize)
+                    .ok_or(TbonError::WalkInvariant {
+                        context: "delta parent endpoint outside the topology",
+                    })?
+                    .push(packet);
+                Ok(())
+            };
+
+        // Leaves first: each backend forwards its delta to its parent.
+        for (&backend, packet) in backends.iter().zip(leaf_deltas) {
+            let node = self.topology.node(backend);
+            let parent = node.parent.ok_or(TbonError::WalkInvariant {
+                context: "back-end daemon with no parent",
+            })?;
+            deliver(&mut inbox, parent.0, packet)?;
+        }
+
+        // Interior levels bottom-up (the deepest level is the backends, already
+        // delivered above; the front end is level 0 and terminates the walk).
+        let mut fold_wall = Duration::ZERO;
+        let mut filter_invocations = 0u32;
+        let mut max_node_bytes_in = 0u64;
+        let mut frontend_delta: Option<Packet> = None;
+        for level in self.topology.levels().iter().rev() {
+            for &id in level {
+                let node = self.topology.node(id);
+                if node.role == TreeNodeRole::BackEnd {
+                    continue;
+                }
+                let inputs = std::mem::take(inbox.get_mut(id.0 as usize).ok_or(
+                    TbonError::WalkInvariant {
+                        context: "interior endpoint outside the inbox",
+                    },
+                )?);
+                let bytes_in: u64 = inputs.iter().map(|p| p.size_bytes() as u64).sum();
+                max_node_bytes_in = max_node_bytes_in.max(bytes_in);
+
+                let start = Instant::now();
+                let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    filter.reduce(id, &inputs)
+                }))
+                .map_err(|payload| TbonError::FilterPanicked {
+                    node: id.0,
+                    channel: 0,
+                    message: panic_message(payload.as_ref()),
+                })?;
+                filter_invocations += 1;
+
+                let slot = self
+                    .states
+                    .get_mut(id.0 as usize)
+                    .ok_or(TbonError::WalkInvariant {
+                        context: "interior endpoint outside the state table",
+                    })?;
+                slot.get_or_insert_with(|| self.factory.new_state())
+                    .fold(&merged)
+                    .map_err(|message| TbonError::DeltaFold {
+                        node: id.0,
+                        message,
+                    })?;
+                fold_wall += start.elapsed();
+
+                match node.parent {
+                    Some(parent) => deliver(&mut inbox, parent.0, merged)?,
+                    None => frontend_delta = Some(merged),
+                }
+            }
+        }
+
+        let frontend_delta = frontend_delta
+            .unwrap_or_else(|| Packet::control(PacketTag::TreeDelta, self.topology.frontend()));
+        self.waves_folded += 1;
+        Ok(WaveOutcome {
+            frontend_delta,
+            delta_link_bytes,
+            max_node_bytes_in,
+            fold_wall,
+            filter_invocations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::SumFilter;
+    use crate::packet::EndpointId;
+    use crate::topology::TreeShape;
+
+    /// Resident state that sums every byte folded into it.
+    struct ByteSum(u64);
+    impl ResidentState for ByteSum {
+        fn fold(&mut self, delta: &Packet) -> Result<(), String> {
+            self.0 += delta.payload.iter().map(|&b| b as u64).sum::<u64>();
+            Ok(())
+        }
+        fn resident_bytes(&self) -> usize {
+            8
+        }
+    }
+    struct ByteSumFactory;
+    impl StateFactory for ByteSumFactory {
+        type State = ByteSum;
+        fn new_state(&self) -> ByteSum {
+            ByteSum(0)
+        }
+    }
+
+    fn leaves(topology: &Topology, value: u8) -> Vec<Packet> {
+        topology
+            .backends()
+            .iter()
+            .map(|&ep| Packet::new(PacketTag::TreeDelta, ep, vec![value]))
+            .collect()
+    }
+
+    #[test]
+    fn folds_accumulate_across_waves_at_every_interior_node() {
+        let topology = Topology::build(TreeShape::two_deep(8, 2));
+        let mut net = IncrementalTbon::new(topology, ByteSumFactory);
+        let filter = SumFilter;
+
+        for wave in 1..=3u64 {
+            let leaf = leaves(net.topology(), 1);
+            let outcome = net.fold_wave(leaf, &filter).unwrap();
+            // 8 backends each contribute 1.
+            assert_eq!(SumFilter::decode(&outcome.frontend_delta), 8);
+            assert_eq!(outcome.filter_invocations, 3); // 2 comms + front end
+            assert_eq!(net.waves_folded(), wave);
+            // The front end folds one encode(8) packet per wave; ByteSum adds
+            // its payload bytes, which for a little-endian 8 is just 8.
+            assert_eq!(net.frontend_state().unwrap().0, 8 * wave);
+        }
+        // 2 comms + 1 front end hold state; backends hold none.
+        assert_eq!(net.resident_bytes(), 3 * 8);
+    }
+
+    #[test]
+    fn wrong_leaf_count_is_a_typed_error() {
+        let topology = Topology::build(TreeShape::two_deep(8, 2));
+        let mut net = IncrementalTbon::new(topology, ByteSumFactory);
+        let err = net.fold_wave(vec![], &SumFilter).unwrap_err();
+        assert!(matches!(
+            err,
+            TbonError::LeafCountMismatch {
+                channel: "tree-delta",
+                expected: 8,
+                actual: 0,
+            }
+        ));
+    }
+
+    #[test]
+    fn state_rejection_surfaces_the_folding_node() {
+        struct Picky;
+        impl ResidentState for Picky {
+            fn fold(&mut self, _delta: &Packet) -> Result<(), String> {
+                Err("wrong domain".to_string())
+            }
+            fn resident_bytes(&self) -> usize {
+                0
+            }
+        }
+        struct PickyFactory;
+        impl StateFactory for PickyFactory {
+            type State = Picky;
+            fn new_state(&self) -> Picky {
+                Picky
+            }
+        }
+        let topology = Topology::build(TreeShape::flat(4));
+        let mut net = IncrementalTbon::new(topology, PickyFactory);
+        let leaf = leaves(net.topology(), 0);
+        match net.fold_wave(leaf, &SumFilter).unwrap_err() {
+            TbonError::DeltaFold { node, message } => {
+                assert_eq!(node, 0); // flat tree: the front end folds directly
+                assert_eq!(message, "wrong domain");
+            }
+            other => panic!("expected DeltaFold, got {other}"),
+        }
+    }
+
+    #[test]
+    fn link_bytes_count_every_hop_once() {
+        let topology = Topology::build(TreeShape::two_deep(8, 2));
+        let mut net = IncrementalTbon::new(topology, ByteSumFactory);
+        let leaf = leaves(net.topology(), 1);
+        let outcome = net.fold_wave(leaf, &SumFilter).unwrap();
+        // 8 backend→comm packets of 1 byte + 2 comm→frontend packets of 8 bytes
+        // (SumFilter always emits an 8-byte little-endian sum).
+        assert_eq!(outcome.delta_link_bytes, 8 + 16);
+        // The front end's input wave (2 × 8 bytes) is the largest.
+        assert_eq!(outcome.max_node_bytes_in, 16);
+        let _ = EndpointId(0);
+    }
+}

@@ -20,11 +20,15 @@
 //!   tests and the real-execution benchmarks);
 //! * [`cost`] — an analytic cost model of an upward reduction over a given topology,
 //!   interconnect and per-level payload size, used by the figure generators and the
-//!   planner to model configurations with millions of endpoints.
+//!   planner to model configurations with millions of endpoints;
+//! * [`delta`] — the incremental path streaming sessions use: per-node resident
+//!   state folded from per-wave `TreeDelta` packets instead of re-reducing every
+//!   wave from scratch.
 
 #![warn(rust_2018_idioms)]
 
 pub mod cost;
+pub mod delta;
 pub mod fault;
 pub mod filter;
 pub mod network;
@@ -34,6 +38,7 @@ pub mod stream;
 pub mod topology;
 
 pub use cost::{ReductionCost, ReductionCostModel};
+pub use delta::{IncrementalTbon, ResidentState, StateFactory, WaveOutcome};
 pub use fault::{CorruptingFilter, FaultTracker, FilterFault, FilterFaultKind, PruneReport};
 pub use filter::{Filter, IdentityFilter, SumFilter};
 pub use network::{ChannelInput, ExecutionMode, InProcessTbon, ReductionOutcome, TbonError};

@@ -80,6 +80,15 @@ pub enum TbonError {
         /// The violated invariant.
         context: &'static str,
     },
+    /// A node's resident state rejected a delta during an incremental fold
+    /// (see [`crate::delta::IncrementalTbon`]) — e.g. the delta failed to
+    /// decode or described a different task domain than the state holds.
+    DeltaFold {
+        /// The tree node whose fold failed.
+        node: u32,
+        /// What the resident state objected to.
+        message: String,
+    },
 }
 
 impl fmt::Display for TbonError {
@@ -113,6 +122,9 @@ impl fmt::Display for TbonError {
             ),
             TbonError::WalkInvariant { context } => {
                 write!(f, "reduction walk invariant violated: {context}")
+            }
+            TbonError::DeltaFold { node, message } => {
+                write!(f, "incremental fold failed at node {node}: {message}")
             }
         }
     }
@@ -495,7 +507,7 @@ impl InProcessTbon {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

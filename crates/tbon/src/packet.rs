@@ -33,6 +33,9 @@ pub enum PacketTag {
     Merged3d,
     /// Daemons → front-end: the daemon's local rank map (for the remap step).
     RankMap,
+    /// Daemons → front-end: a serialised tree *delta* — only the nodes and
+    /// task-set words a streaming wave added over the last acknowledged wave.
+    TreeDelta,
     /// SBRS broadcast of a binary image.
     BinaryBroadcast,
     /// Detach / tear down.

@@ -97,6 +97,8 @@ fn seeded_campaign_covers_the_grid_at_1k() {
         include_catalogue: true,
         catalogue_filter: None,
         representation: Representation::HierarchicalTaskList,
+        latency_waves: 2,
+        latency_fault_wave: 1,
     };
     let surface = run_campaign(&config);
 
@@ -131,10 +133,25 @@ fn seeded_campaign_covers_the_grid_at_1k() {
     assert!(surface.first_flip_frontier().is_empty());
     assert!(surface.check_failure_histogram().is_empty());
 
+    // Verdict latency: every streamed (non-corrupting) cell stabilised inside
+    // the observation window, and corrupting cells carry no latency.
+    for cell in &surface.cells {
+        if cell.corrupting {
+            assert_eq!(cell.verdict_latency, None, "corrupting cell {cell:?}");
+        } else {
+            assert!(
+                cell.verdict_latency.is_some(),
+                "streamed cell never stabilised: {cell:?}"
+            );
+        }
+    }
+    assert!(!surface.verdict_latency_by_scale().is_empty());
+
     // The emissions carry one row per cell and the aggregate views.
     let csv = surface.to_csv();
     assert_eq!(csv.lines().count(), surface.cells.len() + 1);
     assert!(surface.to_markdown().contains("pass rate 100.0%"));
+    assert!(csv.lines().next().unwrap().contains("verdict_latency"));
 }
 
 #[test]
@@ -174,6 +191,7 @@ fn a_flipped_verdict_lands_on_the_frontier_not_on_the_floor() {
             .map(|c| c.name.to_string())
             .collect(),
         error: None,
+        verdict_latency: None,
     };
     let surface = StabilitySurface { cells: vec![cell] };
 
@@ -205,6 +223,8 @@ fn mid_tree_corruption_is_judged_end_to_end() {
         include_catalogue: false,
         catalogue_filter: None,
         representation: Representation::HierarchicalTaskList,
+        latency_waves: 0,
+        latency_fault_wave: 0,
     };
     let surface = run_campaign(&config);
     let corrupting: Vec<_> = surface.cells.iter().filter(|c| c.corrupting).collect();
@@ -288,6 +308,10 @@ fn the_campaign_reaches_64k_with_the_full_catalogue() {
         include_catalogue: true,
         catalogue_filter: None,
         representation: Representation::HierarchicalTaskList,
+        // Streaming latency at 64K is covered by tests/streaming.rs; keep this
+        // grid's runtime on the one-shot axis it pins.
+        latency_waves: 0,
+        latency_fault_wave: 0,
     };
     let surface = run_campaign(&config);
     assert_catalogue_cells_pass(&surface, "64K");
@@ -331,6 +355,8 @@ fn the_campaign_reaches_the_full_208k() {
             "stragglers".into(),
         ]),
         representation: Representation::HierarchicalTaskList,
+        latency_waves: 0,
+        latency_fault_wave: 0,
     };
     let surface = run_campaign(&config);
     assert!(surface.cells.iter().all(|c| c.tasks == 212_992));
@@ -376,6 +402,8 @@ proptest! {
             include_catalogue: false,
             catalogue_filter: None,
             representation: Representation::HierarchicalTaskList,
+            latency_waves: 1,
+            latency_fault_wave: 1,
         };
         let first = run_campaign(&config);
         let second = run_campaign(&config);

@@ -414,6 +414,105 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------------
+// Streaming deltas and temporal folds
+// ---------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tree_deltas_round_trip_to_the_union(
+        prev_paths in arbitrary_traces(16),
+        next_paths in arbitrary_traces(16),
+    ) {
+        // The streaming contract (`PrefixTree::delta_from` ↔ `merge_aligned`):
+        // whatever a daemon's acknowledged cumulative tree looked like and
+        // whatever this wave observed, applying the delta to the old tree
+        // reconstructs exactly the union of the two — node for node, member
+        // for member.
+        let mut table = FrameTable::new();
+        let prev = build_global(&prev_paths, &mut table);
+        let next = build_global(&next_paths, &mut table);
+
+        let mut expected = prev.clone();
+        expected.merge_ref(&next);
+
+        let delta = next.delta_from(&prev);
+        let mut reconstructed = prev.clone();
+        reconstructed.merge_aligned(delta);
+
+        let shape_of = |t: &GlobalPrefixTree| {
+            let mut nodes: Vec<(Vec<_>, Vec<u64>)> = (1..t.node_count())
+                .map(|n| (t.path_to(n), t.tasks(n).members()))
+                .collect();
+            nodes.sort();
+            nodes
+        };
+        prop_assert_eq!(shape_of(&reconstructed), shape_of(&expected));
+        prop_assert_eq!(
+            reconstructed.tasks(reconstructed.root()).members(),
+            expected.tasks(expected.root()).members()
+        );
+
+        // A fully quiescent wave (nothing new against the union) deltas to a
+        // lone empty root, and folding that stub is the identity.
+        let quiescent = prev.delta_from(&expected);
+        prop_assert_eq!(quiescent.node_count(), 1);
+        let before = shape_of(&expected);
+        let mut unchanged = expected.clone();
+        unchanged.merge_aligned(quiescent);
+        prop_assert_eq!(shape_of(&unchanged), before);
+    }
+}
+
+proptest! {
+    // Each case streams a full session; a handful of randomized shapes is
+    // plenty on top of the deterministic coverage in tests/streaming.rs.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn waves_of_incremental_folds_equal_one_batched_merge(
+        tasks in 16u64..=128,
+        fault_wave in 0u32..3,
+        extra_waves in 1u32..4,
+        rep_choice in 0u8..2,
+    ) {
+        use appsim::{FaultSchedule, FrameVocabulary};
+        use machine::cluster::Cluster;
+
+        let scenario = appsim::scenario::catalogue(tasks, FrameVocabulary::BlueGeneL)
+            .into_iter()
+            .find(|s| s.name == "ring_hang")
+            .expect("the catalogue always carries ring_hang");
+        let representation = if rep_choice == 1 {
+            Representation::HierarchicalTaskList
+        } else {
+            Representation::GlobalBitVector
+        };
+        let mut stream = Session::builder(Cluster::test_cluster(16, 8))
+            .representation(representation)
+            .streaming(1)
+            .open(Box::new(FaultSchedule::new(
+                scenario,
+                FrameVocabulary::BlueGeneL,
+                fault_wave,
+            )))
+            .expect("the stream opens");
+
+        // However many waves run and wherever the fault lands, the resident
+        // state built by folding per-wave deltas equals one batched merge of
+        // every daemon's full cumulative tree — at every single wave.
+        for _ in 0..(fault_wave + extra_waves) {
+            let report = stream.advance().expect("the wave advances");
+            prop_assert_eq!(report.covered_tasks, tasks);
+            let incremental = stream.incremental_canonical();
+            prop_assert!(!incremental.is_empty());
+            prop_assert_eq!(incremental, stream.batched_canonical());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
 // Topologies
 // ---------------------------------------------------------------------------------
 
