@@ -37,7 +37,13 @@ impl Config {
                 "crates/tbon/src/delta.rs",
                 "crates/core/src/streaming.rs",
             ]),
-            word_math_modules: s(&["crates/core/src/taskset.rs", "crates/core/src/graph.rs"]),
+            word_math_modules: s(&[
+                "crates/core/src/taskset.rs",
+                "crates/core/src/graph.rs",
+                "crates/core/src/serialize.rs",
+                "crates/tbon/src/packet.rs",
+                "crates/tbon/src/delta.rs",
+            ]),
             result_methods: s(&[
                 "send",
                 "try_send",
@@ -55,8 +61,8 @@ impl Config {
             // set to the current count: adding a waiver REQUIRES bumping the budget
             // here, in the same reviewed diff as the waiver itself.
             waiver_budgets: vec![
-                ("hot-path-panic".to_string(), 7),
-                ("truncating-cast".to_string(), 4),
+                ("hot-path-panic".to_string(), 8),
+                ("truncating-cast".to_string(), 9),
                 ("discarded-result".to_string(), 1),
                 ("condvar-discipline".to_string(), 0),
                 ("lock-hold-hygiene".to_string(), 0),

@@ -30,6 +30,15 @@ pub trait Application: Send + Sync {
     fn main_thread_path(&self, rank: u64, sample_index: u32) -> Vec<&'static str> {
         self.call_path(rank, 0, sample_index)
     }
+
+    /// Frame names this application's traces are expected to contain — the seed
+    /// for the session-global frame dictionary that wire format v2 negotiates at
+    /// session setup.  Hints are best-effort: a frame the application produces
+    /// but does not hint still works, it just ships its name once per packet as
+    /// an incremental dictionary record instead of never.
+    fn frame_hints(&self) -> Vec<&'static str> {
+        Vec::new()
+    }
 }
 
 /// Gather `samples` stack traces from every rank of an application, exactly as a

@@ -46,6 +46,10 @@ impl Application for IterativeSolverApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "timestep_loop"];
@@ -123,6 +127,10 @@ impl Application for StragglerApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "timestep_loop"];
@@ -201,6 +209,10 @@ impl Application for CheckpointStormApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "write_checkpoint"];

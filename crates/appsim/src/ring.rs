@@ -99,6 +99,10 @@ impl Application for RingHangApp {
         self.tasks
     }
 
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample_index: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main()];

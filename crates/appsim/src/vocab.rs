@@ -140,6 +140,32 @@ impl FrameVocabulary {
             "__stack_chk_fail",
         ]
     }
+
+    /// Every frame name this vocabulary can produce — the default seed for the
+    /// session-global frame dictionary wire format v2 negotiates.  Order is
+    /// stable (entry points first, then MPI internals, then workload frames) so
+    /// the negotiated id space is deterministic across runs.
+    pub fn dictionary_hints(self) -> Vec<&'static str> {
+        let mut hints = vec![
+            self.start(),
+            self.main(),
+            self.barrier(),
+            self.waitall(),
+            self.send_stall(),
+            self.timer(),
+            self.shared_fs_retry(),
+            self.unknown_frame(),
+        ];
+        hints.extend_from_slice(self.barrier_impl());
+        hints.extend_from_slice(self.progress_impl());
+        hints.extend_from_slice(self.poll_step());
+        hints.extend_from_slice(self.compute_kernels());
+        hints.extend_from_slice(self.thread_entry());
+        hints.extend_from_slice(self.shared_fs_open_impl());
+        hints.extend_from_slice(self.noise_frames());
+        hints.extend_from_slice(self.garbage_frames());
+        hints
+    }
 }
 
 #[cfg(test)]
@@ -170,5 +196,19 @@ mod tests {
     fn poll_depths_are_positive() {
         assert!(FrameVocabulary::Linux.max_poll_depth() >= 1);
         assert!(FrameVocabulary::BlueGeneL.max_poll_depth() >= 1);
+    }
+
+    #[test]
+    fn dictionary_hints_cover_the_vocabulary() {
+        for v in [FrameVocabulary::Linux, FrameVocabulary::BlueGeneL] {
+            let hints = v.dictionary_hints();
+            assert!(hints.contains(&v.start()));
+            assert!(hints.contains(&v.send_stall()));
+            assert!(hints.contains(&v.unknown_frame()));
+            for step in v.poll_step() {
+                assert!(hints.contains(step));
+            }
+            assert!(hints.len() > 20);
+        }
     }
 }

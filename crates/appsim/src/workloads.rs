@@ -52,6 +52,10 @@ impl Application for AllEquivalentApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, _rank: u64, _thread: u32, _sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), v.barrier()];
@@ -93,6 +97,10 @@ impl Application for ComputeSpreadApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let kernels = v.compute_kernels();
@@ -164,6 +172,10 @@ impl Application for DeadlockPairApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main()];
@@ -213,6 +225,10 @@ impl Application for ThreadedApp {
     fn threads_per_task(&self) -> u32 {
         1 + self.worker_threads
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         if thread == 0 {
@@ -299,6 +315,10 @@ impl Application for IoStormApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "open_restart_file"];
@@ -357,6 +377,10 @@ impl Application for OsNoiseApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![
@@ -424,6 +448,10 @@ impl Application for CollectiveMismatchApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, _sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main(), "solve_timestep"];
@@ -499,6 +527,10 @@ impl Application for CorruptedStackApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         if self.truth.is_faulty(rank) {
@@ -630,6 +662,10 @@ impl Application for RandomFaultApp {
     fn num_tasks(&self) -> u64 {
         self.tasks
     }
+    fn frame_hints(&self) -> Vec<&'static str> {
+        self.vocab.dictionary_hints()
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample: u32) -> Vec<&'static str> {
         let v = self.vocab;
         let mut path = vec![v.start(), v.main()];

@@ -99,15 +99,15 @@ fn bench_hierarchical_merge_chain(c: &mut Criterion) {
 fn bench_encode_decode(c: &mut Criterion) {
     let mut table = FrameTable::new();
     let tree = build_tree(4_096, &mut table);
+    let dict = FrameDictionary::negotiate(
+        RingHangApp::new(4_096, FrameVocabulary::BlueGeneL).frame_hints(),
+    );
     c.bench_function("prefix_tree_encode_4096", |b| {
-        b.iter(|| encode_tree(&tree, &table))
+        b.iter(|| encode_tree(&tree, &table, &dict))
     });
-    let bytes = encode_tree(&tree, &table);
+    let bytes = encode_tree(&tree, &table, &dict);
     c.bench_function("prefix_tree_decode_4096", |b| {
-        b.iter(|| {
-            let mut t = FrameTable::new();
-            decode_tree::<DenseBitVector>(&bytes, &mut t).unwrap()
-        })
+        b.iter(|| decode_tree::<DenseBitVector>(&bytes).unwrap())
     });
 }
 

@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
-use stackwalk::{FrameTable, StackTrace};
+use stackwalk::{FrameDictionary, FrameTable, StackTrace};
 use stat_core::prelude::{encode_tree, StatMergeFilter, SubtreePrefixTree, SubtreeTaskList};
 use stat_core::streaming::TreeResidentFactory;
 use tbon::delta::IncrementalTbon;
@@ -29,7 +29,7 @@ const ENDPOINTS: u32 = 65_536;
 
 /// One daemon's cumulative local 3D tree: a ring-hang-shaped call path with a
 /// little per-daemon variety so the merged tree carries a few dozen classes.
-fn cumulative_payload(daemon: usize, table: &mut FrameTable) -> Vec<u8> {
+fn cumulative_payload(daemon: usize, table: &mut FrameTable, dict: &FrameDictionary) -> Vec<u8> {
     let mut tree = SubtreePrefixTree::new_subtree(1);
     let tail = format!("poll_depth_{}", daemon % 48);
     let trace = StackTrace::new(table.intern_path(&[
@@ -45,14 +45,14 @@ fn cumulative_payload(daemon: usize, table: &mut FrameTable) -> Vec<u8> {
     tree.add_trace(&trace, 0);
     let timer = StackTrace::new(table.intern_path(&["_start", "main", "timer_handler"]));
     tree.add_trace(&timer, 0);
-    encode_tree(&tree, table)
+    encode_tree(&tree, table, dict)
 }
 
 /// A quiescent wave's delta: the wave tree minus the cumulative tree, which is
 /// an empty single-task stub.
-fn quiescent_payload(table: &mut FrameTable) -> Vec<u8> {
+fn quiescent_payload(table: &mut FrameTable, dict: &FrameDictionary) -> Vec<u8> {
     let tree = SubtreePrefixTree::new_subtree(1);
-    encode_tree(&tree, table)
+    encode_tree(&tree, table, dict)
 }
 
 fn bench_quiescent_wave(c: &mut Criterion) {
@@ -60,13 +60,20 @@ fn bench_quiescent_wave(c: &mut Criterion) {
     let filter = StatMergeFilter::<SubtreeTaskList>::new();
 
     let mut table = FrameTable::new();
+    let dict = FrameDictionary::default();
     let full_leaves: Vec<Packet> = topology
         .backends()
         .iter()
         .enumerate()
-        .map(|(i, &ep)| Packet::new(PacketTag::Merged3d, ep, cumulative_payload(i, &mut table)))
+        .map(|(i, &ep)| {
+            Packet::new(
+                PacketTag::Merged3d,
+                ep,
+                cumulative_payload(i, &mut table, &dict),
+            )
+        })
         .collect();
-    let stub = quiescent_payload(&mut table);
+    let stub = quiescent_payload(&mut table, &dict);
     let delta_leaves: Vec<Packet> = topology
         .backends()
         .iter()

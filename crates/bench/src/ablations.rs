@@ -87,10 +87,13 @@ pub fn ablation_bitvector() -> SeriesTable {
     // is shrunk under `STATBENCH_FAST`).
     for tasks in [8_192u64, 32_768, crate::scaled(131_072, 65_536)] {
         let app = RingHangApp::new(tasks, FrameVocabulary::BlueGeneL);
+        let dict = stackwalk::FrameDictionary::negotiate(appsim::Application::frame_hints(&app));
         let daemons = StatDaemon::partition(tasks, cluster.daemons_for(tasks));
         let daemon = &daemons[0];
-        let dense = daemon.contribute::<DenseBitVector>(&app, 3, tbon::packet::EndpointId(1));
-        let hier = daemon.contribute::<SubtreeTaskList>(&app, 3, tbon::packet::EndpointId(1));
+        let dense =
+            daemon.contribute::<DenseBitVector>(&app, 3, tbon::packet::EndpointId(1), &dict);
+        let hier =
+            daemon.contribute::<SubtreeTaskList>(&app, 3, tbon::packet::EndpointId(1), &dict);
         table.push(
             "real daemon packet bytes (original)",
             tasks,

@@ -7,7 +7,7 @@
 //! the overlay network.  Everything global happens in the filters above it.
 
 use appsim::Application;
-use stackwalk::{FrameTable, TaskSamples};
+use stackwalk::{FrameDictionary, FrameTable, TaskSamples};
 use tbon::packet::{EndpointId, Packet, PacketTag};
 
 use crate::graph::PrefixTree;
@@ -119,12 +119,15 @@ impl StatDaemon {
     ///
     /// The two daemon-local phases — sampling the application and building the local
     /// trees — are timed separately so the session can report the pipeline breakdown
-    /// the paper measures.
+    /// the paper measures.  `dict` is the session's negotiated frame dictionary:
+    /// the daemon still symbolises into its own local [`FrameTable`], but the v2
+    /// encoder relabels every frame to its session-global id on the way out.
     pub fn contribute<S: WireTaskSet>(
         &self,
         app: &dyn Application,
         samples: u32,
         leaf_endpoint: EndpointId,
+        dict: &FrameDictionary,
     ) -> DaemonContribution {
         let mut table = FrameTable::new();
         let sample_start = std::time::Instant::now();
@@ -138,12 +141,12 @@ impl StatDaemon {
             tree_2d: Packet::new(
                 PacketTag::Merged2d,
                 leaf_endpoint,
-                encode_tree(&tree_2d, &table),
+                encode_tree(&tree_2d, &table, dict),
             ),
             tree_3d: Packet::new(
                 PacketTag::Merged3d,
                 leaf_endpoint,
-                encode_tree(&tree_3d, &table),
+                encode_tree(&tree_3d, &table, dict),
             ),
             rank_map: Packet::new(
                 PacketTag::RankMap,
@@ -205,12 +208,13 @@ mod tests {
     #[test]
     fn contribution_packets_decode_back() {
         let app = RingHangApp::new(32, FrameVocabulary::BlueGeneL);
+        let dict = FrameDictionary::negotiate(app.frame_hints());
         let daemons = StatDaemon::partition(32, 4);
-        let c = daemons[1].contribute::<DenseBitVector>(&app, 3, EndpointId(5));
+        let c = daemons[1].contribute::<DenseBitVector>(&app, 3, EndpointId(5), &dict);
         assert_eq!(c.daemon_id, 1);
         assert_eq!(c.traces_gathered, 8 * 3);
-        let mut table = FrameTable::new();
-        let tree: PrefixTree<DenseBitVector> = decode_tree(&c.tree_2d.payload, &mut table).unwrap();
+        let (tree, _frames): (PrefixTree<DenseBitVector>, _) =
+            decode_tree(&c.tree_2d.payload).unwrap();
         assert_eq!(tree.tasks(tree.root()).members(), daemons[1].ranks);
         let map = crate::serialize::decode_rank_map(&c.rank_map.payload).unwrap();
         assert_eq!(map, daemons[1].ranks);
@@ -219,9 +223,10 @@ mod tests {
     #[test]
     fn hierarchical_contribution_is_much_smaller_for_big_jobs() {
         let app = RingHangApp::new(8_192, FrameVocabulary::BlueGeneL);
+        let dict = FrameDictionary::negotiate(app.frame_hints());
         let daemons = StatDaemon::partition(8_192, 64);
-        let dense = daemons[0].contribute::<DenseBitVector>(&app, 1, EndpointId(1));
-        let hier = daemons[0].contribute::<SubtreeTaskList>(&app, 1, EndpointId(1));
+        let dense = daemons[0].contribute::<DenseBitVector>(&app, 1, EndpointId(1), &dict);
+        let hier = daemons[0].contribute::<SubtreeTaskList>(&app, 1, EndpointId(1), &dict);
         assert!(dense.tree_2d.size_bytes() > 10 * hier.tree_2d.size_bytes());
     }
 }

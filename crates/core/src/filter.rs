@@ -7,23 +7,31 @@
 //! [`RankMapFilter`] concatenates the daemons' local rank lists in exactly the same
 //! child order, which is what makes the front end's remap step possible for the
 //! hierarchical representation.
+//!
+//! Under wire format v2 the filter never touches a frame name: every packet in a
+//! session carries ids from one negotiated [`stackwalk::FrameDictionary`], so
+//! comparing two frames during the merge is integer equality on ids.  The filter
+//! only has to union the incremental dictionary records its children shipped and
+//! forward them with the merged tree, which keeps each packet self-contained.
 
 use std::marker::PhantomData;
 
-use stackwalk::FrameTable;
 use tbon::filter::Filter;
 use tbon::packet::{EndpointId, Packet, PacketTag};
 
 use crate::graph::PrefixTree;
-use crate::serialize::{decode_rank_map, decode_tree, encode_rank_map, encode_tree, WireTaskSet};
+use crate::serialize::{
+    decode_rank_map, decode_tree, encode_merged_tree, encode_rank_map, WireFrames, WireTaskSet,
+};
 
 /// The prefix-tree merge filter, generic over the task-set representation.
 ///
 /// The filter is stateless: each invocation decodes the child packets into trees
-/// (re-interning frame names into a local table), merges them left to right, and
-/// re-encodes the result.  Malformed child payloads are skipped rather than poisoning
-/// the whole reduction — a daemon that produced garbage should not take down the
-/// session — but the skip is counted in the packet tag so tests can detect it.
+/// carrying session-global frame ids, merges them left to right by id, and
+/// re-encodes the result.  Malformed child payloads — including packets whose
+/// dictionary negotiation does not match the sibling packets' — are skipped rather
+/// than poisoning the whole reduction: a daemon that produced garbage should not
+/// take down the session.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StatMergeFilter<S> {
     _repr: PhantomData<S>,
@@ -39,25 +47,30 @@ impl<S> StatMergeFilter<S> {
 impl<S: WireTaskSet + Send + Sync> Filter for StatMergeFilter<S> {
     fn reduce(&self, node: EndpointId, inputs: &[Packet]) -> Packet {
         let tag = inputs.first().map(|p| p.tag).unwrap_or(PacketTag::Merged2d);
-        let mut table = FrameTable::new();
-        let mut merged: Option<PrefixTree<S>> = None;
+        let mut merged: Option<(PrefixTree<S>, WireFrames)> = None;
         for packet in inputs {
-            let tree = match decode_tree::<S>(&packet.payload, &mut table) {
-                Ok(t) => t,
+            let (tree, frames) = match decode_tree::<S>(&packet.payload) {
+                Ok(decoded) => decoded,
                 Err(_) => continue,
             };
             merged = Some(match merged.take() {
-                None => tree,
-                Some(mut acc) => {
-                    // By-value merge: the decoded child tree's task sets move into
-                    // the accumulator, nothing is cloned on the hot path.
-                    acc.merge(tree);
-                    acc
+                None => (tree, frames),
+                Some((mut acc, mut acc_frames)) => {
+                    if acc_frames.merge(&frames).is_err() {
+                        // A foreign-session packet cannot be merged by id; skip
+                        // it like any other malformed child.
+                        (acc, acc_frames)
+                    } else {
+                        // By-value merge: the decoded child tree's task sets move
+                        // into the accumulator, nothing is cloned on the hot path.
+                        acc.merge(tree);
+                        (acc, acc_frames)
+                    }
                 }
             });
         }
         match merged {
-            Some(tree) => Packet::new(tag, node, encode_tree(&tree, &table)),
+            Some((tree, frames)) => Packet::new(tag, node, encode_merged_tree(&tree, &frames)),
             None => Packet::control(tag, node),
         }
     }
@@ -92,10 +105,16 @@ impl Filter for RankMapFilter {
 mod tests {
     use super::*;
     use crate::graph::{GlobalPrefixTree, SubtreePrefixTree};
+    use crate::serialize::encode_tree;
     use crate::taskset::{DenseBitVector, SubtreeTaskList, TaskSetOps};
-    use stackwalk::StackTrace;
+    use stackwalk::{FrameDictionary, FrameTable, StackTrace};
+
+    fn session_dictionary() -> FrameDictionary {
+        FrameDictionary::negotiate(["_start", "main", "MPI_Barrier", "do_SendOrStall"])
+    }
 
     fn daemon_packet_global(
+        dict: &FrameDictionary,
         source: u32,
         ranks: std::ops::Range<u64>,
         total: u64,
@@ -116,21 +135,21 @@ mod tests {
         Packet::new(
             PacketTag::Merged2d,
             EndpointId(source),
-            encode_tree(&tree, &table),
+            encode_tree(&tree, &table, dict),
         )
     }
 
     #[test]
     fn global_filter_merges_children() {
+        let dict = session_dictionary();
         let filter = StatMergeFilter::<DenseBitVector>::new();
         let inputs = vec![
-            daemon_packet_global(1, 0..8, 24, Some(1)),
-            daemon_packet_global(2, 8..16, 24, None),
-            daemon_packet_global(3, 16..24, 24, None),
+            daemon_packet_global(&dict, 1, 0..8, 24, Some(1)),
+            daemon_packet_global(&dict, 2, 8..16, 24, None),
+            daemon_packet_global(&dict, 3, 16..24, 24, None),
         ];
         let out = filter.reduce(EndpointId(0), &inputs);
-        let mut table = FrameTable::new();
-        let tree: GlobalPrefixTree = decode_tree(&out.payload, &mut table).unwrap();
+        let (tree, _frames): (GlobalPrefixTree, WireFrames) = decode_tree(&out.payload).unwrap();
         assert_eq!(tree.tasks(tree.root()).count(), 24);
         let leaves = tree.leaves();
         assert_eq!(leaves.len(), 2);
@@ -144,6 +163,7 @@ mod tests {
 
     #[test]
     fn subtree_filter_concatenates_domains_in_child_order() {
+        let dict = session_dictionary();
         let mut table = FrameTable::new();
         let barrier = StackTrace::new(table.intern_path(&["_start", "main", "MPI_Barrier"]));
         let make = |local_tasks: u64| {
@@ -154,26 +174,40 @@ mod tests {
             Packet::new(
                 PacketTag::Merged2d,
                 EndpointId(9),
-                encode_tree(&tree, &table),
+                encode_tree(&tree, &table, &dict),
             )
         };
         let filter = StatMergeFilter::<SubtreeTaskList>::new();
         let out = filter.reduce(EndpointId(0), &[make(4), make(8), make(2)]);
-        let mut t2 = FrameTable::new();
-        let tree: SubtreePrefixTree = decode_tree(&out.payload, &mut t2).unwrap();
+        let (tree, _frames): (SubtreePrefixTree, WireFrames) = decode_tree(&out.payload).unwrap();
         assert_eq!(tree.width(), 14);
         assert_eq!(tree.tasks(tree.root()).count(), 14);
     }
 
     #[test]
     fn malformed_children_are_skipped() {
+        let dict = session_dictionary();
         let filter = StatMergeFilter::<DenseBitVector>::new();
-        let good = daemon_packet_global(1, 0..4, 8, None);
+        let good = daemon_packet_global(&dict, 1, 0..4, 8, None);
         let bad = Packet::new(PacketTag::Merged2d, EndpointId(2), vec![1, 2, 3]);
         let out = filter.reduce(EndpointId(0), &[bad, good]);
-        let mut table = FrameTable::new();
-        let tree: GlobalPrefixTree = decode_tree(&out.payload, &mut table).unwrap();
+        let (tree, _frames): (GlobalPrefixTree, WireFrames) = decode_tree(&out.payload).unwrap();
         assert_eq!(tree.tasks(tree.root()).count(), 4);
+    }
+
+    #[test]
+    fn foreign_session_children_are_skipped_like_corruption() {
+        // Two packets negotiated against *different* dictionaries cannot be
+        // merged by id; the filter keeps the first and skips the imposter.
+        let dict = session_dictionary();
+        let other = FrameDictionary::negotiate(["_start"]);
+        let filter = StatMergeFilter::<DenseBitVector>::new();
+        let ours = daemon_packet_global(&dict, 1, 0..4, 8, None);
+        let theirs = daemon_packet_global(&other, 2, 4..8, 8, None);
+        let out = filter.reduce(EndpointId(0), &[ours, theirs]);
+        let (tree, frames): (GlobalPrefixTree, WireFrames) = decode_tree(&out.payload).unwrap();
+        assert_eq!(tree.tasks(tree.root()).count(), 4);
+        assert_eq!(frames.base_len(), dict.base_len());
     }
 
     #[test]

@@ -76,7 +76,9 @@ pub mod prelude {
     pub use crate::scenario::{
         diagnose, run_scenario, run_scenario_in, run_scenario_with, ScenarioRun,
     };
-    pub use crate::serialize::{decode_tree, encode_tree};
+    pub use crate::serialize::{
+        decode_tree, encode_merged_tree, encode_tree, DecodeError, EncodeError, WireFrames,
+    };
     pub use crate::session::{
         MergeEstimate, PhaseEstimator, PhaseTimings, Session, SessionBuilder, SessionReport,
     };
@@ -86,6 +88,7 @@ pub mod prelude {
         format_rank_ranges, DenseBitVector, MemberIter, SubtreeTaskList, TaskSetOps,
     };
     pub use crate::threads::{measure_thread_scaling, project_thread_counts};
+    pub use stackwalk::FrameDictionary;
 }
 
 pub use prelude::*;

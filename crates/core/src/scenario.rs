@@ -193,12 +193,14 @@ pub fn run_scenario_in(
         .collect();
 
     // Only the survivors spend sampling time: a dead daemon gathers nothing.
+    // The degraded gather still encodes against one session-global dictionary.
+    let dict = stackwalk::FrameDictionary::negotiate(app.frame_hints());
     let strategy = representation.strategy();
     let degraded_topology = Topology::build(degraded_spec.clone());
     let contributions: Vec<DaemonContribution> = surviving
         .iter()
         .zip(degraded_topology.backends())
-        .map(|(&idx, &leaf)| strategy.contribute(&daemons[idx], app, samples_per_task, leaf))
+        .map(|(&idx, &leaf)| strategy.contribute(&daemons[idx], app, samples_per_task, leaf, &dict))
         .collect();
 
     // Mid-tree faults hit the *degraded* tree: the corrupted comm process is
@@ -210,7 +212,7 @@ pub fn run_scenario_in(
         .samples_per_task(samples_per_task)
         .filter_faults(filter_faults)
         .build();
-    let gather = merge_session.merge(contributions, tasks)?;
+    let gather = merge_session.merge(contributions, tasks, &dict)?;
     let diagnosis = diagnose(&gather, tasks, lost_ranks);
     let verdict = scenario.truth.check(&scenario.name, &diagnosis);
     Ok(ScenarioRun {

@@ -24,6 +24,7 @@ use machine::cluster::Cluster;
 use machine::placement::PlacementPlan;
 use simkit::time::SimDuration;
 use stackwalk::sampler::{BinaryPlacement, SamplingCostModel, SamplingEstimate};
+use stackwalk::FrameDictionary;
 use tbon::cost::ReductionCostModel;
 use tbon::fault::{CorruptingFilter, FilterFault};
 use tbon::filter::Filter;
@@ -36,6 +37,7 @@ use crate::equivalence::equivalence_classes;
 use crate::error::{MergeChannel, StatError};
 use crate::filter::RankMapFilter;
 use crate::frontend::{GatherResult, MergeMetrics, Representation};
+use crate::serialize::encode_dictionary;
 
 /// Wall-clock time of each phase of a real session, in pipeline order.
 ///
@@ -86,6 +88,11 @@ pub struct SessionReport {
     pub max_daemon_packet_bytes: u64,
     /// Mean serialised contribution (2D + 3D trees) across daemons.
     pub mean_daemon_packet_bytes: u64,
+    /// Bytes spent broadcasting the negotiated frame dictionary down the overlay
+    /// at session setup: the encoded dictionary payload once per overlay link.
+    /// A one-time setup cost, kept separate from the per-gather `packet_bytes`
+    /// so streaming sessions can amortise it across waves.
+    pub dictionary_bytes: u64,
 }
 
 /// How a session decides its overlay tree shape.
@@ -267,11 +274,22 @@ impl Session {
         let topology = Topology::build(spec.clone());
         let strategy = self.representation.strategy();
 
+        // Wire-format v2: the session-global frame dictionary is negotiated once,
+        // before any daemon contributes, and every packet in the session then
+        // carries integer ids from it.  Negotiation costs one broadcast of the
+        // encoded dictionary down the overlay, priced per link.
+        let dict = FrameDictionary::negotiate(app.frame_hints());
+        let dictionary_payload = encode_dictionary(&dict.negotiated_names()).len() as u64;
+        let dictionary_bytes =
+            InProcessTbon::new(topology.clone()).broadcast_link_bytes(dictionary_payload);
+
         let daemons = StatDaemon::partition(tasks, spec.backends());
         let contributions: Vec<DaemonContribution> = daemons
             .iter()
             .zip(topology.backends())
-            .map(|(daemon, &leaf)| strategy.contribute(daemon, app, self.samples_per_task, leaf))
+            .map(|(daemon, &leaf)| {
+                strategy.contribute(daemon, app, self.samples_per_task, leaf, &dict)
+            })
             .collect();
 
         let traces_gathered = contributions.iter().map(|c| c.traces_gathered).sum();
@@ -297,7 +315,7 @@ impl Session {
         };
         let packet_bytes = per_daemon_bytes.iter().sum::<u64>() + rank_map_bytes;
 
-        let (gather, mut phases) = self.merge_through(&topology, contributions, tasks)?;
+        let (gather, mut phases) = self.merge_through(&topology, contributions, tasks, &dict)?;
         phases.sample = sample;
         phases.local_merge = local_merge;
 
@@ -310,6 +328,7 @@ impl Session {
             packet_bytes,
             max_daemon_packet_bytes,
             mean_daemon_packet_bytes,
+            dictionary_bytes,
         })
     }
 
@@ -319,14 +338,18 @@ impl Session {
     /// This is the path for degraded gathers: after overlay faults prune daemons,
     /// the survivors' contributions can be merged over a pinned replacement topology
     /// (see [`SessionBuilder::topology`]).
+    ///
+    /// `dict` must be the frame dictionary the contributions were encoded against —
+    /// the session-global id space survives the re-merge unchanged.
     pub fn merge(
         &self,
         contributions: Vec<DaemonContribution>,
         total_tasks: u64,
+        dict: &FrameDictionary,
     ) -> Result<GatherResult, StatError> {
         let spec = self.topology_for(total_tasks);
         let topology = Topology::build(spec);
-        let (gather, _) = self.merge_through(&topology, contributions, total_tasks)?;
+        let (gather, _) = self.merge_through(&topology, contributions, total_tasks, dict)?;
         Ok(gather)
     }
 
@@ -338,6 +361,7 @@ impl Session {
         topology: &Topology,
         contributions: Vec<DaemonContribution>,
         total_tasks: u64,
+        dict: &FrameDictionary,
     ) -> Result<(GatherResult, PhaseTimings), StatError> {
         let strategy = self.representation.strategy();
 
@@ -394,7 +418,13 @@ impl Session {
         let mut metrics = MergeMetrics::default();
         metrics.absorb_walk(&outcomes, reduce);
 
-        let merged = strategy.finish(&outcomes[0], &outcomes[1], outcomes.get(2), total_tasks)?;
+        let merged = strategy.finish(
+            &outcomes[0],
+            &outcomes[1],
+            outcomes.get(2),
+            total_tasks,
+            dict,
+        )?;
         metrics.remap_wall = merged.remap_wall;
 
         let classify_start = Instant::now();
@@ -449,7 +479,8 @@ pub struct PhaseEstimator {
     /// Edges of a locally merged 3D tree (more, because sampling over time fans the
     /// polling frames out).
     pub tree_edges_3d: u64,
-    /// Bytes of frame names carried once per packet.
+    /// Bytes of incremental dictionary records (frame names the negotiated
+    /// dictionary did not cover) carried once per packet under wire format v2.
     pub frame_names_bytes: u64,
     /// Seconds per task of the front-end remap step (only paid by the hierarchical
     /// representation; 0.66 s / 208K tasks in the paper).
@@ -499,13 +530,20 @@ impl PhaseEstimator {
         let tasks_per_daemon = shape.tasks_per_daemon as u64;
         let representation = self.representation;
         let frame_bytes = self.frame_names_bytes;
+        // Per-node packet bytes are priced with the same arithmetic the v2 wire
+        // format actually produces (see `tbon::cost`): LEB128 words for dense bit
+        // vectors, run-length tokens for subtree task lists, both plus the fixed
+        // per-node header overhead.  Estimates and real encoded sizes therefore
+        // cannot drift.
         let cost = model.reduce(&move |_id, subtree_backends| {
             let label_bytes = match representation {
-                Representation::GlobalBitVector => total_tasks.div_ceil(8) + 8,
+                Representation::GlobalBitVector => {
+                    tbon::cost::dense_node_bytes(total_tasks, total_tasks)
+                }
                 Representation::HierarchicalTaskList => {
                     let subtree_tasks =
                         (subtree_backends as u64 * tasks_per_daemon).min(total_tasks);
-                    subtree_tasks.div_ceil(8) + 8
+                    tbon::cost::subtree_node_bytes(subtree_tasks)
                 }
             };
             edges * label_bytes + frame_bytes
@@ -590,6 +628,8 @@ mod tests {
         // The pipeline phases are all visible.
         assert!(report.phases.total() >= report.phases.reduce);
         assert!(report.max_daemon_packet_bytes >= report.mean_daemon_packet_bytes);
+        // The negotiated dictionary was broadcast once per overlay link.
+        assert!(report.dictionary_bytes > 0);
     }
 
     #[test]
@@ -668,6 +708,7 @@ mod tests {
 
         // Re-merge with one contribution missing: the overlay reports which channel
         // came up short instead of asserting.
+        let dict = FrameDictionary::negotiate(app.frame_hints());
         let daemons = StatDaemon::partition(64, 8);
         let topology = Topology::build(TreeShape::two_deep(8, 4));
         let mut contributions: Vec<DaemonContribution> = daemons
@@ -676,11 +717,11 @@ mod tests {
             .map(|(d, &leaf)| {
                 Representation::HierarchicalTaskList
                     .strategy()
-                    .contribute(d, &app, 1, leaf)
+                    .contribute(d, &app, 1, leaf, &dict)
             })
             .collect();
         contributions.pop();
-        let err = session.merge(contributions, 64).unwrap_err();
+        let err = session.merge(contributions, 64, &dict).unwrap_err();
         assert_eq!(
             err,
             StatError::Reduce(TbonError::LeafCountMismatch {
@@ -694,11 +735,12 @@ mod tests {
     fn corrupted_contributions(
         app: &RingHangApp,
         corrupt: impl Fn(&mut DaemonContribution),
-    ) -> (Session, Vec<DaemonContribution>) {
+    ) -> (Session, Vec<DaemonContribution>, FrameDictionary) {
         let session = Session::builder(Cluster::test_cluster(8, 8))
             .topology(TreeShape::two_deep(8, 4))
             .samples_per_task(1)
             .build();
+        let dict = FrameDictionary::negotiate(app.frame_hints());
         let daemons = StatDaemon::partition(app.num_tasks(), 8);
         let topology = Topology::build(TreeShape::two_deep(8, 4));
         let contributions = daemons
@@ -707,12 +749,12 @@ mod tests {
             .map(|(d, &leaf)| {
                 let mut c = Representation::HierarchicalTaskList
                     .strategy()
-                    .contribute(d, app, 1, leaf);
+                    .contribute(d, app, 1, leaf, &dict);
                 corrupt(&mut c);
                 c
             })
             .collect();
-        (session, contributions)
+        (session, contributions, dict)
     }
 
     #[test]
@@ -721,10 +763,10 @@ mod tests {
         // Corrupt every daemon's 2D packet: the merge filter skips them all, so the
         // front end receives an empty control packet and reports the decode failure
         // with its channel.
-        let (session, contributions) = corrupted_contributions(&app, |c| {
+        let (session, contributions, dict) = corrupted_contributions(&app, |c| {
             c.tree_2d = Packet::new(PacketTag::Merged2d, c.tree_2d.source, vec![9, 9, 9]);
         });
-        let err = session.merge(contributions, 64).unwrap_err();
+        let err = session.merge(contributions, 64, &dict).unwrap_err();
         match err {
             StatError::Decode { channel, .. } => assert_eq!(channel, MergeChannel::Tree2d),
             other => panic!("expected a 2d-tree decode error, got {other:?}"),
@@ -734,10 +776,10 @@ mod tests {
     #[test]
     fn malformed_3d_channel_reports_its_own_channel() {
         let app = RingHangApp::new(64, FrameVocabulary::Linux);
-        let (session, contributions) = corrupted_contributions(&app, |c| {
+        let (session, contributions, dict) = corrupted_contributions(&app, |c| {
             c.tree_3d = Packet::new(PacketTag::Merged3d, c.tree_3d.source, vec![0]);
         });
-        let err = session.merge(contributions, 64).unwrap_err();
+        let err = session.merge(contributions, 64, &dict).unwrap_err();
         match err {
             StatError::Decode { channel, .. } => assert_eq!(channel, MergeChannel::Tree3d),
             other => panic!("expected a 3d-tree decode error, got {other:?}"),
@@ -747,12 +789,13 @@ mod tests {
     #[test]
     fn short_rank_map_fails_the_remap_instead_of_panicking() {
         let app = RingHangApp::new(64, FrameVocabulary::Linux);
-        // Corrupt every daemon's rank map: the rank-map filter skips them all, the
-        // concatenated map is empty, and the remap refuses to invent ranks.
-        let (session, contributions) = corrupted_contributions(&app, |c| {
-            c.rank_map = Packet::new(PacketTag::RankMap, c.rank_map.source, vec![1, 2, 3]);
+        // Corrupt every daemon's rank map (a lying count prefix with no entries
+        // behind it): the rank-map filter skips them all, the concatenated map is
+        // empty, and the remap refuses to invent ranks.
+        let (session, contributions, dict) = corrupted_contributions(&app, |c| {
+            c.rank_map = Packet::new(PacketTag::RankMap, c.rank_map.source, vec![9, 9, 9]);
         });
-        let err = session.merge(contributions, 64).unwrap_err();
+        let err = session.merge(contributions, 64, &dict).unwrap_err();
         assert_eq!(
             err,
             StatError::RankMapMismatch {
@@ -763,10 +806,45 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_rank_map_fails_the_remap_instead_of_panicking() {
+        let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        // A bit-flipped rank map can still parse: varint deltas decode
+        // permissively, so the corruption shows up as ranks the job does not
+        // have.  The remap must refuse with a typed error, not index past the
+        // dense width.
+        let (session, contributions, dict) = corrupted_contributions(&app, |c| {
+            let ranks: Vec<u64> = crate::serialize::decode_rank_map(&c.rank_map.payload)
+                .unwrap()
+                .into_iter()
+                .map(|r| r + 1_000_000)
+                .collect();
+            c.rank_map = Packet::new(
+                PacketTag::RankMap,
+                c.rank_map.source,
+                crate::serialize::encode_rank_map(&ranks),
+            );
+        });
+        let err = session.merge(contributions, 64, &dict).unwrap_err();
+        match err {
+            StatError::Decode {
+                channel,
+                source: crate::serialize::DecodeError::RankOutOfRange { rank, tasks },
+                ..
+            } => {
+                assert_eq!(channel, MergeChannel::RankMap);
+                assert_eq!(tasks, 64);
+                assert!(rank >= 1_000_000);
+            }
+            other => panic!("expected an out-of-range rank-map error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn degraded_merge_over_a_pinned_topology() {
         // The fault-handling path: merge only 4 of 8 daemons' contributions over a
         // pruned replacement topology.
         let app = RingHangApp::new(64, FrameVocabulary::Linux);
+        let dict = FrameDictionary::negotiate(app.frame_hints());
         let daemons = StatDaemon::partition(64, 8);
         let full_topology = Topology::build(TreeShape::two_deep(8, 4));
         let contributions: Vec<DaemonContribution> = daemons
@@ -776,13 +854,13 @@ mod tests {
             .map(|(d, &leaf)| {
                 Representation::HierarchicalTaskList
                     .strategy()
-                    .contribute(d, &app, 2, leaf)
+                    .contribute(d, &app, 2, leaf, &dict)
             })
             .collect();
         let session = Session::builder(Cluster::test_cluster(8, 8))
             .topology(TreeShape::two_deep(4, 2))
             .build();
-        let gather = session.merge(contributions, 64).unwrap();
+        let gather = session.merge(contributions, 64, &dict).unwrap();
         assert_eq!(gather.tree_3d.tasks(gather.tree_3d.root()).count(), 32);
     }
 

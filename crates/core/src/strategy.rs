@@ -17,7 +17,7 @@
 use std::time::{Duration, Instant};
 
 use appsim::Application;
-use stackwalk::FrameTable;
+use stackwalk::{FrameDictionary, FrameTable};
 use tbon::filter::Filter;
 use tbon::network::ReductionOutcome;
 use tbon::packet::EndpointId;
@@ -27,7 +27,7 @@ use crate::error::{MergeChannel, StatError};
 use crate::filter::StatMergeFilter;
 use crate::frontend::Representation;
 use crate::graph::{GlobalPrefixTree, SubtreePrefixTree};
-use crate::serialize::{decode_rank_map, decode_tree};
+use crate::serialize::{decode_rank_map, decode_tree, DecodeError};
 use crate::taskset::{DenseBitVector, SubtreeTaskList};
 
 mod sealed {
@@ -57,13 +57,15 @@ pub trait RepresentationStrategy: sealed::Sealed + Send + Sync {
     /// The enum tag this strategy implements.
     fn representation(&self) -> Representation;
 
-    /// Run one daemon's gather → local merge → serialise cycle.
+    /// Run one daemon's gather → local merge → serialise cycle against the
+    /// session's negotiated frame dictionary.
     fn contribute(
         &self,
         daemon: &StatDaemon,
         app: &dyn Application,
         samples_per_task: u32,
         leaf_endpoint: EndpointId,
+        dict: &FrameDictionary,
     ) -> DaemonContribution;
 
     /// The in-network merge filter for the two tree channels.
@@ -75,12 +77,15 @@ pub trait RepresentationStrategy: sealed::Sealed + Send + Sync {
     /// Decode the reduced channel outcomes into job-wide, rank-ordered trees.
     ///
     /// `rank_map` is `Some` exactly when [`Self::needs_rank_map`] is true.
+    /// The decoded trees carry session-global frame ids, which resolve against
+    /// `dict`'s snapshot — the same table every daemon encoded against.
     fn finish(
         &self,
         out_2d: &ReductionOutcome,
         out_3d: &ReductionOutcome,
         rank_map: Option<&ReductionOutcome>,
         total_tasks: u64,
+        dict: &FrameDictionary,
     ) -> Result<MergedTrees, StatError>;
 }
 
@@ -98,13 +103,20 @@ impl Representation {
 fn decode_channel<S: crate::serialize::WireTaskSet>(
     channel: MergeChannel,
     outcome: &ReductionOutcome,
-    frames: &mut FrameTable,
 ) -> Result<crate::graph::PrefixTree<S>, StatError> {
-    decode_tree(&outcome.result.payload, frames).map_err(|source| StatError::Decode {
-        channel,
-        endpoint: outcome.result.source,
-        source,
-    })
+    decode_tree(&outcome.result.payload)
+        .map(|(tree, _frames)| tree)
+        .map_err(|source| StatError::Decode {
+            channel,
+            endpoint: outcome.result.source,
+            source,
+        })
+}
+
+/// The frame table a finished merge resolves ids against: the negotiated base
+/// plus every incremental frame interned during the session.
+fn session_frames(dict: &FrameDictionary) -> FrameTable {
+    dict.snapshot()
 }
 
 /// The original representation: job-wide bit vectors, no remap needed.
@@ -123,8 +135,9 @@ impl RepresentationStrategy for GlobalBitVectorStrategy {
         app: &dyn Application,
         samples_per_task: u32,
         leaf_endpoint: EndpointId,
+        dict: &FrameDictionary,
     ) -> DaemonContribution {
-        daemon.contribute::<DenseBitVector>(app, samples_per_task, leaf_endpoint)
+        daemon.contribute::<DenseBitVector>(app, samples_per_task, leaf_endpoint, dict)
     }
 
     fn merge_filter(&self) -> Box<dyn Filter> {
@@ -141,14 +154,14 @@ impl RepresentationStrategy for GlobalBitVectorStrategy {
         out_3d: &ReductionOutcome,
         _rank_map: Option<&ReductionOutcome>,
         _total_tasks: u64,
+        dict: &FrameDictionary,
     ) -> Result<MergedTrees, StatError> {
-        let mut frames = FrameTable::new();
-        let tree_2d: GlobalPrefixTree = decode_channel(MergeChannel::Tree2d, out_2d, &mut frames)?;
-        let tree_3d: GlobalPrefixTree = decode_channel(MergeChannel::Tree3d, out_3d, &mut frames)?;
+        let tree_2d: GlobalPrefixTree = decode_channel(MergeChannel::Tree2d, out_2d)?;
+        let tree_3d: GlobalPrefixTree = decode_channel(MergeChannel::Tree3d, out_3d)?;
         Ok(MergedTrees {
             tree_2d,
             tree_3d,
-            frames,
+            frames: session_frames(dict),
             remap_wall: Duration::ZERO,
         })
     }
@@ -170,8 +183,9 @@ impl RepresentationStrategy for HierarchicalTaskListStrategy {
         app: &dyn Application,
         samples_per_task: u32,
         leaf_endpoint: EndpointId,
+        dict: &FrameDictionary,
     ) -> DaemonContribution {
-        daemon.contribute::<SubtreeTaskList>(app, samples_per_task, leaf_endpoint)
+        daemon.contribute::<SubtreeTaskList>(app, samples_per_task, leaf_endpoint, dict)
     }
 
     fn merge_filter(&self) -> Box<dyn Filter> {
@@ -188,11 +202,11 @@ impl RepresentationStrategy for HierarchicalTaskListStrategy {
         out_3d: &ReductionOutcome,
         rank_map: Option<&ReductionOutcome>,
         total_tasks: u64,
+        dict: &FrameDictionary,
     ) -> Result<MergedTrees, StatError> {
         let map_out = rank_map.expect("hierarchical sessions always carry a rank-map channel");
-        let mut frames = FrameTable::new();
-        let sub_2d: SubtreePrefixTree = decode_channel(MergeChannel::Tree2d, out_2d, &mut frames)?;
-        let sub_3d: SubtreePrefixTree = decode_channel(MergeChannel::Tree3d, out_3d, &mut frames)?;
+        let sub_2d: SubtreePrefixTree = decode_channel(MergeChannel::Tree2d, out_2d)?;
+        let sub_3d: SubtreePrefixTree = decode_channel(MergeChannel::Tree3d, out_3d)?;
         let position_to_rank =
             decode_rank_map(&map_out.result.payload).map_err(|source| StatError::Decode {
                 channel: MergeChannel::RankMap,
@@ -206,6 +220,19 @@ impl RepresentationStrategy for HierarchicalTaskListStrategy {
                 mapped: position_to_rank.len(),
             });
         }
+        // Varint-delta maps decode permissively, so a corrupted payload can
+        // parse into ranks the job does not have; refuse before the remap
+        // would index past the dense width.
+        if let Some(&rank) = position_to_rank.iter().find(|&&r| r >= total_tasks) {
+            return Err(StatError::Decode {
+                channel: MergeChannel::RankMap,
+                endpoint: map_out.result.source,
+                source: DecodeError::RankOutOfRange {
+                    rank,
+                    tasks: total_tasks,
+                },
+            });
+        }
         // The remap step the paper prices at 0.66 s for 208K tasks.
         let start = Instant::now();
         let tree_2d = sub_2d.remap(&position_to_rank, total_tasks);
@@ -213,7 +240,7 @@ impl RepresentationStrategy for HierarchicalTaskListStrategy {
         Ok(MergedTrees {
             tree_2d,
             tree_3d,
-            frames,
+            frames: session_frames(dict),
             remap_wall: start.elapsed(),
         })
     }
@@ -255,7 +282,7 @@ mod tests {
         let garbage = outcome_with_payload(vec![1, 2, 3]);
         let err = Representation::GlobalBitVector
             .strategy()
-            .finish(&garbage, &garbage, None, 16)
+            .finish(&garbage, &garbage, None, 16, &FrameDictionary::default())
             .unwrap_err();
         match err {
             StatError::Decode { channel, .. } => assert_eq!(channel, MergeChannel::Tree2d),

@@ -41,7 +41,7 @@ use std::time::{Duration, Instant};
 
 use appsim::scenario::{Diagnosis, OverlayFault, Verdict};
 use appsim::{gather_samples_for_ranks_from, Application, WaveSource};
-use stackwalk::FrameTable;
+use stackwalk::{FrameDictionary, FrameTable};
 use tbon::delta::{IncrementalTbon, ResidentState, StateFactory};
 use tbon::fault::FaultTracker;
 use tbon::filter::Filter;
@@ -53,7 +53,10 @@ use crate::error::StatError;
 use crate::frontend::Representation;
 use crate::graph::PrefixTree;
 use crate::scenario::{diagnose, resolve_fault};
-use crate::serialize::{decode_tree, encode_rank_map, encode_tree, encoded_tree_size, WireTaskSet};
+use crate::serialize::{
+    decode_tree, encode_rank_map, encode_tree, encoded_merged_tree_size, encoded_tree_size,
+    WireFrames, WireTaskSet,
+};
 use crate::session::{PhaseTimings, Session};
 use crate::taskset::{DenseBitVector, SubtreeTaskList};
 
@@ -79,10 +82,13 @@ fn canonical<S: WireTaskSet>(tree: &PrefixTree<S>, table: &FrameTable) -> Canoni
 }
 
 /// Per-node resident state of the incremental path: a rolling merged tree plus
-/// the frame table its deltas intern into.  Public (opaque) so benchmarks can
-/// drive the production fold through [`tbon::delta::IncrementalTbon`] directly.
+/// the accumulated incremental dictionary records its deltas shipped.  Under
+/// wire format v2 the resident never re-resolves a frame name: deltas carry
+/// session-global ids, so folding is id-aligned merging plus a union of the
+/// [`WireFrames`] records.  Public (opaque) so benchmarks can drive the
+/// production fold through [`tbon::delta::IncrementalTbon`] directly.
 pub struct TreeResident<S: WireTaskSet> {
-    table: FrameTable,
+    frames: Option<WireFrames>,
     tree: Option<PrefixTree<S>>,
 }
 
@@ -92,8 +98,12 @@ impl<S: WireTaskSet> ResidentState for TreeResident<S> {
             // An empty control packet: nothing reached this node this wave.
             return Ok(());
         }
-        let decoded: PrefixTree<S> =
-            decode_tree(&delta.payload, &mut self.table).map_err(|e| e.to_string())?;
+        let (decoded, decoded_frames): (PrefixTree<S>, WireFrames) =
+            decode_tree(&delta.payload).map_err(|e| e.to_string())?;
+        match self.frames.as_mut() {
+            None => self.frames = Some(decoded_frames),
+            Some(frames) => frames.merge(&decoded_frames).map_err(|e| e.to_string())?,
+        }
         match self.tree.as_mut() {
             None => self.tree = Some(decoded),
             Some(tree) => {
@@ -111,10 +121,10 @@ impl<S: WireTaskSet> ResidentState for TreeResident<S> {
     }
 
     fn resident_bytes(&self) -> usize {
-        self.tree
-            .as_ref()
-            .map(|tree| encoded_tree_size(tree, &self.table))
-            .unwrap_or(0)
+        match (self.tree.as_ref(), self.frames.as_ref()) {
+            (Some(tree), Some(frames)) => encoded_merged_tree_size(tree, frames),
+            _ => 0,
+        }
     }
 }
 
@@ -139,7 +149,7 @@ impl<S: WireTaskSet> StateFactory for TreeResidentFactory<S> {
     type State = TreeResident<S>;
     fn new_state(&self) -> TreeResident<S> {
         TreeResident {
-            table: FrameTable::new(),
+            frames: None,
             tree: None,
         }
     }
@@ -165,14 +175,16 @@ struct WaveStats {
 }
 
 /// The representation-monomorphic core of a streaming session: one slot per
-/// original daemon (`None` once lost) plus the incremental overlay state.
+/// original daemon (`None` once lost) plus the incremental overlay state and
+/// the session-global frame dictionary every wave encodes against.
 struct StreamCore<S: WireTaskSet> {
     streams: Vec<Option<DaemonStream<S>>>,
     incremental: IncrementalTbon<TreeResidentFactory<S>>,
+    dict: FrameDictionary,
 }
 
 impl<S: WireTaskSet> StreamCore<S> {
-    fn new(daemons: Vec<StatDaemon>, topology: &Topology) -> Self {
+    fn new(daemons: Vec<StatDaemon>, topology: &Topology, dict: FrameDictionary) -> Self {
         let hierarchical = S::TAG == 1;
         let streams = daemons
             .into_iter()
@@ -192,6 +204,7 @@ impl<S: WireTaskSet> StreamCore<S> {
         StreamCore {
             streams,
             incremental: IncrementalTbon::new(topology.clone(), TreeResidentFactory(PhantomData)),
+            dict,
         }
     }
 
@@ -228,7 +241,7 @@ impl<S: WireTaskSet> StreamCore<S> {
                 Packet::new(
                     PacketTag::TreeDelta,
                     leaf,
-                    encode_tree(&stream.cum_3d, &stream.table),
+                    encode_tree(&stream.cum_3d, &stream.table, &self.dict),
                 )
             })
             .collect();
@@ -274,11 +287,11 @@ impl<S: WireTaskSet> StreamCore<S> {
 
             let merge_start = Instant::now();
             let (wave_2d, wave_3d) = stream.daemon.build_trees::<S>(&gathered);
-            let bytes_2d = encode_tree(&wave_2d, &stream.table);
-            let bytes_3d = encode_tree(&wave_3d, &stream.table);
+            let bytes_2d = encode_tree(&wave_2d, &stream.table, &self.dict);
+            let bytes_3d = encode_tree(&wave_3d, &stream.table, &self.dict);
             let delta = wave_3d.delta_from(&stream.cum_3d);
             stream.cum_3d.merge_aligned(wave_3d);
-            let delta_payload = encode_tree(&delta, &stream.table);
+            let delta_payload = encode_tree(&delta, &stream.table, &self.dict);
             let local_merge_wall = merge_start.elapsed();
 
             let tree_2d = Packet::new(PacketTag::Merged2d, leaf, bytes_2d);
@@ -294,7 +307,8 @@ impl<S: WireTaskSet> StreamCore<S> {
             }
             let delta_packet = Packet::new(PacketTag::TreeDelta, leaf, delta_payload);
             stats.delta_bytes += delta_packet.size_bytes() as u64;
-            stats.full_packet_bytes += encoded_tree_size(&stream.cum_3d, &stream.table) as u64;
+            stats.full_packet_bytes +=
+                encoded_tree_size(&stream.cum_3d, &stream.table, &self.dict) as u64;
             stats.sample += sample_wall;
             stats.local_merge += local_merge_wall;
 
@@ -321,9 +335,12 @@ impl<S: WireTaskSet> StreamCore<S> {
     }
 
     fn incremental_canonical(&self) -> CanonicalTree {
+        // Frame ids in the resident tree are session-global, so the dictionary
+        // snapshot — the same table every daemon encoded against — resolves
+        // every name, including incrementally interned ones.
         match self.incremental.frontend_state() {
             Some(state) => match state.tree.as_ref() {
-                Some(tree) => canonical(tree, &state.table),
+                Some(tree) => canonical(tree, &self.dict.snapshot()),
                 None => Vec::new(),
             },
             None => Vec::new(),
@@ -331,11 +348,10 @@ impl<S: WireTaskSet> StreamCore<S> {
     }
 
     fn batched_canonical(&self) -> CanonicalTree {
-        let mut table = FrameTable::new();
         let mut merged: Option<PrefixTree<S>> = None;
         for stream in self.streams.iter().flatten() {
-            let payload = encode_tree(&stream.cum_3d, &stream.table);
-            let Ok(tree) = decode_tree::<S>(&payload, &mut table) else {
+            let payload = encode_tree(&stream.cum_3d, &stream.table, &self.dict);
+            let Ok((tree, _frames)) = decode_tree::<S>(&payload) else {
                 return Vec::new();
             };
             match merged.as_mut() {
@@ -344,7 +360,7 @@ impl<S: WireTaskSet> StreamCore<S> {
             }
         }
         match merged {
-            Some(tree) => canonical(&tree, &table),
+            Some(tree) => canonical(&tree, &self.dict.snapshot()),
             None => Vec::new(),
         }
     }
@@ -371,8 +387,18 @@ pub struct WaveReport {
     /// one) — the same quantity as [`crate::session::SessionReport::packet_bytes`].
     pub packet_bytes: u64,
     /// Bytes of per-daemon delta packets entering the incremental path this
-    /// wave (including any re-seed after a mid-stream prune).
+    /// wave.  Pure steady-state delta traffic: re-seed traffic after a
+    /// mid-stream prune is reported separately in [`reseed_bytes`], so the
+    /// delta column stays comparable wave over wave.
+    ///
+    /// [`reseed_bytes`]: WaveReport::reseed_bytes
     pub delta_bytes: u64,
+    /// Bytes the overlay re-seed shipped at the leaves this wave: every
+    /// survivor's full cumulative tree, re-folded as a delta against fresh
+    /// state after a mid-stream prune.  Zero unless [`reseeded`] is set.
+    ///
+    /// [`reseeded`]: WaveReport::reseeded
+    pub reseed_bytes: u64,
     /// What shipping every survivor's full cumulative 3D tree would have cost
     /// at the leaves instead — the delta path's savings baseline.
     pub full_packet_bytes: u64,
@@ -424,12 +450,17 @@ impl StreamingBuilder {
         let topology = Topology::build(spec.clone());
         let daemons = StatDaemon::partition(tasks, spec.backends());
         let total_backends = daemons.len();
+        // Wire-format v2: negotiate the session-global frame dictionary once,
+        // at open, from the source's wave-0 application.  Later waves (fault
+        // apps included) share the same vocabulary; any frame they introduce
+        // anyway ships as an incremental dictionary record.
+        let dict = FrameDictionary::negotiate(source.app_at(0).frame_hints());
         let state = match self.session.representation() {
             Representation::GlobalBitVector => {
-                StreamState::Dense(StreamCore::new(daemons, &topology))
+                StreamState::Dense(StreamCore::new(daemons, &topology, dict.clone()))
             }
             Representation::HierarchicalTaskList => {
-                StreamState::Hier(StreamCore::new(daemons, &topology))
+                StreamState::Hier(StreamCore::new(daemons, &topology, dict.clone()))
             }
         };
         Ok(StreamingSession {
@@ -443,6 +474,7 @@ impl StreamingBuilder {
             lost_ranks: Vec::new(),
             state,
             total_backends,
+            dict,
         })
     }
 }
@@ -492,6 +524,7 @@ pub struct StreamingSession {
     lost_ranks: Vec<u64>,
     state: StreamState,
     total_backends: usize,
+    dict: FrameDictionary,
 }
 
 impl StreamingSession {
@@ -537,7 +570,7 @@ impl StreamingSession {
 
         let (gather, mut phases) =
             self.session
-                .merge_through(&self.topology, contributions, self.tasks)?;
+                .merge_through(&self.topology, contributions, self.tasks, &self.dict)?;
         phases.sample = stats.sample;
         phases.local_merge = stats.local_merge;
 
@@ -559,7 +592,8 @@ impl StreamingSession {
             phases,
             fold_wall: fold.fold_wall,
             packet_bytes: stats.packet_bytes,
-            delta_bytes: stats.delta_bytes + reseed_bytes,
+            delta_bytes: stats.delta_bytes,
+            reseed_bytes,
             full_packet_bytes: stats.full_packet_bytes,
             traces_gathered,
             classes: gather.classes.len(),
@@ -702,6 +736,8 @@ mod tests {
         assert_eq!(first.covered_tasks, 64);
         assert_eq!(first.lost_tasks, 0);
         assert!(first.packet_bytes > 0);
+        // No prune, no re-seed traffic.
+        assert_eq!(first.reseed_bytes, 0);
 
         // The all-equivalent app never changes: wave 1's deltas are root-only.
         let second = stream.advance().unwrap();
@@ -768,6 +804,15 @@ mod tests {
         assert_eq!(healthy.lost_tasks, 0);
         assert!(!healthy.reseeded);
 
+        // A control stream over the same schedule, with no overlay fault: its
+        // wave-1 deltas are the eight daemons' pure steady-state traffic.
+        let mut control = Session::builder(Cluster::test_cluster(8, 8))
+            .streaming(2)
+            .open(Box::new(ring_schedule(64, 1)))
+            .unwrap();
+        control.advance().unwrap();
+        let control_wave1 = control.advance().unwrap();
+
         // Losing the last daemon mid-stream drops its 8 ranks from wave 1 on.
         let mut stream = Session::builder(Cluster::test_cluster(8, 8))
             .streaming(2)
@@ -776,12 +821,26 @@ mod tests {
             .unwrap();
         let wave0 = stream.advance().unwrap();
         assert_eq!(wave0.lost_tasks, 0);
+        assert_eq!(wave0.reseed_bytes, 0);
         let wave1 = stream.advance().unwrap();
         assert!(wave1.reseeded);
         assert_eq!(wave1.lost_tasks, 8);
         assert_eq!(wave1.covered_tasks + wave1.lost_tasks, 64);
         assert_eq!(stream.covered_tasks(), 56);
         assert_eq!(stream.lost_ranks(), (56..64).collect::<Vec<_>>());
+        // The three byte columns stay decoupled: the re-seed charges its own
+        // column and the delta column stays pure steady-state traffic.  Seven
+        // survivors ship content-identical deltas to the control stream's first
+        // seven daemons, so the pruned wave must ship strictly *fewer* delta
+        // bytes than the unpruned control — folding the re-seed into the delta
+        // column (the old accounting) would reverse this inequality.
+        assert!(wave1.reseed_bytes > 0);
+        assert!(
+            wave1.delta_bytes < control_wave1.delta_bytes,
+            "pruned wave pure deltas ({}) must undercut the 8-daemon control ({})",
+            wave1.delta_bytes,
+            control_wave1.delta_bytes
+        );
         // The verdict still passes: the hang (ranks 1 and 2) stayed covered and
         // the coverage check accepts the reported losses.
         assert!(wave1.verdict.passed(), "{}", wave1.verdict);
@@ -789,7 +848,10 @@ mod tests {
         assert_eq!(stream.incremental_canonical(), stream.batched_canonical());
         let wave2 = stream.advance().unwrap();
         assert!(!wave2.reseeded);
+        assert_eq!(wave2.reseed_bytes, 0);
         assert_eq!(wave2.covered_tasks, 56);
+        // Quiescent again: pure deltas shrink well below the full-tree baseline.
+        assert!(wave2.delta_bytes < wave2.full_packet_bytes);
     }
 
     #[test]

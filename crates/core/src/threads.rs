@@ -48,12 +48,16 @@ pub fn measure_thread_scaling(
         .iter()
         .map(|&workers| {
             let app = ThreadedApp::new(tasks_per_daemon, workers, FrameVocabulary::Linux);
+            let dict = stackwalk::FrameDictionary::negotiate(app.frame_hints());
             let daemon = StatDaemon::new(0, (0..tasks_per_daemon).collect(), tasks_per_daemon);
-            let contribution =
-                daemon.contribute::<SubtreeTaskList>(&app, samples, tbon::packet::EndpointId(1));
-            let mut table = stackwalk::FrameTable::new();
-            let tree: crate::graph::SubtreePrefixTree =
-                crate::serialize::decode_tree(&contribution.tree_3d.payload, &mut table)
+            let contribution = daemon.contribute::<SubtreeTaskList>(
+                &app,
+                samples,
+                tbon::packet::EndpointId(1),
+                &dict,
+            );
+            let (tree, _frames): (crate::graph::SubtreePrefixTree, _) =
+                crate::serialize::decode_tree(&contribution.tree_3d.payload)
                     .expect("round trip of our own packet");
             ThreadMeasurement {
                 threads_per_task: app.threads_per_task(),

@@ -6,6 +6,8 @@
 //! Rust equivalent for the reproduction:
 //!
 //! * [`frame`] — interned stack frames and the frame table shared by every trace;
+//! * [`dictionary`] — the session-global frame dictionary wire format v2
+//!   negotiates at session setup, so packets carry u32 ids instead of names;
 //! * [`trace`] — stack traces and per-task sample series (the "space" and "time"
 //!   dimensions of STAT's 2D and 3D prefix trees);
 //! * [`symtab`] — binary images and the symbol-table bookkeeping a daemon performs
@@ -17,11 +19,13 @@
 
 #![warn(rust_2018_idioms)]
 
+pub mod dictionary;
 pub mod frame;
 pub mod sampler;
 pub mod symtab;
 pub mod trace;
 
+pub use dictionary::FrameDictionary;
 pub use frame::{FrameId, FrameTable};
 pub use sampler::{SamplingConfig, SamplingCostModel, SamplingEstimate, Walker};
 pub use symtab::{BinaryImage, SymbolTableCache};

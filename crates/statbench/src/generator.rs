@@ -129,6 +129,26 @@ impl Application for SyntheticApp {
         self.tasks
     }
 
+    fn frame_hints(&self) -> Vec<&'static str> {
+        let shape = self.shape;
+        let mut hints = Vec::new();
+        for level in 0..shape.divergence_depth {
+            hints.push(Self::frame_name("spine", level, 0));
+        }
+        // Hinting is best-effort: cap the per-class enumeration so adversarial
+        // many-class shapes don't pre-intern an unbounded vocabulary — unhinted
+        // class frames simply ship as incremental dictionary records.
+        for class in 0..shape.classes.min(256) {
+            for level in shape.divergence_depth..shape.depth.saturating_sub(shape.temporal_frames) {
+                hints.push(Self::frame_name("class", class, level));
+            }
+        }
+        for k in 0..shape.temporal_frames {
+            hints.push(Self::frame_name("poll", k, 0));
+        }
+        hints
+    }
+
     fn call_path(&self, rank: u64, _thread: u32, sample_index: u32) -> Vec<&'static str> {
         let shape = self.shape;
         let class = self.class_of(rank);

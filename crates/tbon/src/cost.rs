@@ -220,6 +220,45 @@ impl<'a> ReductionCostModel<'a> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Wire-format v2 packet arithmetic
+// ---------------------------------------------------------------------------
+//
+// The estimator and planner closures price packets with the same arithmetic
+// the v2 encoder uses, so the cost model's byte terms are fed by real encoded
+// sizes rather than string-era estimates.  `stat_core::serialize` pins these
+// helpers against the actual encoder in its tests.
+
+/// Bytes an LEB128 varint takes to encode `value` (1 for values below 128,
+/// up to 10 for the full 64-bit range).
+pub fn varint_len(value: u64) -> u64 {
+    u64::from((64 - value.leading_zeros()).max(1).div_ceil(7))
+}
+
+/// Per-node framing overhead of a v2 tree record: the parent-delta varint and
+/// the global frame-id varint.  Both are one byte for small trees; the model
+/// prices two bytes each so deep trees and incremental frame ids stay covered.
+pub const V2_NODE_OVERHEAD: u64 = 4;
+
+/// Bytes one node of a *dense* (job-wide) v2 task set costs when `member_tasks`
+/// of `total_tasks` are present: occupied words ship as up-to-10-byte varints,
+/// every empty word still costs one byte.  Linear in the job by design — this
+/// is the Section V scaling problem the dense representation demonstrates.
+pub fn dense_node_bytes(total_tasks: u64, member_tasks: u64) -> u64 {
+    let words = total_tasks.div_ceil(64);
+    let occupied = member_tasks.div_ceil(64).min(words);
+    V2_NODE_OVERHEAD + occupied * 10 + (words - occupied)
+}
+
+/// Worst-case bytes one node of a *subtree* (hierarchical) v2 task set costs
+/// for a subtree of `subtree_tasks`: one literal-run token plus the raw words.
+/// Saturated sets run-length collapse far below this, so it is a safe upper
+/// bound for planning.
+pub fn subtree_node_bytes(subtree_tasks: u64) -> u64 {
+    let words = subtree_tasks.div_ceil(64);
+    V2_NODE_OVERHEAD + varint_len((words << 2) | 2) + words * 8
+}
+
 /// Payload model for a merged prefix tree whose *class population saturates*.
 ///
 /// The planner's default payload grows with the subtree's task count forever:
@@ -252,7 +291,8 @@ impl<'a> ReductionCostModel<'a> {
 pub struct ClassSaturatedPayload {
     /// Edges in the serialised 2D prefix tree.
     pub tree_edges: u64,
-    /// Bytes of frame-name table shipped once per packet.
+    /// Bytes of frame-name data shipped once per packet — under wire format v2,
+    /// the incremental dictionary records for frames negotiation did not seed.
     pub frame_names_bytes: u64,
     /// Total tasks in the job (caps the subtree population).
     pub tasks: u64,
@@ -266,12 +306,13 @@ pub struct ClassSaturatedPayload {
 
 impl ClassSaturatedPayload {
     /// Packet bytes emitted by a node whose subtree holds `subtree_backends`
-    /// leaf daemons: per-edge membership bit vectors sized by the *saturated*
-    /// subtree task count, plus the frame-name table.
+    /// leaf daemons: per-edge v2 task-set records sized by the *saturated*
+    /// subtree task count ([`subtree_node_bytes`]), plus the incremental
+    /// dictionary records.
     pub fn bytes(&self, subtree_backends: u32) -> u64 {
         let subtree_tasks = (subtree_backends as u64 * self.tasks_per_daemon).min(self.tasks);
         let saturated = subtree_tasks.min(self.saturation_tasks);
-        self.tree_edges * (saturated.div_ceil(8) + 8) + self.frame_names_bytes
+        self.tree_edges * subtree_node_bytes(saturated) + self.frame_names_bytes
     }
 }
 
@@ -370,6 +411,25 @@ mod tests {
         // Flat: the front end pushes 128 copies serially.  2-deep: 12 copies from the
         // front end, then ~11 per comm process in parallel.
         assert!(flat_b > deep_b);
+    }
+
+    #[test]
+    fn v2_packet_arithmetic_matches_the_wire_format() {
+        assert_eq!(varint_len(0), 1);
+        assert_eq!(varint_len(127), 1);
+        assert_eq!(varint_len(128), 2);
+        assert_eq!(varint_len(u64::MAX), 10);
+        // A dense node pays for every word of the job: one byte per empty word,
+        // up to ten per occupied word.
+        assert_eq!(
+            dense_node_bytes(8_192, 128),
+            V2_NODE_OVERHEAD + 2 * 10 + 126
+        );
+        // A subtree node only pays for its own tasks.
+        assert!(subtree_node_bytes(128) < dense_node_bytes(8_192, 128) / 5);
+        // Both grow monotonically with what they must describe.
+        assert!(dense_node_bytes(8_192, 512) > dense_node_bytes(8_192, 64));
+        assert!(subtree_node_bytes(4_096) > subtree_node_bytes(64));
     }
 
     #[test]

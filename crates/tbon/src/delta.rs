@@ -35,6 +35,13 @@ use crate::network::{panic_message, TbonError};
 use crate::packet::{Packet, PacketTag};
 use crate::topology::{Topology, TreeNodeRole};
 
+/// Endpoint ids index per-endpoint tables.  The conversion is lossless on every
+/// supported target; an out-of-range id degrades to a table miss (a typed
+/// `WalkInvariant`), never a truncated index.
+fn slot(index: u32) -> usize {
+    usize::try_from(index).unwrap_or(usize::MAX)
+}
+
 /// Per-node accumulated state the incremental walk folds merged deltas into.
 pub trait ResidentState {
     /// Fold one merged delta packet into the state.  An `Err` message becomes
@@ -114,7 +121,7 @@ impl<F: StateFactory> IncrementalTbon<F> {
     /// until the first wave folds.
     pub fn frontend_state(&self) -> Option<&F::State> {
         let id = self.topology.frontend();
-        self.states.get(id.0 as usize).and_then(|s| s.as_ref())
+        self.states.get(slot(id.0)).and_then(|s| s.as_ref())
     }
 
     /// Total resident footprint across every node holding state, in bytes.
@@ -154,7 +161,7 @@ impl<F: StateFactory> IncrementalTbon<F> {
             |inbox: &mut Vec<Vec<Packet>>, parent: u32, packet: Packet| -> Result<(), TbonError> {
                 delta_link_bytes += packet.size_bytes() as u64;
                 inbox
-                    .get_mut(parent as usize)
+                    .get_mut(slot(parent))
                     .ok_or(TbonError::WalkInvariant {
                         context: "delta parent endpoint outside the topology",
                     })?
@@ -183,11 +190,10 @@ impl<F: StateFactory> IncrementalTbon<F> {
                 if node.role == TreeNodeRole::BackEnd {
                     continue;
                 }
-                let inputs = std::mem::take(inbox.get_mut(id.0 as usize).ok_or(
-                    TbonError::WalkInvariant {
+                let inputs =
+                    std::mem::take(inbox.get_mut(slot(id.0)).ok_or(TbonError::WalkInvariant {
                         context: "interior endpoint outside the inbox",
-                    },
-                )?);
+                    })?);
                 let bytes_in: u64 = inputs.iter().map(|p| p.size_bytes() as u64).sum();
                 max_node_bytes_in = max_node_bytes_in.max(bytes_in);
 
@@ -202,13 +208,14 @@ impl<F: StateFactory> IncrementalTbon<F> {
                 })?;
                 filter_invocations += 1;
 
-                let slot = self
-                    .states
-                    .get_mut(id.0 as usize)
-                    .ok_or(TbonError::WalkInvariant {
-                        context: "interior endpoint outside the state table",
-                    })?;
-                slot.get_or_insert_with(|| self.factory.new_state())
+                let state_slot =
+                    self.states
+                        .get_mut(slot(id.0))
+                        .ok_or(TbonError::WalkInvariant {
+                            context: "interior endpoint outside the state table",
+                        })?;
+                state_slot
+                    .get_or_insert_with(|| self.factory.new_state())
                     .fold(&merged)
                     .map_err(|message| TbonError::DeltaFold {
                         node: id.0,

@@ -242,6 +242,13 @@ impl InProcessTbon {
         &self.topology
     }
 
+    /// Link bytes a store-and-forward broadcast of `payload_bytes` from the
+    /// front end to every other endpoint costs: one copy per tree edge.  Used
+    /// to account for the one-time frame-dictionary broadcast at session setup.
+    pub fn broadcast_link_bytes(&self, payload_bytes: u64) -> u64 {
+        payload_bytes.saturating_mul(self.topology.len().saturating_sub(1) as u64)
+    }
+
     /// Perform one upward reduction of a single channel.
     ///
     /// `leaf_payloads` supplies one packet per back-end daemon, in the same order as

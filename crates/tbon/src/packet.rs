@@ -38,6 +38,9 @@ pub enum PacketTag {
     TreeDelta,
     /// SBRS broadcast of a binary image.
     BinaryBroadcast,
+    /// Front-end → daemons: the negotiated frame-dictionary base table for
+    /// wire format v2, broadcast once at session setup.
+    Dictionary,
     /// Detach / tear down.
     Detach,
     /// Application-defined tag (tests, auxiliary tools).
@@ -97,6 +100,7 @@ mod tests {
     #[test]
     fn tags_distinguish_operations() {
         assert_ne!(PacketTag::Merged2d, PacketTag::Merged3d);
+        assert_ne!(PacketTag::Dictionary, PacketTag::BinaryBroadcast);
         assert_ne!(PacketTag::Custom(1), PacketTag::Custom(2));
         assert_eq!(PacketTag::Custom(7), PacketTag::Custom(7));
     }

@@ -284,7 +284,7 @@ impl TopologyPlanner {
         let saturation = self.config.class_saturation_tasks.unwrap_or(u64::MAX);
         let cost = model.reduce(&|_id, subtree_backends| {
             let subtree_tasks = (subtree_backends as u64 * tasks_per_daemon).min(tasks);
-            edges * (subtree_tasks.min(saturation).div_ceil(8) + 8) + frame_bytes
+            edges * crate::cost::subtree_node_bytes(subtree_tasks.min(saturation)) + frame_bytes
         });
 
         let comm = shape.comm_processes();

@@ -395,21 +395,69 @@ proptest! {
     }
 
     #[test]
-    fn wire_format_round_trips_arbitrary_trees(paths in arbitrary_traces(20)) {
+    fn wire_format_round_trips_arbitrary_trees(
+        paths in arbitrary_traces(20),
+        hinted in 0..=FRAME_POOL.len(),
+    ) {
+        // Negotiate an arbitrary prefix of the vocabulary: the rest of the
+        // frames must ship as incremental dictionary records and still resolve.
+        let dict = FrameDictionary::negotiate(FRAME_POOL.iter().take(hinted).copied());
         let mut table = FrameTable::new();
         let tree = build_global(&paths, &mut table);
-        let bytes = encode_tree(&tree, &table);
-        let mut fresh = FrameTable::new();
-        let back: GlobalPrefixTree = decode_tree(&bytes, &mut fresh).unwrap();
+        let bytes = encode_tree(&tree, &table, &dict);
+        let (back, frames): (GlobalPrefixTree, WireFrames) = decode_tree(&bytes).unwrap();
         prop_assert_eq!(back.node_count(), tree.node_count());
         prop_assert_eq!(back.width(), tree.width());
         prop_assert_eq!(
             back.tasks(back.root()).members(),
             tree.tasks(tree.root()).members()
         );
-        // Re-encoding the decoded tree is a fixed point in size.
-        let bytes2 = encode_tree(&back, &fresh);
+        // Re-encoding the decoded tree through its wire frames is a fixed point.
+        let bytes2 = encode_merged_tree(&back, &frames);
         prop_assert_eq!(bytes.len(), bytes2.len());
+    }
+
+    #[test]
+    fn v2_packets_round_trip_and_reject_foreign_versions(
+        paths in arbitrary_traces(12),
+        version_byte in 0u8..=255,
+        cut in 1usize..64,
+    ) {
+        // Satellite of the frame-length truncation fix: both representations
+        // round-trip through v2, and version-mismatched or truncated buffers
+        // come back as *typed* errors — never a panic, never a garbage tree.
+        let dict = FrameDictionary::negotiate(FRAME_POOL.iter().copied());
+        let mut table = FrameTable::new();
+        let global = build_global(&paths, &mut table);
+        let mut subtree = SubtreePrefixTree::new_subtree(paths.len() as u64);
+        for (pos, path) in paths.iter().enumerate() {
+            let names: Vec<&str> = path.iter().map(|&i| FRAME_POOL[i]).collect();
+            let trace = StackTrace::new(table.intern_path(&names));
+            subtree.add_trace(&trace, pos as u64);
+        }
+
+        let global_bytes = encode_tree(&global, &table, &dict);
+        let subtree_bytes = encode_tree(&subtree, &table, &dict);
+        let (g_back, _): (GlobalPrefixTree, WireFrames) = decode_tree(&global_bytes).unwrap();
+        let (s_back, _): (SubtreePrefixTree, WireFrames) = decode_tree(&subtree_bytes).unwrap();
+        prop_assert_eq!(g_back.node_count(), global.node_count());
+        prop_assert_eq!(s_back.node_count(), subtree.node_count());
+
+        // Any foreign version byte is a typed Version error (v2 itself aside).
+        let mut foreign = global_bytes.clone();
+        foreign[4] = version_byte;
+        match decode_tree::<DenseBitVector>(&foreign) {
+            Ok(_) => prop_assert_eq!(version_byte, 2),
+            Err(DecodeError::Version { found }) => {
+                prop_assert_ne!(version_byte, 2);
+                prop_assert_eq!(found, version_byte);
+            }
+            Err(other) => prop_assert!(false, "expected Version, got {other:?}"),
+        }
+
+        // Every truncation of the buffer decodes to a typed error, not a tree.
+        let keep = global_bytes.len().saturating_sub(cut);
+        prop_assert!(decode_tree::<DenseBitVector>(&global_bytes[..keep]).is_err());
     }
 }
 

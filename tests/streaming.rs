@@ -16,8 +16,10 @@
 //!   (`covered + lost = tasks`), and a prune that leaves no viable session is
 //!   the typed `StatError::SessionNotViable`, not a wrong answer;
 //! * **byte accounting** — every wave reports its leaf ingress
-//!   (`packet_bytes`) and the delta-path volume (`delta_bytes` vs. what
-//!   shipping full cumulative trees would have cost).
+//!   (`packet_bytes`), the pure delta-path volume (`delta_bytes` vs. what
+//!   shipping full cumulative trees would have cost), and post-prune re-seed
+//!   traffic in its own `reseed_bytes` column — never folded into the delta
+//!   column.
 //!
 //! Scales: 1,024 tasks always; 65,536 (BG/L co-processor) and the 212,992-task
 //! ring hang (BG/L virtual-node, the paper's 208K headline) are skipped under
@@ -203,12 +205,19 @@ fn a_daemon_lost_mid_stream_drops_out_with_exact_accounting() {
     let wave0 = stream.advance().expect("wave 0");
     assert_eq!(wave0.lost_tasks, 0);
     assert!(!wave0.reseeded);
+    assert_eq!(wave0.reseed_bytes, 0, "no prune, no re-seed traffic");
     assert!(wave0.verdict.passed(), "{}", wave0.verdict);
 
     // Wave 1: the last daemon dies; its 8 ranks leave coverage, the overlay is
     // rebuilt and re-seeded, and the (still healthy) verdict survives the loss.
+    // The re-seed cost lands in its own column; `delta_bytes` stays the pure
+    // steady-state delta traffic.
     let wave1 = stream.advance().expect("wave 1");
     assert!(wave1.reseeded);
+    assert!(
+        wave1.reseed_bytes > 0,
+        "the post-prune re-seed must be accounted in its own column"
+    );
     assert_eq!(wave1.lost_tasks, 8);
     assert_eq!(wave1.covered_tasks + wave1.lost_tasks, 1_024);
     assert_eq!(stream.lost_ranks(), (1_016..1_024).collect::<Vec<_>>());
@@ -220,6 +229,7 @@ fn a_daemon_lost_mid_stream_drops_out_with_exact_accounting() {
     for wave in FAULT_WAVE..(FAULT_WAVE + WINDOW) {
         let report = stream.advance().expect("post-fault wave");
         assert!(!report.reseeded);
+        assert_eq!(report.reseed_bytes, 0, "re-seeds only follow prunes");
         assert_eq!(report.covered_tasks + report.lost_tasks, 1_024);
         assert_eq!(report.lost_tasks, 8);
         assert!(

@@ -137,11 +137,12 @@ fn overlay_fault_handling_degrades_gracefully() {
 
     // A degraded gather over the survivors still produces a coherent answer.
     let app = appsim::RingHangApp::new(256, FrameVocabulary::Linux);
+    let dict = FrameDictionary::negotiate(appsim::Application::frame_hints(&app));
     let daemons = StatDaemon::partition(256, 32);
     let contributions: Vec<DaemonContribution> = daemons
         .iter()
         .zip(topology.backends())
-        .map(|(d, &leaf)| d.contribute::<SubtreeTaskList>(&app, 2, leaf))
+        .map(|(d, &leaf)| d.contribute::<SubtreeTaskList>(&app, 2, leaf, &dict))
         .collect();
     let surviving = tracker.filter_leaf_payloads(&contributions);
     assert_eq!(surviving.len(), 24);
@@ -151,7 +152,7 @@ fn overlay_fault_handling_degrades_gracefully() {
         .representation(Representation::HierarchicalTaskList)
         .topology(TreeShape::two_deep(24, 4))
         .build();
-    let gather = degraded.merge(surviving, 256).unwrap();
+    let gather = degraded.merge(surviving, 256, &dict).unwrap();
     let covered = gather.tree_3d.tasks(gather.tree_3d.root()).count();
     assert_eq!(
         covered,
